@@ -1,0 +1,96 @@
+// Command bmc bounded-model-checks a design property and optionally
+// repairs violations with the counterexample-guided loop:
+//
+//	bmc -design d.v -property ok -depth 16            # check only
+//	bmc -design d.v -property ok -depth 16 -repair    # CEGIS repair loop
+//
+// A property is any 1-bit output that must always be 1. Counterexample
+// traces are printed as CSV so they can be replayed with vsim or fed to
+// rtlrepair directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtlrepair/internal/bmc"
+	"rtlrepair/internal/eval"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/verilog"
+)
+
+func main() {
+	var (
+		designPath = flag.String("design", "", "Verilog file (last module is the top)")
+		property   = flag.String("property", "", "1-bit output that must always hold")
+		depth      = flag.Int("depth", 16, "BMC bound")
+		fromReset  = flag.Bool("from-reset", true, "constrain initialized registers to their reset values")
+		repair     = flag.Bool("repair", false, "run the counterexample-guided repair loop")
+		iters      = flag.Int("iters", 8, "max CEGIS iterations")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "budget")
+	)
+	flag.Parse()
+	if *designPath == "" || *property == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*designPath)
+	fatal(err)
+	mods, err := verilog.Parse(string(src))
+	fatal(err)
+	top := mods[len(mods)-1]
+	lib := map[string]*verilog.Module{}
+	for _, m := range mods[:len(mods)-1] {
+		lib[m.Name] = m
+	}
+
+	if *repair {
+		res := bmc.RepairLoop(top, bmc.LoopOptions{
+			Property: *property,
+			MaxDepth: *depth,
+			MaxIters: *iters,
+			Timeout:  *timeout,
+			Lib:      lib,
+		})
+		if res.Err != nil {
+			fatal(res.Err)
+		}
+		if res.AlreadySafe {
+			fmt.Printf("property %q already holds up to depth %d\n", *property, *depth)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "converged after %d iterations (%d counterexamples)\n",
+			res.Iterations, len(res.Counterexamples))
+		fmt.Fprintf(os.Stderr, "--- diff buggy vs. repaired ---\n%s",
+			eval.DiffLines(verilog.Print(top), verilog.Print(res.Repaired)))
+		fmt.Println(verilog.Print(res.Repaired))
+		return
+	}
+
+	ctx := smt.NewContext()
+	sys, _, err := synth.Elaborate(ctx, top, synth.Options{Lib: lib})
+	fatal(err)
+	res, err := bmc.Check(ctx, sys, *property, bmc.Options{
+		MaxDepth:  *depth,
+		FromReset: *fromReset,
+		Deadline:  time.Now().Add(*timeout),
+	})
+	fatal(err)
+	if !res.Violated {
+		fmt.Printf("property %q holds up to depth %d\n", *property, res.Depth)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "VIOLATED at depth %d; counterexample:\n", res.Depth)
+	fatal(res.Counterexample.WriteCSV(os.Stdout))
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmc:", err)
+		os.Exit(1)
+	}
+}

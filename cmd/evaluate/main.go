@@ -1,0 +1,83 @@
+// Command evaluate regenerates the paper's tables:
+//
+//	evaluate -table 1        # performance overview (Table 1)
+//	evaluate -table 2        # OSDD analysis (Table 2)
+//	evaluate -table 3        # benchmark overview (Table 3)
+//	evaluate -table 4        # repair correctness (Table 4)
+//	evaluate -table 5        # repair speed + ablations (Table 5)
+//	evaluate -table 6        # open-source bugs (Table 6)
+//	evaluate -table all      # everything
+//	evaluate -diffs          # Figure 8/9-style qualitative diffs
+//
+// Absolute timings differ from the paper (different machine, simulated
+// substrates); the tables print the paper's qualitative outcome next to
+// ours so the shape comparison is direct.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtlrepair/internal/eval"
+)
+
+func main() {
+	var (
+		table      = flag.String("table", "all", "which table to produce: 1..6 or all")
+		diffs      = flag.Bool("diffs", false, "print qualitative repair diffs (Figures 8/9)")
+		rtlTimeout = flag.Duration("rtl-timeout", 60*time.Second, "RTL-Repair budget per benchmark")
+		cfTimeout  = flag.Duration("cirfix-timeout", 15*time.Second, "CirFix baseline budget per benchmark")
+		cfGens     = flag.Int("cirfix-generations", 40, "CirFix generations")
+		seed       = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	opts := eval.DefaultOptions()
+	opts.RTLTimeout = *rtlTimeout
+	opts.CirFixTimeout = *cfTimeout
+	opts.CirFixGenerations = *cfGens
+	opts.Seed = *seed
+
+	if *diffs {
+		fmt.Print(eval.QualitativeDiffs([]string{
+			"decoder_w1", "counter_w1", "sha3_s1", "sdram_w1", // Figure 8
+			"C1", "D8", "D11", "D12", "S1.R", // Figure 9
+		}, opts))
+		return
+	}
+
+	needSuite := false
+	switch *table {
+	case "1", "2", "4", "5", "all":
+		needSuite = true
+	}
+	var suite *eval.SuiteResults
+	if needSuite {
+		fmt.Fprintln(os.Stderr, "running the CirFix benchmark suite with both tools; this takes a few minutes...")
+		suite = eval.RunSuite(opts, true)
+	}
+
+	show := func(name string) bool { return *table == name || *table == "all" }
+	if show("1") {
+		fmt.Println(eval.MakeTable1(suite))
+	}
+	if show("2") {
+		fmt.Println(eval.Table2String(eval.MakeTable2(suite)))
+	}
+	if show("3") {
+		fmt.Println(eval.Table3String())
+	}
+	if show("4") {
+		fmt.Println(eval.Table4String(eval.MakeTable4(suite)))
+	}
+	if show("5") {
+		fmt.Fprintln(os.Stderr, "running per-template and basic-synthesizer ablations...")
+		fmt.Println(eval.Table5String(eval.MakeTable5(suite, opts)))
+	}
+	if show("6") {
+		fmt.Fprintln(os.Stderr, "running the open-source bug suite...")
+		fmt.Println(eval.Table6String(eval.MakeTable6(opts)))
+	}
+}

@@ -1,0 +1,114 @@
+// Command rtlrepair repairs a buggy Verilog design against an I/O trace:
+//
+//	rtlrepair -design buggy.v -trace testbench.csv [-out repaired.v]
+//
+// The trace CSV is self-describing (header cells are name:width:dir, see
+// internal/trace). The repaired design is written to -out (default
+// stdout) together with a unified diff of the change.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtlrepair/internal/core"
+	"rtlrepair/internal/eval"
+	"rtlrepair/internal/sim"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/verilog"
+)
+
+func main() {
+	var (
+		designPath = flag.String("design", "", "buggy Verilog file (required)")
+		tracePath  = flag.String("trace", "", "I/O trace CSV (required)")
+		outPath    = flag.String("out", "", "output file for the repaired design (default stdout)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "repair budget")
+		seed       = flag.Int64("seed", 1, "seed for randomized unknown values")
+		zeroInit   = flag.Bool("zero-init", false, "zero unknown values instead of randomizing (Verilator mode)")
+		basic      = flag.Bool("basic", false, "disable adaptive windowing (basic synthesizer)")
+		verbose    = flag.Bool("v", false, "print per-template progress")
+	)
+	flag.Parse()
+	if *designPath == "" || *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(*designPath)
+	check(err)
+	mods, err := verilog.Parse(string(src))
+	check(err)
+	top := mods[len(mods)-1]
+	lib := map[string]*verilog.Module{}
+	for _, m := range mods[:len(mods)-1] {
+		lib[m.Name] = m
+	}
+
+	tf, err := os.Open(*tracePath)
+	check(err)
+	tr, err := trace.ReadCSV(tf)
+	check(err)
+	tf.Close()
+
+	policy := sim.Randomize
+	if *zeroInit {
+		policy = sim.Zero
+	}
+	res := core.Repair(top, tr, core.Options{
+		Policy:  policy,
+		Seed:    *seed,
+		Timeout: *timeout,
+		Basic:   *basic,
+		Lib:     lib,
+	})
+
+	fmt.Fprintf(os.Stderr, "status:   %s (%.2fs)\n", res.Status, res.Duration.Seconds())
+	if *verbose {
+		for _, tr := range res.PerTemplate {
+			state := "no repair"
+			if tr.Found {
+				state = fmt.Sprintf("%d changes", tr.Changes)
+			}
+			if tr.Err != nil {
+				state = tr.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "  %-22s %-12s %s\n", tr.Template, state, tr.Duration.Round(time.Millisecond))
+		}
+	}
+	switch res.Status {
+	case core.StatusRepaired, core.StatusPreprocessed:
+		fmt.Fprintf(os.Stderr, "template: %s\nchanges:  %d\n", orPre(res.Template), res.Changes)
+		for _, d := range res.ChangeDescs {
+			fmt.Fprintf(os.Stderr, "  - %s\n", d)
+		}
+		out := verilog.Print(res.Repaired)
+		if *outPath != "" {
+			check(os.WriteFile(*outPath, []byte(out), 0o644))
+		} else {
+			fmt.Println(out)
+		}
+		fmt.Fprintf(os.Stderr, "--- diff buggy vs. repaired ---\n%s", eval.DiffLines(verilog.Print(top), out))
+	case core.StatusNoRepairNeeded:
+		fmt.Fprintln(os.Stderr, "the design already passes the trace; no repair necessary")
+	default:
+		fmt.Fprintf(os.Stderr, "reason:   %s\n", res.Reason)
+		os.Exit(1)
+	}
+}
+
+func orPre(t string) string {
+	if t == "" {
+		return "preprocessing"
+	}
+	return t
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtlrepair:", err)
+		os.Exit(1)
+	}
+}

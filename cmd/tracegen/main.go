@@ -1,0 +1,128 @@
+// Command tracegen records an I/O trace from a golden (ground-truth)
+// design, the way the paper's evaluation converts testbenches into
+// traces (§6.1): the design is simulated with X-propagation so outputs
+// that depend on uninitialized state become don't-cares.
+//
+//	tracegen -design golden.v -cycles 100 -reset rst -out tb.csv
+//
+// Inputs are driven randomly each cycle except the reset signal, which
+// is held active for -reset-cycles cycles and then released. Use
+// -inputs to pin signals to fixed values (e.g. -inputs enable=1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/sim"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/verilog"
+)
+
+func main() {
+	var (
+		designPath  = flag.String("design", "", "golden Verilog file")
+		cycles      = flag.Int("cycles", 50, "number of cycles to record")
+		resetSig    = flag.String("reset", "", "reset signal name (asserted first)")
+		resetHigh   = flag.Bool("reset-high", true, "reset is active high")
+		resetCycles = flag.Int("reset-cycles", 2, "cycles to hold reset")
+		pins        = flag.String("inputs", "", "comma-separated name=value pins")
+		seed        = flag.Int64("seed", 1, "stimulus seed")
+		outPath     = flag.String("out", "", "output CSV (default stdout)")
+	)
+	flag.Parse()
+	if *designPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(*designPath)
+	fatal(err)
+	mods, err := verilog.Parse(string(src))
+	fatal(err)
+	top := mods[len(mods)-1]
+	lib := map[string]*verilog.Module{}
+	for _, m := range mods[:len(mods)-1] {
+		lib[m.Name] = m
+	}
+	sys, info, err := synth.Elaborate(smt.NewContext(), top, synth.Options{Lib: lib})
+	fatal(err)
+
+	pinned := map[string]uint64{}
+	if *pins != "" {
+		for _, kv := range strings.Split(*pins, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad -inputs entry %q", kv))
+			}
+			v, err := strconv.ParseUint(parts[1], 0, 64)
+			fatal(err)
+			pinned[parts[0]] = v
+		}
+	}
+
+	var ins []trace.Signal
+	for _, in := range sys.Inputs {
+		ins = append(ins, trace.Signal{Name: in.Name, Width: in.Width})
+	}
+	var outs []trace.Signal
+	for _, o := range sys.Outputs {
+		outs = append(outs, trace.Signal{Name: o.Name, Width: o.Expr.Width})
+	}
+	if info.ClockName != "" {
+		fmt.Fprintf(os.Stderr, "tracegen: clock %q excluded from trace columns\n", info.ClockName)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var rows [][]bv.XBV
+	for c := 0; c < *cycles; c++ {
+		row := make([]bv.XBV, len(ins))
+		for i, sig := range ins {
+			switch {
+			case sig.Name == *resetSig:
+				active := c < *resetCycles
+				v := uint64(0)
+				if active == *resetHigh {
+					v = 1
+				}
+				row[i] = bv.KU(sig.Width, v)
+			case hasPin(pinned, sig.Name):
+				row[i] = bv.KU(sig.Width, pinned[sig.Name])
+			default:
+				row[i] = bv.K(bv.FromWords(sig.Width, []uint64{rng.Uint64(), rng.Uint64()}))
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	cs := sim.NewCycleSim(sys, sim.KeepX, 0)
+	tr := sim.RecordTrace(cs, ins, outs, rows)
+
+	w := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		fatal(err)
+		defer f.Close()
+		w = f
+	}
+	fatal(tr.WriteCSV(w))
+}
+
+func hasPin(p map[string]uint64, name string) bool {
+	_, ok := p[name]
+	return ok
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// Command vsim simulates a Verilog design against an I/O trace with any
+// of the three simulation backends and reports the first mismatch:
+//
+//	vsim -design d.v -trace tb.csv -backend cycle|event|gate
+//
+// It is the harness equivalent of running a testbench under Verilator
+// (cycle), Icarus Verilog (event) or gate-level simulation (gate) and is
+// used to cross-check repairs by hand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtlrepair/internal/btor2"
+	"rtlrepair/internal/netlist"
+	"rtlrepair/internal/sim"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/verilog"
+)
+
+func main() {
+	var (
+		designPath = flag.String("design", "", "Verilog file (last module is the top)")
+		tracePath  = flag.String("trace", "", "I/O trace CSV")
+		backend    = flag.String("backend", "cycle", "cycle, event or gate")
+		seed       = flag.Int64("seed", 1, "seed for randomized unknowns")
+		zeroInit   = flag.Bool("zero-init", false, "zero unknowns instead of randomizing")
+		gates      = flag.Bool("emit-gates", false, "print the gate-level netlist Verilog and exit")
+		btor       = flag.Bool("emit-btor2", false, "print the transition system as btor2 and exit")
+	)
+	flag.Parse()
+	if *designPath == "" || (*tracePath == "" && !*gates && !*btor) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(*designPath)
+	fatal(err)
+	mods, err := verilog.Parse(string(src))
+	fatal(err)
+	top := mods[len(mods)-1]
+	lib := map[string]*verilog.Module{}
+	for _, m := range mods[:len(mods)-1] {
+		lib[m.Name] = m
+	}
+
+	policy := sim.Randomize
+	gatePolicy := netlist.PolicyRandomize
+	if *zeroInit {
+		policy = sim.Zero
+		gatePolicy = netlist.PolicyZero
+	}
+
+	if *gates {
+		sys, _, err := synth.Elaborate(smt.NewContext(), top, synth.Options{Lib: lib})
+		fatal(err)
+		nl, err := netlist.Build(sys)
+		fatal(err)
+		fmt.Print(nl.WriteVerilog(top.Name + "_gates"))
+		fmt.Fprintf(os.Stderr, "%d AND gates, %d flops\n", nl.NumGates(), len(nl.DFFs))
+		return
+	}
+	if *btor {
+		sys, _, err := synth.Elaborate(smt.NewContext(), top, synth.Options{Lib: lib})
+		fatal(err)
+		fatal(btor2.Write(os.Stdout, sys))
+		return
+	}
+
+	tf, err := os.Open(*tracePath)
+	fatal(err)
+	tr, err := trace.ReadCSV(tf)
+	fatal(err)
+	tf.Close()
+
+	switch *backend {
+	case "cycle":
+		sys, _, err := synth.Elaborate(smt.NewContext(), top, synth.Options{Lib: lib})
+		fatal(err)
+		res := sim.RunTrace(sys, tr, sim.RunOptions{Policy: policy, Seed: *seed})
+		report(res.FirstFailure, res.FailedSignal, tr.Len())
+	case "event":
+		es, err := sim.NewEventSim(top, lib)
+		fatal(err)
+		res := sim.RunEventTrace(es, tr, sim.RunOptions{Policy: policy, Seed: *seed})
+		report(res.FirstFailure, res.FailedSignal, tr.Len())
+	case "gate":
+		sys, _, err := synth.Elaborate(smt.NewContext(), top, synth.Options{Lib: lib})
+		fatal(err)
+		nl, err := netlist.Build(sys)
+		fatal(err)
+		cyc, sig := netlist.RunGateTrace(nl, tr, gatePolicy, *seed)
+		report(cyc, sig, tr.Len())
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backend))
+	}
+}
+
+func report(firstFailure int, signal string, cycles int) {
+	if firstFailure < 0 {
+		fmt.Printf("PASS (%d cycles)\n", cycles)
+		return
+	}
+	fmt.Printf("FAIL at cycle %d, signal %s\n", firstFailure, signal)
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsim:", err)
+		os.Exit(1)
+	}
+}

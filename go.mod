@@ -1,0 +1,3 @@
+module rtlrepair
+
+go 1.22

@@ -1,0 +1,500 @@
+package bench
+
+import (
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/trace"
+)
+
+// ------------------------------------------------------------------ i2c
+
+// i2cGT is the i2c-lite core: a command engine that acknowledges a
+// command, serializes an address+command byte on sda and returns to
+// idle. It preserves the original benchmark's structure: a command
+// handshake (the k1 bug site), a bit counter and a shift register.
+const i2cGT = `
+module i2c_lite(input clk, input rst, input cmd_valid, input [2:0] cmd,
+                output reg cmd_ack, output reg busy, output reg [7:0] dout,
+                output reg sda);
+localparam IDLE  = 2'b00;
+localparam START = 2'b01;
+localparam XFER  = 2'b10;
+localparam STOP  = 2'b11;
+reg [1:0] state;
+reg [4:0] bitcnt;
+reg [7:0] shreg;
+reg [7:0] shnext;
+always @(*) begin
+  shnext = {shreg[6:0], 1'b0};
+end
+always @(posedge clk) begin
+  if (rst) begin
+    state <= IDLE; cmd_ack <= 1'b0; busy <= 1'b0; bitcnt <= 5'd0;
+    shreg <= 8'd0; dout <= 8'd0; sda <= 1'b1;
+  end else begin
+    cmd_ack <= 1'b0;
+    case (state)
+      IDLE: begin
+        busy <= 1'b0;
+        sda <= 1'b1;
+        if (cmd_valid) begin
+          state <= START;
+          busy <= 1'b1;
+          cmd_ack <= 1'b1;
+          shreg <= {5'b10100, cmd};
+          bitcnt <= 5'd0;
+        end
+      end
+      START: begin
+        sda <= 1'b0;
+        state <= XFER;
+      end
+      XFER: begin
+        sda <= shreg[7];
+        shreg <= shnext;
+        bitcnt <= bitcnt + 5'd1;
+        if (bitcnt == 5'd7) state <= STOP;
+      end
+      STOP: begin
+        sda <= 1'b1;
+        dout <= {5'b00000, cmd};
+        state <= IDLE;
+      end
+    endcase
+  end
+end
+endmodule`
+
+func i2cIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "rst", Width: 1}, {Name: "cmd_valid", Width: 1}, {Name: "cmd", Width: 3}},
+		[]trace.Signal{{Name: "cmd_ack", Width: 1}, {Name: "busy", Width: 1},
+			{Name: "dout", Width: 8}, {Name: "sda", Width: 1}}
+}
+
+// i2cStim issues many commands separated by long idle stretches,
+// reproducing the long-testbench profile of the original i2c benchmark
+// at a laptop-scale cycle count.
+func i2cStim() [][]bv.XBV {
+	s := newStim(7, 1, 1, 3)
+	s.row(1, 0, 0).row(1, 0, 0)
+	for i := 0; i < 120; i++ {
+		cmd := uint64(i*3+1) % 8
+		s.row(0, 1, cmd)      // command pulse
+		s.repeat(13, 0, 0, 0) // transfer + idle
+		if i%7 == 0 {
+			s.repeat(20, 0, 0, 0) // long quiet period
+		}
+	}
+	return s.rows
+}
+
+func i2cBenchmarks() []*Benchmark {
+	ins, outs := i2cIO()
+	// w1: incorrect sensitivity list — the clocked process triggers on
+	// the wrong signal (the design no longer has a consistent clock).
+	w1 := mustReplace(i2cGT, "always @(posedge clk) begin", "always @(posedge cmd_valid) begin", 1)
+	// w2: incorrect address assignment — address and command swapped.
+	w2 := mustReplace(i2cGT, "shreg <= {5'b10100, cmd};", "shreg <= {cmd, 5'b10100};", 1)
+	// k1: no command acknowledgement.
+	k1 := mustReplace(i2cGT, "          cmd_ack <= 1'b1;\n", "", 1)
+	return []*Benchmark{
+		{
+			Name: "i2c_w1", Project: "i2c", Defect: "Incorrect sensitivity list",
+			GroundTruth: i2cGT, Buggy: w1, Inputs: ins, Outputs: outs, Stimulus: i2cStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "ok",
+		},
+		{
+			Name: "i2c_w2", Project: "i2c", Defect: "Incorrect address assignment",
+			GroundTruth: i2cGT, Buggy: w2, Inputs: ins, Outputs: outs, Stimulus: i2cStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "wrong",
+		},
+		{
+			Name: "i2c_k1", Project: "i2c", Defect: "No command acknowledgement",
+			GroundTruth: i2cGT, Buggy: k1, Inputs: ins, Outputs: outs, Stimulus: i2cStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "ok", PaperTemplate: "Conditional Overwrite",
+		},
+	}
+}
+
+// ------------------------------------------------------------------ sha3
+
+// sha3GT is a reduced permutation core: two 64-bit lanes mixed over 12
+// rounds with the original's buffer/handshake logic around it, including
+// the buffer-overflow check of the s1 bug.
+const sha3GT = `
+module sha3_lite(input clk, input rst, input in_valid, input [63:0] din,
+                 input out_ready, output reg [63:0] dout, output reg done,
+                 output reg busy, output update);
+reg [63:0] s0;
+reg [63:0] s1;
+reg [4:0] round;
+reg buffer_full;
+assign update = (in_valid | (busy & ~buffer_full)) & ~done;
+always @(posedge clk) begin
+  if (rst) begin
+    s0 <= 64'd0; s1 <= 64'd0; round <= 5'd0; done <= 1'b0;
+    busy <= 1'b0; dout <= 64'd0; buffer_full <= 1'b0;
+  end else begin
+    if (in_valid && !busy) begin
+      s0 <= din;
+      s1 <= din ^ 64'h5A5A5A5A5A5A5A5A;
+      busy <= 1'b1;
+      round <= 5'd0;
+      buffer_full <= 1'b1;
+    end else if (busy) begin
+      s0 <= {s0[62:0], s0[63]} ^ s1;
+      s1 <= (s1 << 1) ^ {63'd0, s0[63]};
+      round <= round + 5'd1;
+      if (round == 5'd11) begin
+        busy <= 1'b0;
+        done <= 1'b1;
+        dout <= s0 ^ s1;
+      end
+    end
+    if (done && out_ready) begin
+      done <= 1'b0;
+      buffer_full <= 1'b0;
+    end
+  end
+end
+endmodule`
+
+func sha3IO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "rst", Width: 1}, {Name: "in_valid", Width: 1},
+			{Name: "din", Width: 64}, {Name: "out_ready", Width: 1}},
+		[]trace.Signal{{Name: "dout", Width: 64}, {Name: "done", Width: 1},
+			{Name: "busy", Width: 1}, {Name: "update", Width: 1}}
+}
+
+func sha3Stim() [][]bv.XBV {
+	s := newStim(8, 1, 1, 64, 1)
+	s.row(1, 0, 0, 0).row(1, 0, 0, 0)
+	for i := 0; i < 20; i++ {
+		data := uint64(i)*0x9E3779B97F4A7C15 + 0x1234
+		s.row(0, 1, data, 0) // feed a block
+		s.repeat(12, 0, 0, 0, 0)
+		s.row(0, 1, data^0xffff, 0) // input attempt while buffer full
+		s.row(0, 0, 0, 1)           // read out
+		s.repeat(2, 0, 0, 0, 0)
+	}
+	return s.rows
+}
+
+func sha3Benchmarks() []*Benchmark {
+	ins, outs := sha3IO()
+	w1 := mustReplace(sha3GT, "round == 5'd11", "round == 5'd12", 1)
+	r1 := mustReplace(sha3GT, "s0 <= {s0[62:0], s0[63]} ^ s1;", "s0 <= {s0[62:0], s0[63]} ^ ~s1;", 1)
+	w2 := mustReplace(sha3GT, "assign update = (in_valid | (busy & ~buffer_full)) & ~done;",
+		"assign update = in_valid & (busy | ~done);", 1)
+	s1 := mustReplace(sha3GT, "assign update = (in_valid | (busy & ~buffer_full)) & ~done;",
+		"assign update = (in_valid | busy) & ~done;", 1)
+	return []*Benchmark{
+		{
+			Name: "sha3_w1", Project: "sha3", Defect: "Off-by-one error in loop",
+			GroundTruth: sha3GT, Buggy: w1, Inputs: ins, Outputs: outs, Stimulus: sha3Stim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "ok",
+		},
+		{
+			Name: "sha3_r1", Project: "sha3", Defect: "Incorrect bitwise negation",
+			GroundTruth: sha3GT, Buggy: r1, Inputs: ins, Outputs: outs, Stimulus: sha3Stim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "none",
+		},
+		{
+			Name: "sha3_w2", Project: "sha3", Defect: "Incorrect assignment to wires",
+			GroundTruth: sha3GT, Buggy: w2, Inputs: ins, Outputs: outs, Stimulus: sha3Stim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "none",
+		},
+		{
+			Name: "sha3_s1", Project: "sha3", Defect: "Skipped buffer overflow check",
+			GroundTruth: sha3GT, Buggy: s1, Inputs: ins, Outputs: outs, Stimulus: sha3Stim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "wrong", PaperTemplate: "Add Guard",
+		},
+	}
+}
+
+// --------------------------------------------------------------- pairing
+
+const pairingAccLib = `
+module gf_acc(input [15:0] x, input [15:0] y, output [15:0] z);
+assign z = (x << 1) ^ y;
+endmodule`
+
+// pairingGT is a bit-serial GF(2^16)-style multiply-accumulate engine:
+// the result is only visible when done rises, so internal corruption
+// hides in state for the whole operation (the huge-OSDD profile of the
+// tate pairing benchmarks).
+const pairingGT = `
+module pairing_lite(input clk, input rst, input start, input [15:0] a,
+                    input [15:0] b, output reg [15:0] result, output reg done);
+reg [15:0] acc;
+reg [15:0] sh;
+reg [15:0] mul;
+reg [4:0] cnt;
+reg running;
+wire [15:0] acc_next;
+gf_acc u_acc(.x(acc), .y(sh), .z(acc_next));
+always @(posedge clk) begin
+  if (rst) begin
+    acc <= 16'd0; sh <= 16'd0; mul <= 16'd0; cnt <= 5'd0;
+    running <= 1'b0; done <= 1'b0; result <= 16'd0;
+  end else if (start && !running) begin
+    acc <= 16'd0; sh <= a; mul <= b; cnt <= 5'd0;
+    running <= 1'b1; done <= 1'b0;
+  end else if (running) begin
+    if (mul[0]) acc <= acc_next;
+    sh <= sh << 1;
+    mul <= mul >> 1;
+    cnt <= cnt + 5'd1;
+    if (cnt == 5'd15) begin
+      running <= 1'b0;
+      done <= 1'b1;
+      result <= mul[0] ? acc_next : acc;
+    end
+  end
+end
+endmodule`
+
+func pairingIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "rst", Width: 1}, {Name: "start", Width: 1},
+			{Name: "a", Width: 16}, {Name: "b", Width: 16}},
+		[]trace.Signal{{Name: "result", Width: 16}, {Name: "done", Width: 1}}
+}
+
+func pairingStim() [][]bv.XBV {
+	s := newStim(9, 1, 1, 16, 16)
+	s.row(1, 0, 0, 0).row(1, 0, 0, 0)
+	for i := 0; i < 150; i++ {
+		a := uint64(i*7+3) % 65536
+		b := uint64(i*13+1) % 65536
+		s.row(0, 1, a, b)
+		s.repeat(17, 0, 0, 0, 0)
+		if i%10 == 0 {
+			s.repeat(30, 0, 0, 0, 0)
+		}
+	}
+	return s.rows
+}
+
+func pairingBenchmarks() []*Benchmark {
+	ins, outs := pairingIO()
+	lib := map[string]string{"gf_acc": pairingAccLib}
+	w1 := mustReplace(pairingGT, "sh <= sh << 1;", "sh <= {sh[14:0], sh[15]};", 1)
+	k1 := mustReplace(pairingGT, "sh <= sh << 1;", "sh <= sh >> 1;", 1)
+	w2 := mustReplace(pairingGT, "gf_acc u_acc(.x(acc), .y(sh), .z(acc_next));",
+		"gf_acc u_acc(.x(sh), .y(acc), .z(acc_next));", 1)
+	return []*Benchmark{
+		{
+			Name: "pairing_w1", Project: "tate pairing", Defect: "Incorrect logic for bitshifting",
+			GroundTruth: pairingGT, Buggy: w1, Lib: lib, Inputs: ins, Outputs: outs, Stimulus: pairingStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "none",
+		},
+		{
+			Name: "pairing_k1", Project: "tate pairing", Defect: "Incorrect operator for bitshifting",
+			GroundTruth: pairingGT, Buggy: k1, Lib: lib, Inputs: ins, Outputs: outs, Stimulus: pairingStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "none",
+		},
+		{
+			Name: "pairing_w2", Project: "tate pairing", Defect: "Incorrect instantiation of modules",
+			GroundTruth: pairingGT, Buggy: w2, Lib: lib, Inputs: ins, Outputs: outs, Stimulus: pairingStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "none",
+		},
+	}
+}
+
+// ------------------------------------------------------------------ reed
+
+const reedGT = `
+module reed_lite(input clk, input rst, input in_valid, input [7:0] din,
+                 output reg [7:0] syndrome, output reg out_valid);
+reg [7:0] acc;
+reg [5:0] cnt;
+always @(posedge clk) begin
+  if (rst) begin
+    acc <= 8'd0; cnt <= 6'd0; syndrome <= 8'd0;
+  end else if (in_valid) begin
+    acc <= (acc << 1) ^ din;
+    cnt <= cnt + 6'd1;
+    if (cnt == 6'd31) begin
+      syndrome <= (acc << 1) ^ din;
+      acc <= 8'd0;
+      cnt <= 6'd0;
+    end
+  end
+end
+always @(posedge clk) begin
+  if (rst) out_valid <= 1'b0;
+  else out_valid <= in_valid && (cnt == 6'd31);
+end
+endmodule`
+
+func reedIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "rst", Width: 1}, {Name: "in_valid", Width: 1}, {Name: "din", Width: 8}},
+		[]trace.Signal{{Name: "syndrome", Width: 8}, {Name: "out_valid", Width: 1}}
+}
+
+func reedStim() [][]bv.XBV {
+	s := newStim(10, 1, 1, 8)
+	s.row(1, 0, 0).row(1, 0, 0)
+	for blk := 0; blk < 60; blk++ {
+		for i := 0; i < 32; i++ {
+			s.row(0, 1, uint64(blk*31+i*17+1)%256)
+		}
+		s.repeat(8, 0, 0, 0)
+	}
+	return s.rows
+}
+
+func reedBenchmarks() []*Benchmark {
+	ins, outs := reedIO()
+	b1 := mustReplace(reedGT, "reg [7:0] acc;", "reg [3:0] acc;", 1)
+	o1 := mustReplace(reedGT, "always @(posedge clk) begin\n  if (rst) out_valid <= 1'b0;",
+		"always @(posedge rst) begin\n  if (rst) out_valid <= 1'b0;", 1)
+	return []*Benchmark{
+		{
+			Name: "reed_b1", Project: "reed-solomon decoder", Defect: "Insufficient register size",
+			GroundTruth: reedGT, Buggy: b1, Inputs: ins, Outputs: outs, Stimulus: reedStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "none",
+		},
+		{
+			Name: "reed_o1", Project: "reed-solomon decoder", Defect: "Incorrect sensitivity list for reset",
+			GroundTruth: reedGT, Buggy: o1, Inputs: ins, Outputs: outs, Stimulus: reedStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "wrong",
+		},
+	}
+}
+
+// ----------------------------------------------------------------- sdram
+
+const sdramGT = `
+module sdram_lite(input clk, input rst_n, input req, input wr,
+                  input [7:0] wr_data, output [7:0] rd_data,
+                  output reg ready, output reg busy_led);
+localparam INIT      = 3'd0;
+localparam IDLE      = 3'd1;
+localparam ACTIVE    = 3'd2;
+localparam RW        = 3'd3;
+localparam PRECHARGE = 3'd4;
+reg [2:0] state;
+reg [7:0] cnt;
+reg [7:0] mem;
+reg [7:0] wr_data_r;
+reg [7:0] rd_data_r;
+assign rd_data = rd_data_r;
+always @(posedge clk) begin
+  if (!rst_n) begin
+    state <= INIT; cnt <= 8'd0; ready <= 1'b0;
+    wr_data_r <= 8'd0; rd_data_r <= 8'd0; mem <= 8'd0;
+  end else begin
+    case (state)
+      INIT: begin
+        cnt <= cnt + 8'd1;
+        if (cnt == 8'd20) begin
+          state <= IDLE;
+          ready <= 1'b1;
+        end
+      end
+      IDLE: begin
+        if (req) begin
+          state <= ACTIVE;
+          ready <= 1'b0;
+          wr_data_r <= wr_data;
+        end
+      end
+      ACTIVE: begin
+        state <= RW;
+      end
+      RW: begin
+        if (wr) mem <= wr_data_r;
+        else rd_data_r <= mem;
+        state <= PRECHARGE;
+      end
+      PRECHARGE: begin
+        state <= IDLE;
+        ready <= 1'b1;
+      end
+      default: state <= IDLE;
+    endcase
+  end
+end
+always @(*) begin
+  case (state)
+    INIT: busy_led = 1'b1;
+    ACTIVE: busy_led = 1'b1;
+    RW: busy_led = 1'b1;
+    PRECHARGE: busy_led = 1'b1;
+    default: busy_led = 1'b0;
+  endcase
+end
+endmodule`
+
+func sdramIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "rst_n", Width: 1}, {Name: "req", Width: 1},
+			{Name: "wr", Width: 1}, {Name: "wr_data", Width: 8}},
+		[]trace.Signal{{Name: "rd_data", Width: 8}, {Name: "ready", Width: 1}, {Name: "busy_led", Width: 1}}
+}
+
+// sdramStim: reset, init wait, then alternating writes and read-backs
+// (636 cycles like the original).
+func sdramStim() [][]bv.XBV {
+	s := newStim(11, 1, 1, 1, 8)
+	// Reset with non-zero write data on the bus: designs that load
+	// wr_data into a register during reset (the w1 bug) are exposed.
+	s.row(0, 0, 0, 0xa5).row(0, 0, 0, 0xa5)
+	s.repeat(24, 1, 0, 0, 0) // init countdown
+	for i := 0; i < 60; i++ {
+		data := uint64(i*37+5) % 256
+		s.row(1, 1, 1, data) // write request
+		s.repeat(3, 1, 0, 0, 0)
+		s.row(1, 1, 0, 0) // read request
+		s.repeat(3, 1, 0, 0, 0)
+		s.repeat(2, 1, 0, 0, 0)
+	}
+	return s.rows
+}
+
+func sdramBenchmarks() []*Benchmark {
+	ins, outs := sdramIO()
+	// w2: numeric errors in timing definitions.
+	w2 := mustReplace(sdramGT, "cnt == 8'd20", "cnt == 8'd120", 1)
+	w2 = mustReplace(w2, "cnt <= cnt + 8'd1;\n        if", "cnt <= cnt + 8'd3;\n        if", 1)
+	// k2: incorrect case statement — the busy_led case loses its IDLE
+	// default and one assignment becomes non-blocking.
+	k2 := mustReplace(sdramGT, "    default: busy_led = 1'b0;\n", "", 1)
+	k2 = mustReplace(k2, "    PRECHARGE: busy_led = 1'b1;", "    PRECHARGE: busy_led <= 1'b1;", 1)
+	// w1: registers lose their synchronous reset assignments.
+	w1 := mustReplace(sdramGT, "    wr_data_r <= 8'd0; rd_data_r <= 8'd0; mem <= 8'd0;\n",
+		"    mem <= 8'd0; rd_data_r <= wr_data;\n", 1)
+	return []*Benchmark{
+		{
+			Name: "sdram_w2", Project: "sdram-controller", Defect: "Numeric error in definitions",
+			GroundTruth: sdramGT, Buggy: w2, Inputs: ins, Outputs: outs, Stimulus: sdramStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "none", PaperTemplate: "Replace Literals",
+		},
+		{
+			Name: "sdram_k2", Project: "sdram-controller", Defect: "Incorrect case statement",
+			GroundTruth: sdramGT, Buggy: k2, Inputs: ins, Outputs: outs, Stimulus: sdramStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "none", PaperTemplate: "preprocessing",
+		},
+		{
+			Name: "sdram_w1", Project: "sdram-controller", Defect: "Incorrect assignments to registers during synchronous reset",
+			GroundTruth: sdramGT, Buggy: w1, Inputs: ins, Outputs: outs, Stimulus: sdramStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "wrong",
+		},
+	}
+}
+
+// cirfixSuite assembles the CirFix benchmark set in paper order.
+func cirfixSuite() []*Benchmark {
+	var out []*Benchmark
+	out = append(out, decoderBenchmarks()...)
+	out = append(out, counterBenchmarks()...)
+	out = append(out, flopBenchmarks()...)
+	out = append(out, fsmBenchmarks()...)
+	out = append(out, shiftBenchmarks()...)
+	out = append(out, muxBenchmarks()...)
+	out = append(out, i2cBenchmarks()...)
+	out = append(out, sha3Benchmarks()...)
+	out = append(out, pairingBenchmarks()...)
+	out = append(out, reedBenchmarks()...)
+	out = append(out, sdramBenchmarks()...)
+	return out
+}

@@ -1,0 +1,420 @@
+package bench
+
+import (
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/trace"
+)
+
+// ---------------------------------------------------------------- decoder
+
+const decoderGT = `
+module decoder_3_to_8(input en, input a, input b, input c, output [7:0] y);
+  assign y = ({en, a, b, c} == 4'b1000) ? 8'b1111_1110 :
+             ({en, a, b, c} == 4'b1001) ? 8'b1111_1101 :
+             ({en, a, b, c} == 4'b1010) ? 8'b1111_1011 :
+             ({en, a, b, c} == 4'b1011) ? 8'b1111_0111 :
+             ({en, a, b, c} == 4'b1100) ? 8'b1110_1111 :
+             ({en, a, b, c} == 4'b1101) ? 8'b1101_1111 :
+             ({en, a, b, c} == 4'b1110) ? 8'b1011_1111 :
+             ({en, a, b, c} == 4'b1111) ? 8'b0111_1111 :
+                                          8'b1111_1111;
+endmodule`
+
+func decoderIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "en", Width: 1}, {Name: "a", Width: 1}, {Name: "b", Width: 1}, {Name: "c", Width: 1}},
+		[]trace.Signal{{Name: "y", Width: 8}}
+}
+
+// decoderStim covers most but not all input combinations (28 cycles),
+// like the original testbench; combination 1101 is never driven.
+func decoderStim() [][]bv.XBV {
+	s := newStim(1, 1, 1, 1, 1)
+	combos := []uint64{
+		0b1000, 0b1001, 0b1010, 0b1011, 0b1100, 0b1110, 0b1111,
+		0b0000, 0b0001, 0b0101, 0b0111,
+		0b1000, 0b1010, 0b1111, 0b1001, 0b1011, 0b1100, 0b1110,
+		0b0010, 0b0100, 0b0110, 0b0011,
+		0b1000, 0b1111, 0b1010, 0b1011, 0b1001, 0b1100,
+	}
+	for _, cm := range combos {
+		s.row(cm>>3&1, cm>>2&1, cm>>1&1, cm&1)
+	}
+	return s.rows
+}
+
+// decoderExtStim drives every combination twice (the "extended"
+// testbench of §6.2).
+func decoderExtStim() [][]bv.XBV {
+	s := newStim(1, 1, 1, 1, 1)
+	for round := 0; round < 2; round++ {
+		for cm := uint64(0); cm < 16; cm++ {
+			s.row(cm>>3&1, cm>>2&1, cm>>1&1, cm&1)
+		}
+	}
+	return s.rows
+}
+
+func decoderBenchmarks() []*Benchmark {
+	ins, outs := decoderIO()
+	// w1: two separate numeric errors on exercised paths (Figure 8).
+	w1 := mustReplace(decoderGT, "4'b1010) ? 8'b1111_1011", "4'b1000) ? 8'b1111_1011", 1)
+	w1 = mustReplace(w1, "8'b1111_1111;", "8'b0111_1111;", 1)
+	// w2: incorrect assignments, one on a path the original testbench
+	// never exercises (combination 1101).
+	w2 := mustReplace(decoderGT, "8'b1101_1111", "8'b1111_1111", 1)
+	w2 = mustReplace(w2, "8'b1011_1111", "8'b1011_1101", 1)
+	return []*Benchmark{
+		{
+			Name: "decoder_w1", Project: "decoder 3-8", Defect: "Two separate numeric errors",
+			GroundTruth: decoderGT, Buggy: w1, Inputs: ins, Outputs: outs,
+			Stimulus: decoderStim, ExtStimulus: decoderExtStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "wrong", PaperTemplate: "Replace Literals",
+		},
+		{
+			Name: "decoder_w2", Project: "decoder 3-8", Defect: "Incorrect assignment",
+			GroundTruth: decoderGT, Buggy: w2, Inputs: ins, Outputs: outs,
+			Stimulus: decoderStim, ExtStimulus: decoderExtStim,
+			Suite: "cirfix", PaperRTLRepair: "wrong", PaperCirFix: "none", PaperTemplate: "Replace Literals",
+		},
+	}
+}
+
+// ---------------------------------------------------------------- counter
+
+const counterGT = `
+module first_counter(input clock, input reset, input enable,
+                     output reg [3:0] count, output reg overflow);
+always @(posedge clock) begin
+  if (reset == 1'b1) begin
+    count <= 4'b0000;
+    overflow <= 1'b0;
+  end else if (enable == 1'b1) begin
+    count <= count + 1;
+  end
+  if (count == 4'b1111) begin
+    overflow <= 1'b1;
+  end
+end
+endmodule`
+
+func counterIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "reset", Width: 1}, {Name: "enable", Width: 1}},
+		[]trace.Signal{{Name: "count", Width: 4}, {Name: "overflow", Width: 1}}
+}
+
+// counterStim: reset, count with holds, reset again (27 cycles).
+func counterStim() [][]bv.XBV {
+	s := newStim(2, 1, 1)
+	s.row(1, 0).row(1, 0)
+	s.repeat(6, 0, 1)
+	s.repeat(2, 0, 0)
+	s.repeat(5, 0, 1)
+	s.row(1, 0)
+	s.repeat(10, 0, 1)
+	return s.rows
+}
+
+func counterBenchmarks() []*Benchmark {
+	ins, outs := counterIO()
+	w1 := mustReplace(counterGT, "always @(posedge clock)", "always @(clock)", 1)
+	k1 := mustReplace(counterGT, "    count <= 4'b0000;\n", "", 1)
+	w2 := mustReplace(counterGT, "count + 1", "count + 2", 1)
+	return []*Benchmark{
+		{
+			Name: "counter_w1", Project: "counter", Defect: "Incorrect sensitivity list",
+			GroundTruth: counterGT, Buggy: w1, Inputs: ins, Outputs: outs, Stimulus: counterStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "ok",
+		},
+		{
+			Name: "counter_k1", Project: "counter", Defect: "Incorrect reset",
+			GroundTruth: counterGT, Buggy: k1, Inputs: ins, Outputs: outs, Stimulus: counterStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "ok", PaperTemplate: "Conditional Overwrite",
+		},
+		{
+			Name: "counter_w2", Project: "counter", Defect: "Incorrect incremental of counter",
+			GroundTruth: counterGT, Buggy: w2, Inputs: ins, Outputs: outs, Stimulus: counterStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "ok", PaperTemplate: "Conditional Overwrite",
+		},
+	}
+}
+
+// ---------------------------------------------------------------- flip flop
+
+const flopGT = `
+module tff(input clk, input rstn, input t, output reg q);
+always @(posedge clk) begin
+  if (!rstn) begin
+    q <= 1'b0;
+  end else begin
+    if (t) q <= ~q;
+    else q <= q;
+  end
+end
+endmodule`
+
+func flopIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "rstn", Width: 1}, {Name: "t", Width: 1}},
+		[]trace.Signal{{Name: "q", Width: 1}}
+}
+
+func flopStim() [][]bv.XBV {
+	s := newStim(3, 1, 1)
+	s.row(0, 0).row(0, 0)
+	s.row(1, 1).row(1, 0).row(1, 1).row(1, 1).row(1, 0)
+	s.row(0, 1).row(1, 1).row(1, 0).row(1, 1)
+	return s.rows
+}
+
+func flopBenchmarks() []*Benchmark {
+	ins, outs := flopIO()
+	w1 := mustReplace(flopGT, "if (!rstn) begin", "if (rstn) begin", 1)
+	w2 := mustReplace(flopGT, "if (t) q <= ~q;\n    else q <= q;", "if (t) q <= q;\n    else q <= ~q;", 1)
+	return []*Benchmark{
+		{
+			Name: "flop_w1", Project: "flip flop", Defect: "Incorrect conditional",
+			GroundTruth: flopGT, Buggy: w1, Inputs: ins, Outputs: outs, Stimulus: flopStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "ok", PaperTemplate: "Add Guard",
+		},
+		{
+			Name: "flop_w2", Project: "flip flop", Defect: "Branches of if-statement swapped",
+			GroundTruth: flopGT, Buggy: w2, Inputs: ins, Outputs: outs, Stimulus: flopStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "ok", PaperTemplate: "Add Guard",
+		},
+	}
+}
+
+// ---------------------------------------------------------------- fsm full
+
+const fsmGT = `
+module fsm_full(input clock, input reset, input req_0, input req_1,
+                output reg gnt_0, output reg gnt_1);
+localparam IDLE = 2'b00;
+localparam GNT0 = 2'b01;
+localparam GNT1 = 2'b10;
+reg [1:0] state;
+reg [1:0] next_state;
+always @(posedge clock) begin
+  if (reset) state <= IDLE;
+  else state <= next_state;
+end
+always @(posedge clock) begin
+  if (reset) begin
+    gnt_0 <= 1'b0;
+    gnt_1 <= 1'b0;
+  end else begin
+    gnt_0 <= (state == GNT0);
+    gnt_1 <= (state == GNT1);
+  end
+end
+always @(*) begin
+  case (state)
+    IDLE: begin
+      if (req_0) next_state = GNT0;
+      else if (req_1) next_state = GNT1;
+      else next_state = IDLE;
+    end
+    GNT0: begin
+      if (!req_0) next_state = IDLE;
+      else next_state = GNT0;
+    end
+    GNT1: begin
+      if (!req_1) next_state = IDLE;
+      else next_state = GNT1;
+    end
+    default: next_state = IDLE;
+  endcase
+end
+endmodule`
+
+func fsmIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "reset", Width: 1}, {Name: "req_0", Width: 1}, {Name: "req_1", Width: 1}},
+		[]trace.Signal{{Name: "gnt_0", Width: 1}, {Name: "gnt_1", Width: 1}}
+}
+
+// fsmStim: 37 cycles exercising grants, holds and hand-overs.
+func fsmStim() [][]bv.XBV {
+	s := newStim(4, 1, 1, 1)
+	s.row(1, 0, 0).row(1, 0, 0)
+	s.row(0, 1, 0).repeat(3, 0, 1, 0) // grant 0, hold
+	s.row(0, 0, 0)                    // release
+	s.row(0, 0, 1).repeat(3, 0, 0, 1) // grant 1, hold
+	s.row(0, 0, 0)
+	s.row(0, 1, 1).repeat(2, 0, 1, 1) // both: req_0 wins
+	s.row(0, 0, 1).repeat(2, 0, 0, 1) // hand over to 1
+	s.row(0, 0, 0)
+	s.row(1, 1, 1) // reset overrides
+	s.row(0, 0, 1).repeat(2, 0, 0, 1)
+	s.row(0, 0, 0)
+	s.repeat(4, 0, 1, 0)
+	s.row(0, 0, 0)
+	s.repeat(8, 0, 0, 0)
+	return s.rows
+}
+
+func fsmBenchmarks() []*Benchmark {
+	ins, outs := fsmIO()
+	// w1: incorrect case statement — the GNT0 arm tests the wrong state.
+	w1 := mustReplace(fsmGT, "    GNT0: begin\n      if (!req_0) next_state = IDLE;",
+		"    GNT1: begin\n      if (!req_0) next_state = IDLE;", 1)
+	// s2: blocking assignments in the sequential block and non-blocking
+	// in the combinational block.
+	s2 := mustReplace(fsmGT, "state <= IDLE;\n  else state <= next_state;",
+		"state = IDLE;\n  else state = next_state;", 1)
+	s2 = mustReplace(s2, "next_state = GNT0;\n      else if (req_1) next_state = GNT1;",
+		"next_state <= GNT0;\n      else if (req_1) next_state <= GNT1;", 1)
+	// w2: assignment to next state and default omitted.
+	w2 := mustReplace(fsmGT, "      else next_state = IDLE;\n    end\n    GNT0:",
+		"    end\n    GNT0:", 1)
+	w2 = mustReplace(w2, "    default: next_state = IDLE;\n", "", 1)
+	// s1: assignment to next state omitted + incorrect sensitivity list.
+	s1 := mustReplace(fsmGT, "always @(*) begin\n  case (state)", "always @(state) begin\n  case (state)", 1)
+	s1 = mustReplace(s1, "if (!req_1) next_state = IDLE;\n      else next_state = GNT1;",
+		"if (req_1) next_state = GNT1;", 1)
+	return []*Benchmark{
+		{
+			Name: "fsm_w1", Project: "fsm full", Defect: "Incorrect case statement",
+			GroundTruth: fsmGT, Buggy: w1, Inputs: ins, Outputs: outs, Stimulus: fsmStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "none",
+		},
+		{
+			Name: "fsm_s2", Project: "fsm full", Defect: "Incorrectly blocking assignments",
+			GroundTruth: fsmGT, Buggy: s2, Inputs: ins, Outputs: outs, Stimulus: fsmStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "wrong", PaperTemplate: "preprocessing",
+		},
+		{
+			Name: "fsm_w2", Project: "fsm full", Defect: "Assignment to next state and default in case statement omitted",
+			GroundTruth: fsmGT, Buggy: w2, Inputs: ins, Outputs: outs, Stimulus: fsmStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "wrong", PaperTemplate: "preprocessing",
+		},
+		{
+			Name: "fsm_s1", Project: "fsm full", Defect: "Assignment to next state omitted, incorrect sensitivity list",
+			GroundTruth: fsmGT, Buggy: s1, Inputs: ins, Outputs: outs, Stimulus: fsmStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "wrong", PaperTemplate: "preprocessing",
+		},
+	}
+}
+
+// ---------------------------------------------------------------- lshift reg
+
+// shiftGT chains individual stage registers (like the original's chained
+// flop instances) so that blocking assignments collapse the pipeline.
+const shiftGT = `
+module lshift_reg(input clk, input rstn, input din, output [7:0] out);
+reg q0, q1, q2, q3, q4, q5, q6, q7;
+always @(posedge clk) begin
+  if (!rstn) begin
+    q0 <= 1'b0; q1 <= 1'b0; q2 <= 1'b0; q3 <= 1'b0;
+    q4 <= 1'b0; q5 <= 1'b0; q6 <= 1'b0; q7 <= 1'b0;
+  end else begin
+    q0 <= din;
+    q1 <= q0;
+    q2 <= q1;
+    q3 <= q2;
+    q4 <= q3;
+    q5 <= q4;
+    q6 <= q5;
+    q7 <= q6;
+  end
+end
+assign out = {q7, q6, q5, q4, q3, q2, q1, q0};
+endmodule`
+
+func shiftIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "rstn", Width: 1}, {Name: "din", Width: 1}},
+		[]trace.Signal{{Name: "out", Width: 8}}
+}
+
+func shiftStim() [][]bv.XBV {
+	s := newStim(5, 1, 1)
+	s.row(0, 0).row(0, 0)
+	bits := []uint64{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0}
+	for _, b := range bits {
+		s.row(1, b)
+	}
+	s.row(0, 1).row(0, 1)
+	for _, b := range bits[:11] {
+		s.row(1, b)
+	}
+	return s.rows
+}
+
+func shiftBenchmarks() []*Benchmark {
+	ins, outs := shiftIO()
+	// w1: blocking assignments collapse the shift chain.
+	w1 := mustReplace(shiftGT, "    q0 <= din;\n    q1 <= q0;\n    q2 <= q1;\n    q3 <= q2;",
+		"    q0 = din;\n    q1 = q0;\n    q2 = q1;\n    q3 = q2;", 1)
+	w2 := mustReplace(shiftGT, "if (!rstn) begin", "if (rstn) begin", 1)
+	// k1: a data signal in the edge sensitivity list — invisible to
+	// synthesis (the circuit is identical) but visible to event-driven
+	// simulation, which is why the tool wrongly reports "no repair
+	// needed" (§6.2).
+	k1 := mustReplace(shiftGT, "always @(posedge clk) begin", "always @(posedge clk or din) begin", 1)
+	return []*Benchmark{
+		{
+			Name: "shift_w1", Project: "lshift reg", Defect: "Incorrect blocking assignment",
+			GroundTruth: shiftGT, Buggy: w1, Inputs: ins, Outputs: outs, Stimulus: shiftStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "wrong", PaperTemplate: "preprocessing",
+		},
+		{
+			Name: "shift_w2", Project: "lshift reg", Defect: "Incorrect conditional",
+			GroundTruth: shiftGT, Buggy: w2, Inputs: ins, Outputs: outs, Stimulus: shiftStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "ok", PaperTemplate: "Add Guard",
+		},
+		{
+			Name: "shift_k1", Project: "lshift reg", Defect: "Incorrect sensitivity list",
+			GroundTruth: shiftGT, Buggy: k1, Inputs: ins, Outputs: outs, Stimulus: shiftStim,
+			Suite: "cirfix", PaperRTLRepair: "wrong", PaperCirFix: "ok",
+		},
+	}
+}
+
+// ---------------------------------------------------------------- mux 4:1
+
+const muxGT = `
+module mux_4_1(input [1:0] sel, input [3:0] a, input [3:0] b,
+               input [3:0] c, input [3:0] d, output [3:0] out);
+assign out = (sel == 2'b00) ? a :
+             (sel == 2'b01) ? b :
+             (sel == 2'b10) ? c : d;
+endmodule`
+
+func muxIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "sel", Width: 2}, {Name: "a", Width: 4}, {Name: "b", Width: 4},
+			{Name: "c", Width: 4}, {Name: "d", Width: 4}},
+		[]trace.Signal{{Name: "out", Width: 4}}
+}
+
+func muxStim() [][]bv.XBV {
+	s := newStim(6, 2, 4, 4, 4, 4)
+	// 151 cycles of pseudo-random selections with distinct data values.
+	for i := 0; i < 151; i++ {
+		s.row(uint64(i)%4, uint64(1+i*3)%16, uint64(2+i*5)%16, uint64(3+i*7)%16, uint64(4+i*11)%16)
+	}
+	return s.rows
+}
+
+func muxBenchmarks() []*Benchmark {
+	ins, outs := muxIO()
+	k1 := mustReplace(muxGT, "output [3:0] out", "output out", 1)
+	w2 := mustReplace(muxGT, "(sel == 2'b10) ? c : d", "(sel == 2'h10) ? c : d", 1)
+	w1 := mustReplace(muxGT, "(sel == 2'b00) ? a", "(sel == 2'b01) ? a", 1)
+	w1 = mustReplace(w1, "(sel == 2'b01) ? b", "(sel == 2'b11) ? b", 1)
+	w1 = mustReplace(w1, "(sel == 2'b10) ? c", "(sel == 2'b00) ? c", 1)
+	return []*Benchmark{
+		{
+			Name: "mux_k1", Project: "mux 4 1", Defect: "1 bit instead of 4 bit output",
+			GroundTruth: muxGT, Buggy: k1, Inputs: ins, Outputs: outs, Stimulus: muxStim,
+			Suite: "cirfix", PaperRTLRepair: "none", PaperCirFix: "none",
+		},
+		{
+			Name: "mux_w2", Project: "mux 4 1", Defect: "Hex instead of binary constants",
+			GroundTruth: muxGT, Buggy: w2, Inputs: ins, Outputs: outs, Stimulus: muxStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "wrong", PaperTemplate: "Replace Literals",
+		},
+		{
+			Name: "mux_w1", Project: "mux 4 1", Defect: "Three separate numeric errors",
+			GroundTruth: muxGT, Buggy: w1, Inputs: ins, Outputs: outs, Stimulus: muxStim,
+			Suite: "cirfix", PaperRTLRepair: "ok", PaperCirFix: "wrong", PaperTemplate: "Replace Literals",
+		},
+	}
+}

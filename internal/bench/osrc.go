@@ -1,0 +1,492 @@
+package bench
+
+import (
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/trace"
+)
+
+// The osrc suite rebuilds the open-source FPGA bugs of Table 6 (mined by
+// "Debugging in the Brave New World of Reconfigurable Hardware" [31]):
+// the same projects, defect patterns, diff sizes and testbench-length
+// profile, re-authored at -lite scale.
+
+// ------------------------------------------------------------- D4: display
+
+const displayGT = `
+module display_ctrl(input clk, input rst, output reg hsync, output reg vsync,
+                    output reg active, output reg [9:0] hpos, output reg [9:0] vpos);
+always @(posedge clk) begin
+  if (rst) begin
+    hpos <= 10'd0; vpos <= 10'd0; hsync <= 1'b0; vsync <= 1'b0; active <= 1'b0;
+  end else begin
+    if (hpos == 10'd99) begin
+      hpos <= 10'd0;
+      if (vpos == 10'd74) vpos <= 10'd0;
+      else vpos <= vpos + 10'd1;
+    end else begin
+      hpos <= hpos + 10'd1;
+    end
+    hsync <= (hpos >= 10'd80) && (hpos < 10'd90);
+    vsync <= (vpos >= 10'd70) && (vpos < 10'd72);
+    active <= (hpos < 10'd80) && (vpos < 10'd70);
+  end
+end
+endmodule`
+
+func displayBenchmark() *Benchmark {
+	ins := []trace.Signal{{Name: "rst", Width: 1}}
+	outs := []trace.Signal{{Name: "hsync", Width: 1}, {Name: "vsync", Width: 1},
+		{Name: "active", Width: 1}, {Name: "hpos", Width: 10}, {Name: "vpos", Width: 10}}
+	// D4 rewrites the whole timing block (+27/-26): counters restructured
+	// with multiple interacting errors — beyond any single template.
+	buggy := mustReplace(displayGT, "    if (hpos == 10'd99) begin\n      hpos <= 10'd0;\n      if (vpos == 10'd74) vpos <= 10'd0;\n      else vpos <= vpos + 10'd1;\n    end else begin\n      hpos <= hpos + 10'd1;\n    end",
+		"    hpos <= hpos + 10'd1;\n    if (hpos == 10'd98) begin\n      hpos <= 10'd1;\n      vpos <= vpos + 10'd2;\n      if (vpos >= 10'd74) vpos <= 10'd1;\n    end", 1)
+	buggy = mustReplace(buggy, "hsync <= (hpos >= 10'd80) && (hpos < 10'd90);",
+		"hsync <= (hpos >= 10'd81) || (hpos < 10'd9);", 1)
+	stim := func() [][]bv.XBV {
+		s := newStim(20, 1)
+		s.row(1).row(1)
+		s.repeat(183, 0)
+		return s.rows
+	}
+	return &Benchmark{
+		Name: "D4", Project: "display controller", Defect: "Rewritten sync/position counters",
+		GroundTruth: displayGT, Buggy: buggy, Inputs: ins, Outputs: outs, Stimulus: stim,
+		Suite: "osrc", PaperRTLRepair: "none", DiffAdd: 27, DiffDel: 26,
+	}
+}
+
+// --------------------------------------------------------- D8: axis switch
+
+const axisSwitchGT = `
+module axis_switch(input clk, input [7:0] tready_in, input [7:0] tvalid_in,
+                   input [1:0] sel, input [1:0] grant, input grant_valid,
+                   output s_tready, output s_tvalid);
+assign s_tready = tready_in[{1'b0, sel} * 3'd1 + 3'd0];
+assign s_tvalid = tvalid_in[{1'b0, grant} * 3'd2 + 3'd1] & grant_valid;
+endmodule`
+
+func axisSwitchBenchmark() *Benchmark {
+	ins := []trace.Signal{{Name: "tready_in", Width: 8}, {Name: "tvalid_in", Width: 8},
+		{Name: "sel", Width: 2}, {Name: "grant", Width: 2}, {Name: "grant_valid", Width: 1}}
+	outs := []trace.Signal{{Name: "s_tready", Width: 1}, {Name: "s_tvalid", Width: 1}}
+	// D8 swaps the index strides (S_COUNT vs M_COUNT misindexing).
+	buggy := mustReplace(axisSwitchGT, "{1'b0, sel} * 3'd1 + 3'd0", "{1'b0, sel} * 3'd2 + 3'd0", 1)
+	buggy = mustReplace(buggy, "{1'b0, grant} * 3'd2 + 3'd1", "{1'b0, grant} * 3'd1 + 3'd1", 1)
+	stim := func() [][]bv.XBV {
+		// 14 cycles; tready_in stays all-ones so only the tvalid
+		// misindexing is observable — the B-quality situation of §6.4.
+		s := newStim(21, 8, 8, 2, 2, 1)
+		for i := 0; i < 14; i++ {
+			s.row(0xff, uint64(0x35+i*29)%256, uint64(i)%4, uint64(i+1)%4, 1)
+		}
+		return s.rows
+	}
+	return &Benchmark{
+		Name: "D8", Project: "axis switch", Defect: "Misindexing (wrong stride constants)",
+		GroundTruth: axisSwitchGT, Buggy: buggy, Inputs: ins, Outputs: outs, Stimulus: stim,
+		Suite: "osrc", PaperRTLRepair: "ok", PaperTemplate: "Replace Literals", DiffAdd: 2, DiffDel: 2,
+	}
+}
+
+// ----------------------------------------------------------- D9: uart long
+
+const uartGT = `
+module uart_rx(input clk, input rst, input rxd, output reg [7:0] data,
+               output reg valid);
+localparam CLKS = 4'd8;
+reg [1:0] state;
+reg [3:0] clkcnt;
+reg [2:0] bitcnt;
+reg [7:0] sh;
+always @(posedge clk) begin
+  if (rst) begin
+    state <= 2'd0; clkcnt <= 4'd0; bitcnt <= 3'd0; sh <= 8'd0;
+    data <= 8'd0; valid <= 1'b0;
+  end else begin
+    valid <= 1'b0;
+    case (state)
+      2'd0: if (!rxd) begin state <= 2'd1; clkcnt <= 4'd0; end
+      2'd1: begin
+        clkcnt <= clkcnt + 4'd1;
+        if (clkcnt == CLKS - 4'd1) begin state <= 2'd2; clkcnt <= 4'd0; bitcnt <= 3'd0; end
+      end
+      2'd2: begin
+        clkcnt <= clkcnt + 4'd1;
+        if (clkcnt == CLKS - 4'd1) begin
+          clkcnt <= 4'd0;
+          sh <= {rxd, sh[7:1]};
+          bitcnt <= bitcnt + 3'd1;
+          if (bitcnt == 3'd7) state <= 2'd3;
+        end
+      end
+      2'd3: begin
+        data <= sh;
+        valid <= 1'b1;
+        state <= 2'd0;
+      end
+    endcase
+  end
+end
+endmodule`
+
+func uartBenchmark() *Benchmark {
+	ins := []trace.Signal{{Name: "rst", Width: 1}, {Name: "rxd", Width: 1}}
+	outs := []trace.Signal{{Name: "data", Width: 8}, {Name: "valid", Width: 1}}
+	// D9 restructures the sampling shift (MSB-first instead of
+	// LSB-first): a structural change no template expresses.
+	buggy := mustReplace(uartGT, "sh <= {rxd, sh[7:1]};", "sh <= {sh[6:0], rxd};", 1)
+	stim := func() [][]bv.XBV {
+		s := newStim(22, 1, 1)
+		s.row(1, 1).row(1, 1)
+		bytes := []uint64{0x55, 0xa7, 0x13, 0xfe, 0x01, 0x80, 0x3c, 0xc3, 0x99, 0x42, 0x6d, 0xb1}
+		for rep := 0; rep < 40; rep++ {
+			for _, b := range bytes {
+				s.repeat(8, 0, 0) // start bit
+				for i := 0; i < 8; i++ {
+					s.repeat(8, 0, b>>i&1)
+				}
+				s.repeat(10, 0, 1) // stop/idle
+			}
+			s.repeat(40, 0, 1)
+		}
+		return s.rows
+	}
+	return &Benchmark{
+		Name: "D9", Project: "uart", Defect: "Wrong bit order in receive shift",
+		GroundTruth: uartGT, Buggy: buggy, Inputs: ins, Outputs: outs, Stimulus: stim,
+		Suite: "osrc", PaperRTLRepair: "none", DiffAdd: 2, DiffDel: 2,
+	}
+}
+
+// ---------------------------------------------------- D11/D12/D13: axis fifo
+
+const axisFifoGT = `
+module axis_fifo(input clk, input rst, input in_valid, input in_last,
+                 input full_cur, input full_wr, output reg drop_frame,
+                 output reg [3:0] frames);
+reg drop_frame_next;
+always @(*) begin
+  drop_frame_next = drop_frame;
+  if (full_cur || full_wr) drop_frame_next = 1'b1;
+  if (in_valid && in_last) drop_frame_next = 1'b0;
+end
+always @(posedge clk) begin
+  if (rst) begin
+    drop_frame <= 1'b0;
+    frames <= 4'd0;
+  end else begin
+    drop_frame <= drop_frame_next;
+    if (in_valid && in_last && !drop_frame_next) frames <= frames + 4'd1;
+  end
+end
+endmodule`
+
+func axisFifoIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "rst", Width: 1}, {Name: "in_valid", Width: 1},
+			{Name: "in_last", Width: 1}, {Name: "full_cur", Width: 1}, {Name: "full_wr", Width: 1}},
+		[]trace.Signal{{Name: "drop_frame", Width: 1}, {Name: "frames", Width: 4}}
+}
+
+func axisFifoStim(seed int64, n int) func() [][]bv.XBV {
+	return func() [][]bv.XBV {
+		s := newStim(seed, 1, 1, 1, 1, 1)
+		s.row(1, 0, 0, 0, 0)
+		pat := [][5]uint64{
+			{0, 1, 0, 0, 0}, {0, 1, 1, 0, 0}, {0, 1, 0, 1, 0}, {0, 0, 0, 0, 0},
+			{0, 1, 1, 0, 0}, {0, 1, 0, 0, 1}, {0, 1, 1, 0, 0}, {0, 1, 0, 0, 0},
+		}
+		for i := 0; len(s.rows) < n; i++ {
+			p := pat[i%len(pat)]
+			s.row(p[0], p[1], p[2], p[3], p[4])
+		}
+		return s.rows
+	}
+}
+
+func axisFifoBenchmarks() []*Benchmark {
+	ins, outs := axisFifoIO()
+	// D11: failure to reset drop_frame (Figure 9).
+	d11 := mustReplace(axisFifoGT, "    drop_frame <= 1'b0;\n", "", 1)
+	// D12: failure to hold drop_frame in the comb default (Figure 9).
+	d12 := mustReplace(axisFifoGT, "drop_frame_next = drop_frame;", "drop_frame_next = 1'b0;", 1)
+	// D13: several updates lost: reset of frames and the drop clear.
+	d13 := mustReplace(axisFifoGT, "    frames <= 4'd0;\n", "", 1)
+	d13 = mustReplace(d13, "  if (in_valid && in_last) drop_frame_next = 1'b0;\n", "", 1)
+	return []*Benchmark{
+		{
+			Name: "D11", Project: "axis frame fifo", Defect: "Failure-to-update (missing reset)",
+			GroundTruth: axisFifoGT, Buggy: d11, Inputs: ins, Outputs: outs,
+			Stimulus: axisFifoStim(23, 17),
+			Suite:    "osrc", PaperRTLRepair: "ok", PaperTemplate: "Cond. Overwrite", DiffAdd: 0, DiffDel: 2,
+		},
+		{
+			Name: "D12", Project: "axis fifo", Defect: "Failure-to-update (wrong comb default)",
+			GroundTruth: axisFifoGT, Buggy: d12, Inputs: ins, Outputs: outs,
+			Stimulus: axisFifoStim(24, 16),
+			Suite:    "osrc", PaperRTLRepair: "ok", PaperTemplate: "Replace Literals", DiffAdd: 1, DiffDel: 1,
+		},
+		{
+			Name: "D13", Project: "axis fifo", Defect: "Multiple lost updates",
+			GroundTruth: axisFifoGT, Buggy: d13, Inputs: ins, Outputs: outs,
+			Stimulus: axisFifoStim(25, 6),
+			Suite:    "osrc", PaperRTLRepair: "ok", PaperTemplate: "Cond. Overwrite", DiffAdd: 1, DiffDel: 3,
+		},
+	}
+}
+
+// ------------------------------------------------------------ C1/C3: sdspi
+
+const sdspiGT = `
+module sdspi_lite(input clk, input rst, input req, output reg ack,
+                  output reg [7:0] state_cnt);
+reg startup_hold;
+reg byte_accepted;
+reg r_z_counter;
+reg [2:0] divider;
+always @(posedge clk) begin
+  if (rst) begin
+    divider <= 3'd0;
+    r_z_counter <= 1'b0;
+  end else begin
+    divider <= divider + 3'd1;
+    r_z_counter <= (divider == 3'd6);
+  end
+end
+always @(posedge clk) begin
+  if (rst) begin
+    startup_hold <= 1'b1; byte_accepted <= 1'b0; ack <= 1'b0; state_cnt <= 8'd0;
+  end else if ((startup_hold || byte_accepted) && r_z_counter) begin
+    state_cnt <= state_cnt + 8'd1;
+    ack <= byte_accepted;
+    byte_accepted <= req && !startup_hold;
+    if (state_cnt == 8'd100) startup_hold <= 1'b0;
+  end else begin
+    ack <= 1'b0;
+    if (req && !startup_hold) byte_accepted <= 1'b1;
+  end
+end
+endmodule`
+
+func sdspiIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "rst", Width: 1}, {Name: "req", Width: 1}},
+		[]trace.Signal{{Name: "ack", Width: 1}, {Name: "state_cnt", Width: 8}}
+}
+
+func sdspiStim() [][]bv.XBV {
+	s := newStim(26, 1, 1)
+	s.row(1, 0).row(1, 0)
+	for i := 0; i < 1200; i++ {
+		req := uint64(0)
+		if i%23 == 11 {
+			req = 1
+		}
+		s.row(0, req)
+	}
+	return s.rows
+}
+
+func sdspiBenchmarks() []*Benchmark {
+	ins, outs := sdspiIO()
+	// C1: deadlock fix lost — the divider gate is dropped so the engine
+	// free-runs (Figure 9: the && r_z_counter conjunct is removed).
+	c1 := mustReplace(sdspiGT, "end else if ((startup_hold || byte_accepted) && r_z_counter) begin",
+		"end else if ((startup_hold || byte_accepted)) begin", 1)
+	// C3: a whole recovery clause is deleted (+1/-7) — structural.
+	c3 := mustReplace(sdspiGT, "  end else begin\n    ack <= 1'b0;\n    if (req && !startup_hold) byte_accepted <= 1'b1;\n  end\n", "  end\n", 1)
+	return []*Benchmark{
+		{
+			Name: "C1", Project: "sdspi", Defect: "Deadlock (missing divider gate)",
+			GroundTruth: sdspiGT, Buggy: c1, Inputs: ins, Outputs: outs, Stimulus: sdspiStim,
+			Suite: "osrc", PaperRTLRepair: "ok", PaperTemplate: "Add Guard", DiffAdd: 1, DiffDel: 1,
+		},
+		{
+			Name: "C3", Project: "sdspi", Defect: "Deleted recovery clause",
+			GroundTruth: sdspiGT, Buggy: c3, Inputs: ins, Outputs: outs, Stimulus: sdspiStim,
+			Suite: "osrc", PaperRTLRepair: "none", DiffAdd: 1, DiffDel: 7,
+		},
+	}
+}
+
+// ------------------------------------------------------------------ C4: wb
+
+const wbGT = `
+module wb_ctrl(input clk, input rst, input busy, input enable, input req,
+               output reg grant);
+always @(posedge clk) begin
+  if (rst) grant <= 1'b0;
+  else if (req && !busy && enable) grant <= 1'b1;
+  else grant <= 1'b0;
+end
+endmodule`
+
+func wbBenchmark() *Benchmark {
+	ins := []trace.Signal{{Name: "rst", Width: 1}, {Name: "busy", Width: 1},
+		{Name: "enable", Width: 1}, {Name: "req", Width: 1}}
+	outs := []trace.Signal{{Name: "grant", Width: 1}}
+	buggy := mustReplace(wbGT, "req && !busy && enable", "req && !busy", 1)
+	stim := func() [][]bv.XBV {
+		s := newStim(27, 1, 1, 1, 1)
+		s.row(1, 0, 0, 0)
+		combos := [][4]uint64{
+			{0, 0, 1, 1}, {0, 1, 1, 1}, {0, 0, 0, 1}, {0, 0, 1, 1},
+			{0, 1, 0, 1}, {0, 0, 1, 0}, {0, 0, 0, 0}, {0, 0, 1, 1}, {0, 1, 1, 0},
+		}
+		for _, c := range combos {
+			s.row(c[0], c[1], c[2], c[3])
+		}
+		return s.rows
+	}
+	return &Benchmark{
+		Name: "C4", Project: "wb controller", Defect: "Missing enable condition",
+		GroundTruth: wbGT, Buggy: buggy, Inputs: ins, Outputs: outs, Stimulus: stim,
+		Suite: "osrc", PaperRTLRepair: "ok", PaperTemplate: "Add Guard", DiffAdd: 1, DiffDel: 1,
+	}
+}
+
+// -------------------------------------------------------- S1.R/S1.B: axil
+
+const axilGT = `
+module axil_slave(input clk, input rst, input arvalid, input rready,
+                  input awvalid, input wvalid, input bready,
+                  output reg arready, output reg rvalid,
+                  output reg awready, output reg bvalid);
+always @(posedge clk) begin
+  if (rst) begin
+    arready <= 1'b0; rvalid <= 1'b0; awready <= 1'b0; bvalid <= 1'b0;
+  end else begin
+    if (!arready && arvalid && (!rvalid || rready)) begin
+      arready <= 1'b1;
+    end else begin
+      arready <= 1'b0;
+    end
+    if (arready && arvalid) rvalid <= 1'b1;
+    else if (rready) rvalid <= 1'b0;
+    if (!awready && awvalid && wvalid && (!bvalid || bready)) begin
+      awready <= 1'b1;
+    end else begin
+      awready <= 1'b0;
+    end
+    if (awready && awvalid) bvalid <= 1'b1;
+    else if (bready) bvalid <= 1'b0;
+  end
+end
+endmodule`
+
+func axilIO() ([]trace.Signal, []trace.Signal) {
+	return []trace.Signal{{Name: "rst", Width: 1}, {Name: "arvalid", Width: 1},
+			{Name: "rready", Width: 1}, {Name: "awvalid", Width: 1},
+			{Name: "wvalid", Width: 1}, {Name: "bready", Width: 1}},
+		[]trace.Signal{{Name: "arready", Width: 1}, {Name: "rvalid", Width: 1},
+			{Name: "awready", Width: 1}, {Name: "bvalid", Width: 1}}
+}
+
+func axilStim() [][]bv.XBV {
+	s := newStim(28, 1, 1, 1, 1, 1, 1)
+	s.row(1, 0, 0, 0, 0, 0)
+	// Held arvalid with slow rready: the buggy core raises arready
+	// again while the previous read is still stalled.
+	s.row(0, 1, 0, 1, 1, 0)
+	s.row(0, 1, 0, 1, 1, 0)
+	s.row(0, 1, 0, 1, 1, 0)
+	s.row(0, 1, 0, 1, 1, 0)
+	s.row(0, 1, 1, 1, 1, 1)
+	s.row(0, 0, 1, 0, 0, 1)
+	s.row(0, 1, 1, 1, 1, 1)
+	s.row(0, 0, 1, 0, 0, 1)
+	s.row(0, 0, 1, 0, 0, 1)
+	return s.rows
+}
+
+func axilBenchmarks() []*Benchmark {
+	ins, outs := axilIO()
+	// S1.R: read-channel protocol violation — backpressure term dropped.
+	s1r := mustReplace(axilGT, "if (!arready && arvalid && (!rvalid || rready)) begin",
+		"if (!arready && arvalid) begin", 1)
+	// S1.B: both channels lose their backpressure terms.
+	s1b := mustReplace(s1r, "if (!awready && awvalid && wvalid && (!bvalid || bready)) begin",
+		"if (!awready && awvalid && wvalid) begin", 1)
+	return []*Benchmark{
+		{
+			Name: "S1.R", Project: "axi-lite demo", Defect: "Protocol violation (read channel)",
+			GroundTruth: axilGT, Buggy: s1r, Inputs: ins, Outputs: outs, Stimulus: axilStim,
+			Suite: "osrc", PaperRTLRepair: "ok", PaperTemplate: "Add Guard", DiffAdd: 1, DiffDel: 1,
+		},
+		{
+			Name: "S1.B", Project: "axi-lite demo", Defect: "Protocol violation (both channels)",
+			GroundTruth: axilGT, Buggy: s1b, Inputs: ins, Outputs: outs, Stimulus: axilStim,
+			Suite: "osrc", PaperRTLRepair: "ok", PaperTemplate: "Add Guard", DiffAdd: 2, DiffDel: 2,
+		},
+	}
+}
+
+// ------------------------------------------------------------- S2/S3: pwm
+
+const pwmGT = `
+module pwm(input clk, input rst, input [7:0] duty, output reg out);
+reg [7:0] cnt;
+always @(posedge clk) begin
+  if (rst) begin
+    cnt <= 8'd0;
+    out <= 1'b0;
+  end else begin
+    cnt <= cnt + 8'd1;
+    if (cnt == 8'd255) cnt <= 8'd0;
+    out <= (cnt < duty);
+  end
+end
+endmodule`
+
+func pwmBenchmarks() []*Benchmark {
+	ins := []trace.Signal{{Name: "rst", Width: 1}, {Name: "duty", Width: 8}}
+	outs := []trace.Signal{{Name: "out", Width: 1}}
+	// S2: wrong wrap constant.
+	s2 := mustReplace(pwmGT, "cnt == 8'd255", "cnt == 8'd25", 1)
+	// S3: period logic rewritten with two wrong constants.
+	s3 := mustReplace(pwmGT, "cnt <= cnt + 8'd1;", "cnt <= cnt + 8'd2;", 1)
+	s3 = mustReplace(s3, "cnt == 8'd255", "cnt == 8'd254", 1)
+	stim := func() [][]bv.XBV {
+		// duty tracks the expected counter so a wrapped counter (the S2
+		// bug) immediately lands on the wrong side of the comparison.
+		s := newStim(29, 1, 8)
+		s.row(1, 0)
+		for i := 0; len(s.rows) < 45; i++ {
+			s.row(0, uint64(i)%256)
+		}
+		return s.rows
+	}
+	stim13 := func() [][]bv.XBV {
+		s := newStim(30, 1, 8)
+		s.row(1, 0)
+		for i := 0; len(s.rows) < 13; i++ {
+			s.row(0, uint64(i+2)%256)
+		}
+		return s.rows
+	}
+	return []*Benchmark{
+		{
+			Name: "S2", Project: "pwm", Defect: "Wrong period constant",
+			GroundTruth: pwmGT, Buggy: s2, Inputs: ins, Outputs: outs, Stimulus: stim,
+			Suite: "osrc", PaperRTLRepair: "ok", PaperTemplate: "Replace Literals", DiffAdd: 1, DiffDel: 2,
+		},
+		{
+			Name: "S3", Project: "pwm", Defect: "Rewritten period logic",
+			GroundTruth: pwmGT, Buggy: s3, Inputs: ins, Outputs: outs, Stimulus: stim13,
+			Suite: "osrc", PaperRTLRepair: "ok", PaperTemplate: "Replace Literals", DiffAdd: 12, DiffDel: 35,
+		},
+	}
+}
+
+// osrcSuite assembles the Table 6 benchmark set.
+func osrcSuite() []*Benchmark {
+	var out []*Benchmark
+	out = append(out, displayBenchmark())
+	out = append(out, axisSwitchBenchmark())
+	out = append(out, uartBenchmark())
+	out = append(out, axisFifoBenchmarks()...)
+	out = append(out, sdspiBenchmarks()...)
+	out = append(out, wbBenchmark())
+	out = append(out, axilBenchmarks()...)
+	out = append(out, pwmBenchmarks()...)
+	return out
+}

@@ -1,0 +1,280 @@
+// Package cirfix reimplements the CirFix baseline (Ahmad et al.,
+// ASPLOS 2022) as described in that paper and in §6 of RTL-Repair: a
+// generate-and-validate genetic repair loop whose mutation operators
+// mirror CirFix's repair templates (invert conditionals, perturb
+// constants, swap branches, toggle blocking/non-blocking, edit
+// sensitivity lists, insert assignments, tweak operators, delete
+// statements) and whose fitness function counts matching testbench
+// output values under event-driven simulation. Because candidates are
+// validated only against the simulation, CirFix can — exactly as the
+// paper observes — produce repairs that fix the simulation while
+// breaking the synthesized circuit.
+package cirfix
+
+import (
+	"math/rand"
+	"time"
+
+	"rtlrepair/internal/sim"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/verilog"
+)
+
+// MutKind enumerates mutation operators.
+type MutKind int
+
+// Mutation operators, mirroring CirFix's template set.
+const (
+	MutInvertCond MutKind = iota
+	MutPerturbLiteral
+	MutSwapBranches
+	MutToggleBlocking
+	MutSenseList
+	MutInsertAssign
+	MutChangeBinOp
+	MutSwapOperands
+	MutDeleteStmt
+	mutKinds
+)
+
+func (k MutKind) String() string {
+	switch k {
+	case MutInvertCond:
+		return "invert-cond"
+	case MutPerturbLiteral:
+		return "perturb-literal"
+	case MutSwapBranches:
+		return "swap-branches"
+	case MutToggleBlocking:
+		return "toggle-blocking"
+	case MutSenseList:
+		return "sense-list"
+	case MutInsertAssign:
+		return "insert-assign"
+	case MutChangeBinOp:
+		return "change-binop"
+	case MutSwapOperands:
+		return "swap-operands"
+	case MutDeleteStmt:
+		return "delete-stmt"
+	}
+	return "?"
+}
+
+// Mutation is one genome element. Target selects a site (modulo the
+// number of compatible sites); Param carries operator-specific data.
+type Mutation struct {
+	Kind   MutKind
+	Target int
+	Param  uint64
+}
+
+// Options configures the genetic search.
+type Options struct {
+	Seed        int64
+	PopSize     int
+	Generations int
+	Timeout     time.Duration
+	// Policy concretizes don't-care inputs during fitness simulation.
+	Policy sim.UnknownPolicy
+	Lib    map[string]*verilog.Module
+}
+
+// DefaultOptions roughly matches CirFix's published configuration scaled
+// to this framework.
+func DefaultOptions() Options {
+	return Options{PopSize: 24, Generations: 60, Timeout: 60 * time.Second, Policy: sim.Randomize}
+}
+
+// Status classifies the outcome.
+type Status int
+
+// Outcomes.
+const (
+	StatusRepaired Status = iota
+	StatusCannotRepair
+	StatusTimeout
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusRepaired:
+		return "repaired"
+	case StatusCannotRepair:
+		return "cannot-repair"
+	default:
+		return "timeout"
+	}
+}
+
+// Result reports a genetic repair run.
+type Result struct {
+	Status      Status
+	Repaired    *verilog.Module
+	Changes     int // genome length of the winning individual
+	Generations int
+	Evaluations int
+	BestFitness float64
+	Duration    time.Duration
+	Genome      []Mutation
+}
+
+type individual struct {
+	genome  []Mutation
+	fitness float64
+}
+
+// Repair runs the genetic repair loop.
+func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
+	start := time.Now()
+	if opts.PopSize == 0 {
+		opts.PopSize = 24
+	}
+	if opts.Generations == 0 {
+		opts.Generations = 60
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 60 * time.Second
+	}
+	deadline := start.Add(opts.Timeout)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{Status: StatusCannotRepair}
+
+	eval := func(ind *individual) (*verilog.Module, float64, bool) {
+		res.Evaluations++
+		mutated := Apply(m, ind.genome)
+		fit, pass := fitness(mutated, tr, opts)
+		ind.fitness = fit
+		return mutated, fit, pass
+	}
+
+	// Initial population: single random mutations.
+	pop := make([]*individual, opts.PopSize)
+	for i := range pop {
+		pop[i] = &individual{genome: []Mutation{randomMutation(rng)}}
+	}
+	var best *individual
+	for gen := 0; gen < opts.Generations; gen++ {
+		res.Generations = gen + 1
+		for _, ind := range pop {
+			if time.Now().After(deadline) {
+				res.Status = StatusTimeout
+				res.Duration = time.Since(start)
+				if best != nil {
+					res.BestFitness = best.fitness
+				}
+				return res
+			}
+			mutated, fit, pass := eval(ind)
+			if pass {
+				res.Status = StatusRepaired
+				res.Repaired = mutated
+				res.Changes = len(ind.genome)
+				res.Genome = ind.genome
+				res.BestFitness = fit
+				res.Duration = time.Since(start)
+				return res
+			}
+			if best == nil || fit > best.fitness {
+				best = &individual{genome: append([]Mutation{}, ind.genome...), fitness: fit}
+			}
+		}
+		// Next generation: elitism + tournament selection with crossover
+		// and mutation.
+		next := make([]*individual, 0, opts.PopSize)
+		if best != nil {
+			next = append(next, &individual{genome: append([]Mutation{}, best.genome...), fitness: best.fitness})
+		}
+		for len(next) < opts.PopSize {
+			a := tournament(pop, rng)
+			b := tournament(pop, rng)
+			child := crossover(a, b, rng)
+			// Mutate: usually append a new gene, sometimes drop one.
+			switch {
+			case len(child.genome) > 1 && rng.Intn(4) == 0:
+				i := rng.Intn(len(child.genome))
+				child.genome = append(child.genome[:i], child.genome[i+1:]...)
+			case len(child.genome) < 6:
+				child.genome = append(child.genome, randomMutation(rng))
+			default:
+				child.genome[rng.Intn(len(child.genome))] = randomMutation(rng)
+			}
+			next = append(next, child)
+		}
+		pop = next
+	}
+	res.Duration = time.Since(start)
+	if best != nil {
+		res.BestFitness = best.fitness
+	}
+	return res
+}
+
+func tournament(pop []*individual, rng *rand.Rand) *individual {
+	best := pop[rng.Intn(len(pop))]
+	for i := 0; i < 2; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.fitness > best.fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+func crossover(a, b *individual, rng *rand.Rand) *individual {
+	genome := []Mutation{}
+	if len(a.genome) > 0 {
+		genome = append(genome, a.genome[:rng.Intn(len(a.genome))+0]...)
+	}
+	if len(b.genome) > 0 {
+		genome = append(genome, b.genome[rng.Intn(len(b.genome)):]...)
+	}
+	if len(genome) == 0 {
+		genome = append(genome, randomMutation(rng))
+	}
+	if len(genome) > 8 {
+		genome = genome[:8]
+	}
+	return &individual{genome: genome}
+}
+
+func randomMutation(rng *rand.Rand) Mutation {
+	return Mutation{
+		Kind:   MutKind(rng.Intn(int(mutKinds))),
+		Target: rng.Intn(1 << 16),
+		Param:  rng.Uint64(),
+	}
+}
+
+// fitness simulates the candidate with the event simulator and returns
+// the fraction of checked output bits that match, plus whether every
+// check passed. Candidates that fail to parse/elaborate score zero.
+func fitness(m *verilog.Module, tr *trace.Trace, opts Options) (float64, bool) {
+	es, err := sim.NewEventSim(m, opts.Lib)
+	if err != nil {
+		return 0, false
+	}
+	res := sim.RunEventTrace(es, tr, sim.RunOptions{Policy: opts.Policy, Seed: opts.Seed, RunAll: true})
+	totalBits, matchedBits := 0, 0
+	for cycle := 0; cycle < tr.Len() && cycle < len(res.Outputs); cycle++ {
+		for i := range tr.Outputs {
+			exp := tr.OutputRows[cycle][i]
+			got := res.Outputs[cycle][i]
+			for b := 0; b < exp.Width(); b++ {
+				if !exp.Known.Bit(b) {
+					continue
+				}
+				totalBits++
+				// A width mismatch (e.g. a narrowed port) fails the
+				// out-of-range bits.
+				if b < got.Width() && got.Known.Bit(b) && got.Val.Bit(b) == exp.Val.Bit(b) {
+					matchedBits++
+				}
+			}
+		}
+	}
+	if totalBits == 0 {
+		return 1, true
+	}
+	return float64(matchedBits) / float64(totalBits), matchedBits == totalBits
+}

@@ -1,0 +1,231 @@
+package cirfix
+
+import (
+	"testing"
+	"time"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/sim"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/verilog"
+)
+
+func mustParse(t *testing.T, src string) *verilog.Module {
+	t.Helper()
+	m, err := verilog.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func record(t *testing.T, goldenSrc string, ins, outs []trace.Signal, rows [][]bv.XBV) *trace.Trace {
+	t.Helper()
+	m := mustParse(t, goldenSrc)
+	sys, _, err := synth.Elaborate(smt.NewContext(), m, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := sim.NewCycleSim(sys, sim.KeepX, 0)
+	return sim.RecordTrace(cs, ins, outs, rows)
+}
+
+const goodFlop = `
+module flop(input clk, input rst, input d, output reg q);
+always @(posedge clk) begin
+  if (rst) q <= 1'b0;
+  else q <= d;
+end
+endmodule`
+
+const buggyFlop = `
+module flop(input clk, input rst, input d, output reg q);
+always @(posedge clk) begin
+  if (!rst) q <= 1'b0;
+  else q <= d;
+end
+endmodule`
+
+func flopTrace(t *testing.T) *trace.Trace {
+	ins := []trace.Signal{{Name: "rst", Width: 1}, {Name: "d", Width: 1}}
+	outs := []trace.Signal{{Name: "q", Width: 1}}
+	rows := [][]bv.XBV{
+		{bv.KU(1, 1), bv.KU(1, 1)},
+		{bv.KU(1, 0), bv.KU(1, 1)},
+		{bv.KU(1, 0), bv.KU(1, 0)},
+		{bv.KU(1, 0), bv.KU(1, 1)},
+		{bv.KU(1, 1), bv.KU(1, 1)},
+		{bv.KU(1, 0), bv.KU(1, 0)},
+	}
+	return record(t, goodFlop, ins, outs, rows)
+}
+
+func TestGeneticRepairInvertedCondition(t *testing.T) {
+	tr := flopTrace(t)
+	opts := DefaultOptions()
+	opts.Seed = 5
+	opts.Timeout = 30 * time.Second
+	res := Repair(mustParse(t, buggyFlop), tr, opts)
+	if res.Status != StatusRepaired {
+		t.Fatalf("status = %v (best fitness %.2f after %d evals)", res.Status, res.BestFitness, res.Evaluations)
+	}
+	// The repair must pass an independent event simulation.
+	es, err := sim.NewEventSim(res.Repaired, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sim.RunEventTrace(es, tr, sim.RunOptions{Policy: sim.Zero}); !r.Passed() {
+		t.Fatalf("returned repair fails: cycle %d", r.FirstFailure)
+	}
+}
+
+func TestGeneticRepairNumericError(t *testing.T) {
+	good := `
+module add3(input clk, input [7:0] a, output reg [7:0] y);
+always @(posedge clk) y <= a + 8'd3;
+endmodule`
+	buggy := `
+module add3(input clk, input [7:0] a, output reg [7:0] y);
+always @(posedge clk) y <= a + 8'd4;
+endmodule`
+	ins := []trace.Signal{{Name: "a", Width: 8}}
+	outs := []trace.Signal{{Name: "y", Width: 8}}
+	var rows [][]bv.XBV
+	for i := 0; i < 8; i++ {
+		rows = append(rows, []bv.XBV{bv.KU(8, uint64(i*13))})
+	}
+	tr := record(t, good, ins, outs, rows)
+	opts := DefaultOptions()
+	opts.Seed = 11
+	res := Repair(mustParse(t, buggy), tr, opts)
+	if res.Status != StatusRepaired {
+		t.Fatalf("status = %v (best %.2f)", res.Status, res.BestFitness)
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	m := mustParse(t, buggyFlop)
+	genome := []Mutation{
+		{Kind: MutInvertCond, Target: 0},
+		{Kind: MutPerturbLiteral, Target: 1, Param: 2},
+	}
+	a := verilog.Print(Apply(m, genome))
+	b := verilog.Print(Apply(m, genome))
+	if a != b {
+		t.Fatal("Apply is not deterministic")
+	}
+	if a == verilog.Print(m) {
+		t.Fatal("Apply did not change the module")
+	}
+}
+
+func TestApplyDoesNotMutateOriginal(t *testing.T) {
+	m := mustParse(t, buggyFlop)
+	before := verilog.Print(m)
+	Apply(m, []Mutation{{Kind: MutInvertCond}, {Kind: MutDeleteStmt}, {Kind: MutSenseList}})
+	if verilog.Print(m) != before {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestMutationsKeepParsableOutput(t *testing.T) {
+	m := mustParse(t, `
+module x(input clk, input [3:0] a, b, output reg [3:0] y, output z);
+assign z = a < b;
+always @(posedge clk) begin
+  if (a == 4'd2) y <= a + b;
+  else y <= b - 4'd1;
+end
+endmodule`)
+	for kind := MutKind(0); kind < mutKinds; kind++ {
+		for target := 0; target < 5; target++ {
+			mu := Mutation{Kind: kind, Target: target, Param: uint64(target * 7)}
+			out := Apply(m, []Mutation{mu})
+			src := verilog.Print(out)
+			if _, err := verilog.ParseModule(src); err != nil {
+				t.Fatalf("mutation %v target %d produced unparsable source: %v\n%s", kind, target, err, src)
+			}
+		}
+	}
+}
+
+func TestFitnessMonotonicOnCloserRepair(t *testing.T) {
+	tr := flopTrace(t)
+	opts := DefaultOptions()
+	fitBuggy, passBuggy := fitness(mustParse(t, buggyFlop), tr, opts)
+	fitGood, passGood := fitness(mustParse(t, goodFlop), tr, opts)
+	if passBuggy || !passGood {
+		t.Fatalf("pass flags wrong: buggy=%v good=%v", passBuggy, passGood)
+	}
+	if fitGood <= fitBuggy {
+		t.Fatalf("fitness not ordered: good %.2f <= buggy %.2f", fitGood, fitBuggy)
+	}
+}
+
+func TestTimeoutRespected(t *testing.T) {
+	tr := flopTrace(t)
+	opts := DefaultOptions()
+	opts.Timeout = 1 * time.Millisecond
+	opts.Generations = 100000
+	start := time.Now()
+	res := Repair(mustParse(t, buggyFlop), tr, opts)
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout not respected")
+	}
+	_ = res
+}
+
+// A bug needing two coordinated edits forces the GA through selection
+// and crossover rather than being solved by a single generation-0
+// mutation.
+func TestGeneticEvolutionMultiEdit(t *testing.T) {
+	good := `
+module two(input clk, input rst, input [3:0] a, output reg [3:0] x, output reg [3:0] y);
+always @(posedge clk) begin
+  if (rst) begin
+    x <= 4'd0;
+    y <= 4'd0;
+  end else begin
+    x <= a + 4'd1;
+    y <= a ^ 4'd5;
+  end
+end
+endmodule`
+	buggy := `
+module two(input clk, input rst, input [3:0] a, output reg [3:0] x, output reg [3:0] y);
+always @(posedge clk) begin
+  if (rst) begin
+    x <= 4'd0;
+    y <= 4'd0;
+  end else begin
+    x <= a + 4'd2;
+    y <= a ^ 4'd4;
+  end
+end
+endmodule`
+	ins := []trace.Signal{{Name: "rst", Width: 1}, {Name: "a", Width: 4}}
+	outs := []trace.Signal{{Name: "x", Width: 4}, {Name: "y", Width: 4}}
+	rows := [][]bv.XBV{{bv.KU(1, 1), bv.KU(4, 0)}}
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []bv.XBV{bv.KU(1, 0), bv.KU(4, uint64(i*5)%16)})
+	}
+	tr := record(t, good, ins, outs, rows)
+	opts := DefaultOptions()
+	opts.Seed = 3
+	opts.Generations = 200
+	opts.Timeout = 60 * time.Second
+	res := Repair(mustParse(t, buggy), tr, opts)
+	if res.Status != StatusRepaired {
+		// Genetic search is stochastic; a miss with this budget is a
+		// quality regression worth knowing about.
+		t.Fatalf("status = %v after %d generations (best %.3f)",
+			res.Status, res.Generations, res.BestFitness)
+	}
+	if res.Generations < 2 {
+		t.Logf("note: solved in generation %d (evolution path barely exercised)", res.Generations)
+	}
+	t.Logf("solved after %d generations, %d evaluations, genome %v",
+		res.Generations, res.Evaluations, res.Genome)
+}

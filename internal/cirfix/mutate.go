@@ -1,0 +1,205 @@
+package cirfix
+
+import (
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/verilog"
+)
+
+// sites indexes the mutable locations of a module in deterministic
+// (source) order, so that a Mutation's Target selects the same location
+// on every Apply of the same genome.
+type sites struct {
+	conds    []*verilog.If
+	literals []*verilog.Number
+	assigns  []*verilog.Assign
+	binops   []*verilog.Binary
+	blocks   []*verilog.Always
+	// stmtBlocks are blocks (with parent pointers) for deletion/insertion.
+	stmtLists []*verilog.Block
+}
+
+func collectSites(m *verilog.Module) *sites {
+	s := &sites{}
+	verilog.WalkStmts(m, func(st verilog.Stmt, parent *verilog.Always) {
+		switch st := st.(type) {
+		case *verilog.If:
+			s.conds = append(s.conds, st)
+		case *verilog.Assign:
+			s.assigns = append(s.assigns, st)
+		case *verilog.Block:
+			s.stmtLists = append(s.stmtLists, st)
+		}
+	})
+	verilog.WalkExprs(m, func(e verilog.Expr) bool {
+		switch e := e.(type) {
+		case *verilog.Number:
+			s.literals = append(s.literals, e)
+		case *verilog.Binary:
+			s.binops = append(s.binops, e)
+		}
+		return true
+	})
+	for _, it := range m.Items {
+		if a, ok := it.(*verilog.Always); ok {
+			s.blocks = append(s.blocks, a)
+		}
+	}
+	return s
+}
+
+// Apply clones the module and applies a genome to it. Mutations whose
+// site class is empty are skipped (no-ops), matching CirFix's tolerance
+// of inapplicable patches.
+func Apply(m *verilog.Module, genome []Mutation) *verilog.Module {
+	out := verilog.CloneModule(m)
+	for _, mu := range genome {
+		applyOne(out, mu)
+	}
+	return out
+}
+
+func applyOne(m *verilog.Module, mu Mutation) {
+	s := collectSites(m)
+	pick := func(n int) int {
+		if n == 0 {
+			return -1
+		}
+		t := mu.Target % n
+		if t < 0 {
+			t += n
+		}
+		return t
+	}
+	switch mu.Kind {
+	case MutInvertCond:
+		if i := pick(len(s.conds)); i >= 0 {
+			c := s.conds[i]
+			c.Cond = &verilog.Unary{Pos: c.Pos, Op: "!", X: c.Cond}
+		}
+	case MutPerturbLiteral:
+		if i := pick(len(s.literals)); i >= 0 {
+			n := s.literals[i]
+			w := n.Width
+			if w <= 0 || w > 64 {
+				return
+			}
+			switch mu.Param % 4 {
+			case 0: // increment
+				n.Bits = bv.K(n.Bits.Val.Add(bv.One(w)))
+			case 1: // decrement
+				n.Bits = bv.K(n.Bits.Val.Sub(bv.One(w)))
+			case 2: // random value
+				n.Bits = bv.K(bv.New(w, mu.Param>>2))
+			default: // bit flip
+				bit := int((mu.Param >> 2) % uint64(w))
+				n.Bits = bv.K(n.Bits.Val.Xor(bv.One(w).Shl(bit)))
+			}
+			n.Base = 'b'
+			n.Sized = true
+		}
+	case MutSwapBranches:
+		if i := pick(len(s.conds)); i >= 0 {
+			c := s.conds[i]
+			if c.Else != nil {
+				c.Then, c.Else = c.Else, c.Then
+			} else {
+				c.Cond = &verilog.Unary{Pos: c.Pos, Op: "!", X: c.Cond}
+			}
+		}
+	case MutToggleBlocking:
+		if i := pick(len(s.assigns)); i >= 0 {
+			s.assigns[i].Blocking = !s.assigns[i].Blocking
+		}
+	case MutSenseList:
+		if i := pick(len(s.blocks)); i >= 0 {
+			a := s.blocks[i]
+			switch mu.Param % 3 {
+			case 0:
+				// add posedge to the first level sense (the CirFix
+				// template that fixes counter_w1).
+				for j := range a.Senses {
+					if a.Senses[j].Edge == verilog.EdgeLevel {
+						a.Senses[j].Edge = verilog.EdgePos
+						return
+					}
+				}
+			case 1:
+				// make combinational
+				if !a.IsClocked() {
+					a.Star = true
+					a.Senses = nil
+				}
+			default:
+				// drop an edge
+				for j := range a.Senses {
+					if a.Senses[j].Edge != verilog.EdgeLevel {
+						a.Senses[j].Edge = verilog.EdgeLevel
+						return
+					}
+				}
+			}
+		}
+	case MutInsertAssign:
+		if i := pick(len(s.stmtLists)); i >= 0 {
+			blk := s.stmtLists[i]
+			// Find an assignment to copy a target from.
+			if j := pick(len(s.assigns)); j >= 0 {
+				src := s.assigns[j]
+				stmt := &verilog.Assign{
+					Pos:      blk.Pos,
+					LHS:      verilog.CloneExpr(src.LHS),
+					RHS:      verilog.MkNumber(8, mu.Param),
+					Blocking: src.Blocking,
+				}
+				at := int((mu.Param >> 8) % uint64(len(blk.Stmts)+1))
+				blk.Stmts = append(blk.Stmts[:at], append([]verilog.Stmt{stmt}, blk.Stmts[at:]...)...)
+			}
+		}
+	case MutChangeBinOp:
+		if i := pick(len(s.binops)); i >= 0 {
+			b := s.binops[i]
+			b.Op = flipOp(b.Op, mu.Param)
+		}
+	case MutSwapOperands:
+		if i := pick(len(s.binops)); i >= 0 {
+			b := s.binops[i]
+			b.X, b.Y = b.Y, b.X
+		}
+	case MutDeleteStmt:
+		if i := pick(len(s.stmtLists)); i >= 0 {
+			blk := s.stmtLists[i]
+			if len(blk.Stmts) > 0 {
+				at := int(mu.Param % uint64(len(blk.Stmts)))
+				blk.Stmts = append(blk.Stmts[:at], blk.Stmts[at+1:]...)
+			}
+		}
+	}
+}
+
+var opFlips = map[string][]string{
+	"+":  {"-"},
+	"-":  {"+"},
+	"*":  {"+"},
+	"&":  {"|", "^"},
+	"|":  {"&", "^"},
+	"^":  {"&", "|", "~^"},
+	"~^": {"^"},
+	"==": {"!="},
+	"!=": {"=="},
+	"<":  {"<=", ">", ">="},
+	"<=": {"<", ">=", ">"},
+	">":  {">=", "<", "<="},
+	">=": {">", "<=", "<"},
+	"&&": {"||"},
+	"||": {"&&"},
+	"<<": {">>"},
+	">>": {"<<", ">>>"},
+}
+
+func flipOp(op string, param uint64) string {
+	alts, ok := opFlips[op]
+	if !ok || len(alts) == 0 {
+		return op
+	}
+	return alts[param%uint64(len(alts))]
+}

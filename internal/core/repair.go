@@ -1,0 +1,325 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/lint"
+	"rtlrepair/internal/sim"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/tsys"
+	"rtlrepair/internal/verilog"
+)
+
+// Status classifies a repair attempt, matching the paper's ✔/✖/○
+// taxonomy at the tool level.
+type Status int
+
+// Repair statuses.
+const (
+	// StatusRepaired: a repair was found that passes the trace.
+	StatusRepaired Status = iota
+	// StatusPreprocessed: static-analysis preprocessing alone fixed it.
+	StatusPreprocessed
+	// StatusNoRepairNeeded: the design already passes the trace
+	// (the tool reports zero changes, as for shift_k1 in §6.2).
+	StatusNoRepairNeeded
+	// StatusCannotRepair: no template produced a repair.
+	StatusCannotRepair
+	// StatusTimeout: the time budget expired.
+	StatusTimeout
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusRepaired:
+		return "repaired"
+	case StatusPreprocessed:
+		return "repaired-by-preprocessing"
+	case StatusNoRepairNeeded:
+		return "no-repair-needed"
+	case StatusCannotRepair:
+		return "cannot-repair"
+	case StatusTimeout:
+		return "timeout"
+	}
+	return "unknown"
+}
+
+// Options configures the end-to-end repair flow.
+type Options struct {
+	// Policy for unknown values; Randomize matches the CirFix-suite
+	// setup, Zero matches Verilator-based testbenches (§4.3).
+	Policy sim.UnknownPolicy
+	Seed   int64
+	// Timeout bounds the whole repair (default 60 s, as in §6.3).
+	Timeout time.Duration
+	// Basic disables adaptive windowing (ablation of §4.4).
+	Basic bool
+	// NoPreprocess disables static-analysis preprocessing (ablation).
+	NoPreprocess bool
+	// NoMinimize disables the minimal-change search (ablation of §4.3).
+	NoMinimize bool
+	// Templates overrides the template sequence (default: all three).
+	Templates []Template
+	// Lib provides instantiated modules.
+	Lib map[string]*verilog.Module
+	// MaxAcceptableChanges: larger repairs are kept only as fallbacks
+	// while smaller templates are tried (Σφ > 3 rule, Figure 3).
+	MaxAcceptableChanges int
+	// Frozen names signals whose driving logic must not be repaired.
+	// Used with BMC counterexample traces so the property expression
+	// itself cannot be weakened (see internal/bmc).
+	Frozen []string
+}
+
+// frozenSet converts the Frozen option into the template Env form.
+func (o *Options) frozenSet() map[string]bool {
+	if len(o.Frozen) == 0 {
+		return nil
+	}
+	m := map[string]bool{}
+	for _, name := range o.Frozen {
+		m[name] = true
+	}
+	return m
+}
+
+// DefaultTemplates is the paper's template sequence.
+func DefaultTemplates() []Template {
+	return []Template{ReplaceLiterals{}, AddGuard{}, CondOverwrite{}}
+}
+
+// TemplateResult records one template's attempt (for Table 5).
+type TemplateResult struct {
+	Template string
+	Found    bool
+	Changes  int
+	Duration time.Duration
+	Err      error
+	Stats    SynthStats
+}
+
+// Result is the outcome of a repair run.
+type Result struct {
+	Status   Status
+	Repaired *verilog.Module // repaired source (nil unless repaired)
+	Changes  int
+	Template string // template that produced the repair ("" for preprocessing)
+	Fixes    []lint.Fix
+	// ChangeDescs describes the enabled changes.
+	ChangeDescs []string
+	// FirstFailure is the original trace failure cycle (-1 if passing).
+	FirstFailure int
+	// PerTemplate holds each template attempt in order.
+	PerTemplate []TemplateResult
+	// Window is the final (k_past, k_future) of the successful synth.
+	Window   [2]int
+	Duration time.Duration
+	// Reason explains CannotRepair (e.g. a synthesis error).
+	Reason string
+}
+
+// Repair runs the full RTL-Repair flow of Figure 3 on a buggy module and
+// an I/O trace.
+func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
+	startTime := time.Now()
+	if opts.Timeout == 0 {
+		opts.Timeout = 60 * time.Second
+	}
+	if opts.Templates == nil {
+		opts.Templates = DefaultTemplates()
+	}
+	if opts.MaxAcceptableChanges == 0 {
+		opts.MaxAcceptableChanges = 3
+	}
+	deadline := startTime.Add(opts.Timeout)
+	res := &Result{FirstFailure: -1}
+	finish := func() *Result {
+		res.Duration = time.Since(startTime)
+		return res
+	}
+
+	// 1. Static-analysis preprocessing (§4.1).
+	fixed := m
+	if !opts.NoPreprocess {
+		var err error
+		fixed, res.Fixes, err = lint.Preprocess(m, opts.Lib)
+		if err != nil {
+			res.Status = StatusCannotRepair
+			res.Reason = "preprocessing failed: " + err.Error()
+			return finish()
+		}
+	}
+
+	// 2. Elaborate the preprocessed design.
+	ctx := smt.NewContext()
+	sys, _, err := synth.Elaborate(ctx, fixed, synth.Options{Lib: opts.Lib})
+	if err != nil {
+		res.Status = StatusCannotRepair
+		res.Reason = "not synthesizable: " + err.Error()
+		return finish()
+	}
+
+	// 3. Concretize unknowns and check the current behaviour.
+	init, ctr := Concretize(sys, tr, opts.Policy, opts.Seed)
+	baseRun := runConcrete(sys, ctr, init)
+	if baseRun.Passed() {
+		if len(res.Fixes) > 0 {
+			res.Status = StatusPreprocessed
+			res.Repaired = fixed
+			res.Changes = len(res.Fixes)
+			for _, f := range res.Fixes {
+				res.ChangeDescs = append(res.ChangeDescs, f.Desc)
+			}
+		} else {
+			// The synthesized circuit already passes: report "no repair
+			// needed" with zero changes (this is how the tool behaves on
+			// shift_k1, where it is in fact wrong — see §6.2).
+			res.Status = StatusNoRepairNeeded
+			res.Repaired = fixed
+		}
+		return finish()
+	}
+	res.FirstFailure = baseRun.FirstFailure
+
+	// 4. Template loop (Figure 3).
+	counter := 0
+	var fallback *Result
+	env := &Env{Info: elaborateInfo(ctx, fixed, opts.Lib), Lib: opts.Lib, Frozen: opts.frozenSet()}
+	for _, tmpl := range opts.Templates {
+		if time.Now().After(deadline) {
+			res.Status = StatusTimeout
+			res.Reason = "timeout before template " + tmpl.Name()
+			return finish()
+		}
+		tres := TemplateResult{Template: tmpl.Name()}
+		tStart := time.Now()
+
+		attempt := func() (*Solution, *VarTable, *verilog.Module, *Synthesizer, error) {
+			vars := NewVarTable(&counter)
+			instr, err := tmpl.Instrument(fixed, env, vars)
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			if vars.Empty() {
+				return nil, nil, nil, nil, nil
+			}
+			isys, _, err := synth.Elaborate(ctx, instr, synth.Options{Lib: opts.Lib})
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			sopts := DefaultSynthOptions()
+			sopts.Policy = opts.Policy
+			sopts.Seed = opts.Seed
+			sopts.Deadline = deadline
+			sopts.NoMinimize = opts.NoMinimize
+			synthz := NewSynthesizer(ctx, isys, vars, ctr, init, sopts)
+			var sol *Solution
+			if opts.Basic {
+				sol, err = synthz.Basic()
+			} else {
+				sol, err = synthz.Windowed(baseRun.FirstFailure)
+			}
+			return sol, vars, instr, synthz, err
+		}
+
+		sol, vars, instr, synthz, err := attempt()
+		tres.Duration = time.Since(tStart)
+		if synthz != nil {
+			tres.Stats = synthz.Stats
+		}
+		if err != nil {
+			tres.Err = err
+			res.PerTemplate = append(res.PerTemplate, tres)
+			if errors.Is(err, ErrTimeout) {
+				continue // try the next template with remaining budget
+			}
+			continue
+		}
+		if sol == nil {
+			res.PerTemplate = append(res.PerTemplate, tres)
+			continue
+		}
+		tres.Found = true
+		tres.Changes = sol.Changes
+		res.PerTemplate = append(res.PerTemplate, tres)
+
+		repaired, rerr := Resolve(instr, sol.Assign)
+		if rerr != nil {
+			continue
+		}
+		// Final guard: the patched source must re-elaborate and pass.
+		if !verifyRepaired(repaired, ctr, init, opts.Lib) {
+			continue
+		}
+		candidate := &Result{
+			Status:       StatusRepaired,
+			Repaired:     repaired,
+			Changes:      sol.Changes,
+			Template:     tmpl.Name(),
+			Fixes:        res.Fixes,
+			ChangeDescs:  vars.EnabledDescs(sol.Assign),
+			FirstFailure: res.FirstFailure,
+			PerTemplate:  res.PerTemplate,
+			Window:       synthz.Stats.FinalWindow,
+		}
+		if sol.Changes <= opts.MaxAcceptableChanges {
+			*res = *candidate
+			return finish()
+		}
+		// Large repair: keep as fallback and try other templates
+		// hoping for a smaller one (Figure 3).
+		if fallback == nil || candidate.Changes < fallback.Changes {
+			fallback = candidate
+		}
+	}
+	if fallback != nil {
+		perTemplate := res.PerTemplate
+		*res = *fallback
+		res.PerTemplate = perTemplate
+		return finish()
+	}
+	res.Status = StatusCannotRepair
+	if res.Reason == "" {
+		res.Reason = "no template found a repair"
+	}
+	return finish()
+}
+
+// runConcrete executes a trace with a fixed concrete initial state.
+func runConcrete(sys *tsys.System, tr *trace.Trace, init map[string]bv.XBV) *sim.RunResult {
+	cs := sim.NewCycleSim(sys, sim.Zero, 0)
+	for name, v := range init {
+		cs.SetState(name, v)
+	}
+	return sim.RunTraceFrom(cs, tr, 0, sim.RunOptions{Policy: sim.Zero})
+}
+
+// verifyRepaired re-elaborates a patched module and checks the trace.
+func verifyRepaired(m *verilog.Module, tr *trace.Trace, init map[string]bv.XBV, lib map[string]*verilog.Module) bool {
+	sys, _, err := synth.Elaborate(smt.NewContext(), m, synth.Options{Lib: lib})
+	if err != nil {
+		return false
+	}
+	// States may differ (e.g. pruning); keep matching names only.
+	cs := sim.NewCycleSim(sys, sim.Zero, 0)
+	for name, v := range init {
+		if sys.StateByName(name) != nil {
+			cs.SetState(name, v)
+		}
+	}
+	return sim.RunTraceFrom(cs, tr, 0, sim.RunOptions{Policy: sim.Zero}).Passed()
+}
+
+// elaborateInfo re-elaborates just to get template analysis info.
+func elaborateInfo(ctx *smt.Context, m *verilog.Module, lib map[string]*verilog.Module) *synth.Info {
+	_, info, err := synth.Elaborate(ctx, m, synth.Options{Lib: lib})
+	if err != nil {
+		return &synth.Info{Widths: map[string]int{}, CombDeps: map[string]map[string]bool{}}
+	}
+	return info
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"rtlrepair/internal/verilog"
+)
+
+// Resolve plugs a synthesis-variable assignment into an instrumented
+// module and runs the simple dead-code elimination described in §3:
+// disabled changes disappear, producing source identical to the original
+// except for the enabled repairs. The instrumented module is not
+// modified.
+func Resolve(m *verilog.Module, a Assignment) (*verilog.Module, error) {
+	out := verilog.CloneModule(m)
+	r := &resolver{a: a}
+	for i, it := range out.Items {
+		switch it := it.(type) {
+		case *verilog.ContAssign:
+			it.RHS = r.expr(it.RHS)
+		case *verilog.Always:
+			it.Body = r.stmtSingle(it.Body)
+		case *verilog.Initial:
+			it.Body = r.stmtSingle(it.Body)
+		}
+		out.Items[i] = it
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return out, nil
+}
+
+type resolver struct {
+	a   Assignment
+	err error
+}
+
+// expr resolves holes bottom-up and simplifies the residue the templates
+// leave behind.
+func (r *resolver) expr(e verilog.Expr) verilog.Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *verilog.SynthHole:
+		v, ok := r.a[e.Name]
+		if !ok {
+			r.fail("unresolved synthesis variable %q", e.Name)
+			return verilog.MkNumber(e.Width, 0)
+		}
+		return verilog.MkNumberBV(v.Resize(e.Width))
+	case *verilog.Ternary:
+		// A hole-driven ternary selects one branch statically.
+		if h, ok := e.Cond.(*verilog.SynthHole); ok {
+			v, exists := r.a[h.Name]
+			if !exists {
+				r.fail("unresolved synthesis variable %q", h.Name)
+				return e
+			}
+			if v.IsZero() {
+				return r.expr(e.Else)
+			}
+			return r.expr(e.Then)
+		}
+		e.Cond = r.expr(e.Cond)
+		e.Then = r.expr(e.Then)
+		e.Else = r.expr(e.Else)
+		return simplifyExpr(e)
+	case *verilog.Unary:
+		e.X = r.expr(e.X)
+		return simplifyExpr(e)
+	case *verilog.Binary:
+		e.X = r.expr(e.X)
+		e.Y = r.expr(e.Y)
+		return simplifyExpr(e)
+	case *verilog.Concat:
+		for i := range e.Parts {
+			e.Parts[i] = r.expr(e.Parts[i])
+		}
+		return e
+	case *verilog.Repeat:
+		for i := range e.Parts {
+			e.Parts[i] = r.expr(e.Parts[i])
+		}
+		return e
+	case *verilog.Index:
+		e.X = r.expr(e.X)
+		e.Idx = r.expr(e.Idx)
+		return e
+	case *verilog.PartSelect:
+		e.X = r.expr(e.X)
+		return e
+	default:
+		return e
+	}
+}
+
+// stmtSingle resolves a statement that must remain a single statement.
+func (r *resolver) stmtSingle(s verilog.Stmt) verilog.Stmt {
+	out := r.stmt(s)
+	switch len(out) {
+	case 0:
+		return &verilog.NullStmt{Pos: s.NodePos()}
+	case 1:
+		return out[0]
+	default:
+		return &verilog.Block{Pos: s.NodePos(), Stmts: out}
+	}
+}
+
+// stmt resolves a statement, possibly eliminating it (dead code) or
+// splicing inner statements outward.
+func (r *resolver) stmt(s verilog.Stmt) []verilog.Stmt {
+	switch s := s.(type) {
+	case *verilog.Block:
+		var stmts []verilog.Stmt
+		for _, inner := range s.Stmts {
+			stmts = append(stmts, r.stmt(inner)...)
+		}
+		if len(stmts) == 0 {
+			return nil
+		}
+		s.Stmts = stmts
+		return []verilog.Stmt{s}
+	case *verilog.If:
+		s.Cond = r.expr(s.Cond)
+		// Dead-code elimination on now-constant conditions.
+		if n, ok := s.Cond.(*verilog.Number); ok {
+			if n.Bits.Val.And(n.Bits.Known).IsZero() {
+				if s.Else == nil {
+					return nil
+				}
+				return r.stmt(s.Else)
+			}
+			return r.stmt(s.Then)
+		}
+		s.Then = r.stmtSingle(s.Then)
+		if s.Else != nil {
+			s.Else = r.stmtSingle(s.Else)
+			if isNull(s.Else) {
+				s.Else = nil
+			}
+		}
+		if isNull(s.Then) && s.Else == nil {
+			return nil
+		}
+		return []verilog.Stmt{s}
+	case *verilog.Case:
+		s.Subject = r.expr(s.Subject)
+		for i := range s.Items {
+			s.Items[i].Body = r.stmtSingle(s.Items[i].Body)
+		}
+		return []verilog.Stmt{s}
+	case *verilog.Assign:
+		s.RHS = r.expr(s.RHS)
+		return []verilog.Stmt{s}
+	case *verilog.NullStmt:
+		return nil
+	default:
+		return []verilog.Stmt{s}
+	}
+}
+
+func isNull(s verilog.Stmt) bool {
+	_, ok := s.(*verilog.NullStmt)
+	return ok
+}
+
+func (r *resolver) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("core: %s", fmt.Sprintf(format, args...))
+	}
+}
+
+// simplifyExpr removes the neutral residue of disabled template guards,
+// so that a fully-disabled instrumentation resolves back to the original
+// source text.
+func simplifyExpr(e verilog.Expr) verilog.Expr {
+	switch e := e.(type) {
+	case *verilog.Binary:
+		switch e.Op {
+		case "&&":
+			if isConstBool(e.Y, true) {
+				return e.X
+			}
+			if isConstBool(e.X, true) {
+				return e.Y
+			}
+		case "||":
+			if isConstBool(e.Y, false) {
+				return e.X
+			}
+			if isConstBool(e.X, false) {
+				return e.Y
+			}
+		}
+	case *verilog.Unary:
+		// Double negation introduced by an enabled inversion of an
+		// already-negated condition.
+		if e.Op == "!" {
+			if inner, ok := e.X.(*verilog.Unary); ok && inner.Op == "!" {
+				return inner.X
+			}
+		}
+	case *verilog.Ternary:
+		if n, ok := e.Cond.(*verilog.Number); ok {
+			if n.Bits.Val.And(n.Bits.Known).IsZero() {
+				return e.Else
+			}
+			return e.Then
+		}
+	}
+	return e
+}
+
+func isConstBool(e verilog.Expr, want bool) bool {
+	n, ok := e.(*verilog.Number)
+	if !ok || n.Width != 1 {
+		return false
+	}
+	isOne := !n.Bits.Val.And(n.Bits.Known).IsZero()
+	return isOne == want
+}

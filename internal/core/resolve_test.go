@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/verilog"
+)
+
+func resolveSrc(t *testing.T, instrSrc string, assign Assignment) string {
+	t.Helper()
+	m := mustParse(t, instrSrc)
+	// Inject holes by replacing magic identifiers phi_N / alpha_N.
+	verilog.RewriteExprs(m, func(e verilog.Expr) verilog.Expr {
+		if id, ok := e.(*verilog.Ident); ok {
+			if strings.HasPrefix(id.Name, "HOLE_") {
+				name := strings.TrimPrefix(id.Name, "HOLE_")
+				w := 1
+				if v, ok := assign[name]; ok {
+					w = v.Width()
+				}
+				return &verilog.SynthHole{Name: name, Width: w}
+			}
+		}
+		return e
+	})
+	out, err := Resolve(m, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return verilog.Print(out)
+}
+
+func TestResolveStatementDCERemovesDisabledIf(t *testing.T) {
+	src := `
+module r(input clk, input d, output reg q);
+always @(posedge clk) begin
+  if (HOLE_p) q <= 1'b1;
+  q <= d;
+end
+endmodule`
+	out := resolveSrc(t, src, Assignment{"p": bv.Zero(1)})
+	if strings.Contains(out, "1'b1") || strings.Contains(out, "if") {
+		t.Fatalf("disabled statement not removed:\n%s", out)
+	}
+	out = resolveSrc(t, src, Assignment{"p": bv.New(1, 1)})
+	if !strings.Contains(out, "q <= 1'b1;") || strings.Contains(out, "if") {
+		t.Fatalf("enabled statement should be unwrapped:\n%s", out)
+	}
+}
+
+func TestResolveKeepsElseBranch(t *testing.T) {
+	src := `
+module r(input clk, input d, output reg q);
+always @(posedge clk) begin
+  if (HOLE_p) q <= 1'b1;
+  else q <= d;
+end
+endmodule`
+	out := resolveSrc(t, src, Assignment{"p": bv.Zero(1)})
+	if !strings.Contains(out, "q <= d;") || strings.Contains(out, "1'b1") {
+		t.Fatalf("else branch lost:\n%s", out)
+	}
+}
+
+func TestResolveAlphaSubstitution(t *testing.T) {
+	src := `
+module r(input clk, output reg [7:0] q);
+always @(posedge clk) q <= HOLE_a;
+endmodule`
+	out := resolveSrc(t, src, Assignment{"a": bv.New(8, 0x5a)})
+	if !strings.Contains(out, "8'b01011010") {
+		t.Fatalf("alpha not inlined:\n%s", out)
+	}
+}
+
+func TestResolveFailsOnUnknownHole(t *testing.T) {
+	m := mustParse(t, `
+module r(input clk, output reg q);
+always @(posedge clk) q <= 1'b0;
+endmodule`)
+	// Inject a hole with no assignment.
+	verilog.RewriteExprs(m, func(e verilog.Expr) verilog.Expr {
+		if n, ok := e.(*verilog.Number); ok && n.Width == 1 {
+			return &verilog.SynthHole{Name: "ghost", Width: 1}
+		}
+		return e
+	})
+	if _, err := Resolve(m, Assignment{}); err == nil {
+		t.Fatal("expected error for unresolved hole")
+	}
+}
+
+func TestSimplifyNeutralGuards(t *testing.T) {
+	src := `
+module r(input clk, input a, input b, output reg q);
+always @(posedge clk) q <= (HOLE_p ? !a : a) && (HOLE_g ? b : 1'b1);
+endmodule`
+	out := resolveSrc(t, src, Assignment{"p": bv.Zero(1), "g": bv.Zero(1)})
+	if !strings.Contains(out, "q <= a;") {
+		t.Fatalf("neutral guard residue not simplified:\n%s", out)
+	}
+	out = resolveSrc(t, src, Assignment{"p": bv.New(1, 1), "g": bv.New(1, 1)})
+	if !strings.Contains(out, "q <= !a && b;") {
+		t.Fatalf("enabled guard wrong:\n%s", out)
+	}
+}
+
+func TestResolveEmptyBlockBecomesNull(t *testing.T) {
+	src := `
+module r(input clk, input d, output reg q);
+always @(posedge clk) begin
+  if (HOLE_p) begin
+    q <= 1'b1;
+  end
+end
+endmodule`
+	out := resolveSrc(t, src, Assignment{"p": bv.Zero(1)})
+	if strings.Contains(out, "1'b1") {
+		t.Fatalf("dead code survived:\n%s", out)
+	}
+	// The always block must still parse (empty body becomes a null or
+	// empty begin/end).
+	if _, err := verilog.ParseModule(out); err != nil {
+		t.Fatalf("resolved output unparsable: %v\n%s", err, out)
+	}
+}

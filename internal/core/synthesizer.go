@@ -1,0 +1,432 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/sat"
+	"rtlrepair/internal/sim"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/tsys"
+)
+
+// SynthOptions configures the repair synthesizer.
+type SynthOptions struct {
+	// Policy resolves unknown initial states and undriven inputs (§4.3).
+	Policy sim.UnknownPolicy
+	Seed   int64
+	// Deadline bounds the whole synthesis (zero = none).
+	Deadline time.Time
+	// MaxChanges caps the minimal-change linear search.
+	MaxChanges int
+	// MaxWindow is the largest k_past+k_future before giving up (§4.4).
+	MaxWindow int
+	// PastStep is the k_past increment.
+	PastStep int
+	// MaxSamples bounds how many minimal repairs are validated per
+	// window before advancing.
+	MaxSamples int
+	// MaxBasicSteps caps the basic synthesizer's full unrolling; longer
+	// traces are reported as timeouts (the paper's basic synthesizer
+	// times out on exactly these benchmarks, §6.3).
+	MaxBasicSteps int
+	// NoMinimize skips the minimal-change search (ablation of §4.3's
+	// Max-SMT-style minimization): the first satisfying assignment is
+	// used, however many changes it makes.
+	NoMinimize bool
+}
+
+// DefaultSynthOptions mirrors the paper's constants: window cap 32, past
+// step 2, four failing repairs per window.
+func DefaultSynthOptions() SynthOptions {
+	return SynthOptions{
+		Policy:        sim.Randomize,
+		MaxChanges:    10,
+		MaxWindow:     32,
+		PastStep:      2,
+		MaxSamples:    4,
+		MaxBasicSteps: 1500,
+	}
+}
+
+// Solution is a satisfying synthesis-variable assignment.
+type Solution struct {
+	Assign  Assignment
+	Changes int
+}
+
+// SynthStats reports work done by the synthesizer.
+type SynthStats struct {
+	SolverChecks int
+	Windows      int
+	FinalWindow  [2]int // k_past, k_future
+	Unrollings   int
+}
+
+// ErrTimeout is returned when the deadline expires mid-synthesis.
+var ErrTimeout = fmt.Errorf("core: synthesis timeout")
+
+// Synthesizer runs repair synthesis for one instrumented design against
+// one concretized trace.
+type Synthesizer struct {
+	ctx   *smt.Context
+	sys   *tsys.System
+	vars  *VarTable
+	tr    *trace.Trace      // inputs fully concrete
+	init  map[string]bv.XBV // concrete initial state (fully known)
+	opts  SynthOptions
+	Stats SynthStats
+}
+
+// NewSynthesizer builds a synthesizer. tr must have concrete inputs and
+// init must assign every uninitialized state (use Concretize).
+func NewSynthesizer(ctx *smt.Context, sys *tsys.System, vars *VarTable, tr *trace.Trace, init map[string]bv.XBV, opts SynthOptions) *Synthesizer {
+	return &Synthesizer{ctx: ctx, sys: sys, vars: vars, tr: tr, init: init, opts: opts}
+}
+
+// Concretize resolves unknown initial states and input don't-cares of a
+// trace per policy, returning the initial state map and a trace whose
+// input cells are fully known. Expected outputs keep their don't-cares.
+func Concretize(sys *tsys.System, tr *trace.Trace, policy sim.UnknownPolicy, seed int64) (map[string]bv.XBV, *trace.Trace) {
+	rng := rand.New(rand.NewSource(seed))
+	fill := func(width int) bv.BV {
+		switch policy {
+		case sim.Randomize:
+			return bv.FromWords(width, []uint64{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()})
+		default:
+			return bv.Zero(width)
+		}
+	}
+	init := map[string]bv.XBV{}
+	for _, st := range sys.States {
+		if st.Init != nil {
+			init[st.Var.Name] = bv.K(st.Init.Val)
+		} else {
+			init[st.Var.Name] = bv.K(fill(st.Var.Width))
+		}
+	}
+	out := tr.Clone()
+	for i := range out.InputRows {
+		for j, cell := range out.InputRows[i] {
+			if cell.HasUnknown() {
+				out.InputRows[i][j] = bv.K(cell.Resolve(fill(cell.Width())))
+			}
+		}
+	}
+	return init, out
+}
+
+func (s *Synthesizer) expired() bool {
+	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
+}
+
+// allVars returns every synthesis variable term.
+func (s *Synthesizer) allVars() []*smt.Term {
+	var out []*smt.Term
+	for _, p := range s.vars.Phis {
+		if t := s.ctx.LookupVar(p.Name); t != nil {
+			out = append(out, t)
+		}
+	}
+	for _, a := range s.vars.Alphas {
+		if t := s.ctx.LookupVar(a.Name); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// sumTerm builds Σ cost·φ as a 16-bit term.
+func (s *Synthesizer) sumTerm() *smt.Term {
+	const w = 16
+	sum := s.ctx.ConstU(w, 0)
+	for _, p := range s.vars.Phis {
+		t := s.ctx.LookupVar(p.Name)
+		if t == nil {
+			continue
+		}
+		term := s.ctx.ZeroExt(t, w)
+		if p.Cost != 1 {
+			term = s.ctx.Mul(term, s.ctx.ConstU(w, uint64(p.Cost)))
+		}
+		sum = s.ctx.Add(sum, term)
+	}
+	return sum
+}
+
+// prefixState concretely executes the unmodified circuit (all φ = 0) for
+// the first `cycles` trace rows and returns the reached state.
+func (s *Synthesizer) prefixState(cycles int) map[string]bv.XBV {
+	zero := Assignment{}
+	for _, p := range s.vars.Phis {
+		zero[p.Name] = bv.Zero(1)
+	}
+	for _, a := range s.vars.Alphas {
+		zero[a.Name] = bv.Zero(a.Width)
+	}
+	cs := s.newSim(zero)
+	for c := 0; c < cycles; c++ {
+		cs.Step(s.inputsAt(c))
+	}
+	return cs.Snapshot()
+}
+
+// newSim builds a cycle simulator seeded with the concrete initial state
+// and the given synthesis-variable assignment.
+func (s *Synthesizer) newSim(a Assignment) *sim.CycleSim {
+	cs := sim.NewCycleSim(s.sys, sim.Zero, s.opts.Seed)
+	for name, v := range s.init {
+		cs.SetState(name, v)
+	}
+	params := map[string]bv.BV{}
+	for name, v := range a {
+		params[name] = v
+	}
+	cs.SetParams(params)
+	return cs
+}
+
+func (s *Synthesizer) inputsAt(cycle int) map[string]bv.XBV {
+	in := map[string]bv.XBV{}
+	for i, sig := range s.tr.Inputs {
+		in[sig.Name] = s.tr.InputRows[cycle][i]
+	}
+	return in
+}
+
+// Validate runs the full trace under an assignment.
+func (s *Synthesizer) Validate(a Assignment) *sim.RunResult {
+	cs := s.newSim(a)
+	return sim.RunTraceFrom(cs, s.tr, 0, sim.RunOptions{Policy: sim.Zero})
+}
+
+// solveWindow unrolls cycles [start, end) from the given start state and
+// returns up to MaxSamples minimal solutions, or nil when the window is
+// unsatisfiable.
+func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) ([]*Solution, error) {
+	s.Stats.Unrollings++
+	steps := end - start
+	init := map[*smt.Term]*smt.Term{}
+	for _, st := range s.sys.States {
+		v, ok := startState[st.Var.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: missing start state for %q", st.Var.Name)
+		}
+		init[st.Var] = s.ctx.Const(v.Val)
+	}
+	u := tsys.Unroll(s.ctx, s.sys, steps, init)
+	solver := smt.NewSolver(s.ctx)
+	solver.SetDeadline(s.opts.Deadline)
+
+	for k := 0; k < steps; k++ {
+		cycle := start + k
+		for _, in := range s.sys.Inputs {
+			idx := s.tr.InputIndex(in.Name)
+			if idx < 0 {
+				// Inputs the testbench does not drive read as zero in the
+				// validation simulator; pin them for consistency.
+				solver.Assert(s.ctx.Eq(u.InputAt(k, in), s.ctx.Const(bv.Zero(in.Width))))
+				continue
+			}
+			cell := s.tr.InputRows[cycle][idx]
+			solver.Assert(s.ctx.Eq(u.InputAt(k, in), s.ctx.Const(cell.Val)))
+		}
+		for i, sig := range s.tr.Outputs {
+			exp := s.tr.OutputRows[cycle][i]
+			if exp.Known.IsZero() {
+				continue // fully don't-care
+			}
+			outExpr := u.OutputAt(k, sig.Name)
+			if outExpr == nil {
+				continue
+			}
+			if outExpr.Width != exp.Width() {
+				// The design's output width does not match the trace
+				// column (e.g. a declaration bug): no assignment can
+				// satisfy the checked bits.
+				solver.Assert(s.ctx.False())
+				continue
+			}
+			if exp.Known.IsOnes() {
+				solver.Assert(s.ctx.Eq(outExpr, s.ctx.Const(exp.Val)))
+			} else {
+				mask := s.ctx.Const(exp.Known)
+				solver.Assert(s.ctx.Eq(s.ctx.And(outExpr, mask), s.ctx.Const(exp.Val.And(exp.Known))))
+			}
+		}
+	}
+
+	check := func(assumptions ...*smt.Term) (sat.Status, error) {
+		s.Stats.SolverChecks++
+		st, err := solver.Check(assumptions...)
+		if err != nil {
+			return st, ErrTimeout
+		}
+		return st, nil
+	}
+
+	st, err := check()
+	if err != nil {
+		return nil, err
+	}
+	if st != sat.Sat {
+		return nil, nil
+	}
+
+	// Minimal-change linear search (§4.3): Σφ ≤ k for k = 0, 1, 2, …
+	sum := s.sumTerm()
+	vars := s.allVars()
+	readModel := func() Assignment {
+		a := Assignment{}
+		for _, v := range vars {
+			a[v.Name] = solver.Value(v)
+		}
+		return a
+	}
+	best := readModel()
+	bestChanges := s.vars.Changes(best)
+	minimal := bestChanges
+	if s.opts.NoMinimize {
+		return []*Solution{{Assign: best, Changes: bestChanges}}, nil
+	}
+	for k := 0; k < bestChanges && k <= s.opts.MaxChanges; k++ {
+		st, err := check(s.ctx.Ule(sum, s.ctx.ConstU(16, uint64(k))))
+		if err != nil {
+			return nil, err
+		}
+		if st == sat.Sat {
+			best = readModel()
+			minimal = k
+			break
+		}
+	}
+	sols := []*Solution{{Assign: best, Changes: s.vars.Changes(best)}}
+
+	// Sample further minimal repairs by blocking found ones (§4.4:
+	// "we generally sample all minimal repairs for a given window").
+	bound := s.ctx.Ule(sum, s.ctx.ConstU(16, uint64(minimal)))
+	for len(sols) < s.opts.MaxSamples {
+		solver.Assert(s.blockingClause(sols[len(sols)-1].Assign))
+		st, err := check(bound)
+		if err != nil {
+			return nil, err
+		}
+		if st != sat.Sat {
+			break
+		}
+		a := readModel()
+		sols = append(sols, &Solution{Assign: a, Changes: s.vars.Changes(a)})
+	}
+	return sols, nil
+}
+
+// blockingClause forbids the exact repair: the same φ pattern with the
+// same α values on enabled changes.
+func (s *Synthesizer) blockingClause(a Assignment) *smt.Term {
+	conj := s.ctx.True()
+	for _, p := range s.vars.Phis {
+		t := s.ctx.LookupVar(p.Name)
+		if t == nil {
+			continue
+		}
+		conj = s.ctx.And(conj, s.ctx.Eq(t, s.ctx.Const(a[p.Name].Resize(1))))
+	}
+	enabled := map[string]bool{}
+	for _, p := range s.vars.Phis {
+		if v, ok := a[p.Name]; ok && !v.IsZero() {
+			enabled[p.Name] = true
+		}
+	}
+	// Alphas matter whenever any change is enabled; block them all to
+	// keep the clause simple — sampling only needs "different" repairs.
+	if len(enabled) > 0 {
+		for _, al := range s.vars.Alphas {
+			t := s.ctx.LookupVar(al.Name)
+			if t == nil {
+				continue
+			}
+			conj = s.ctx.And(conj, s.ctx.Eq(t, s.ctx.Const(a[al.Name].Resize(al.Width))))
+		}
+	}
+	return s.ctx.Not(conj)
+}
+
+// Basic runs the basic synthesizer (§4.3): one unrolling over the whole
+// trace from the concrete initial state. The returned solution passes
+// the trace by construction; nil means the template cannot repair.
+func (s *Synthesizer) Basic() (*Solution, error) {
+	if s.expired() {
+		return nil, ErrTimeout
+	}
+	if s.opts.MaxBasicSteps > 0 && s.tr.Len() > s.opts.MaxBasicSteps {
+		return nil, ErrTimeout
+	}
+	sols, err := s.solveWindow(0, s.tr.Len(), s.init)
+	if err != nil || len(sols) == 0 {
+		return nil, err
+	}
+	// With a full-trace unrolling every minimal solution is already
+	// validated by construction; still validate to guard against
+	// concretization mismatches.
+	for _, sol := range sols {
+		if s.Validate(sol.Assign).Passed() {
+			return sol, nil
+		}
+	}
+	return sols[0], nil
+}
+
+// Windowed runs the adaptive windowing synthesizer (§4.4) around the
+// given first output divergence.
+func (s *Synthesizer) Windowed(firstFailure int) (*Solution, error) {
+	kPast, kFuture := 0, 0
+	for {
+		if s.expired() {
+			return nil, ErrTimeout
+		}
+		if kPast+kFuture > s.opts.MaxWindow {
+			return nil, nil // give up (§4.4: max window size 32)
+		}
+		s.Stats.Windows++
+		s.Stats.FinalWindow = [2]int{kPast, kFuture}
+		start := firstFailure - kPast
+		if start < 0 {
+			start = 0
+		}
+		end := firstFailure + kFuture + 1
+		if end > s.tr.Len() {
+			end = s.tr.Len()
+		}
+		startState := s.prefixState(start)
+		sols, err := s.solveWindow(start, end, startState)
+		if err != nil {
+			return nil, err
+		}
+		if len(sols) == 0 {
+			// No repair matches this window: assume a state update in
+			// the past went wrong and widen backwards.
+			kPast += s.opts.PastStep
+			continue
+		}
+		latestFuture := -1
+		for _, sol := range sols {
+			res := s.Validate(sol.Assign)
+			if res.Passed() {
+				return sol, nil
+			}
+			if res.FirstFailure > firstFailure && res.FirstFailure > latestFuture {
+				latestFuture = res.FirstFailure
+			}
+		}
+		if latestFuture > firstFailure && latestFuture-firstFailure > kFuture {
+			// A repair fixed the original failure but failed later: the
+			// window is missing future context.
+			kFuture = latestFuture - firstFailure
+		} else {
+			kPast += s.opts.PastStep
+		}
+	}
+}

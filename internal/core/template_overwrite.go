@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"rtlrepair/internal/verilog"
+)
+
+// CondOverwrite is the template of Figure 4: for every signal assigned
+// in a process, optionally-guarded assignments of a free constant are
+// inserted at the start and at the end of the process. Guards are built
+// from conditions mined from the same process; each enabled guard
+// condition costs one extra change. The inserted assignment uses the
+// process's own assignment kind so that blocking/non-blocking stay
+// consistent, and signals assigned in other processes are never touched
+// (no new races).
+type CondOverwrite struct{}
+
+// Name returns the template name used in reports.
+func (CondOverwrite) Name() string { return "Conditional Overwrite" }
+
+// Instrument inserts the conditional overwrites into a clone of m.
+func (CondOverwrite) Instrument(m *verilog.Module, env *Env, vars *VarTable) (*verilog.Module, error) {
+	out := verilog.CloneModule(m)
+	for _, it := range out.Items {
+		a, ok := it.(*verilog.Always)
+		if !ok {
+			continue
+		}
+		targets := stmtTargets(a.Body)
+		if len(targets) == 0 {
+			continue
+		}
+		blocking := processUsesBlocking(a)
+		conds := mineConditions(a.Body, 6)
+
+		body, ok := a.Body.(*verilog.Block)
+		if !ok {
+			body = &verilog.Block{Pos: a.NodePos(), Stmts: []verilog.Stmt{a.Body}}
+			a.Body = body
+		}
+		var pre, post []verilog.Stmt
+		for _, tgt := range targets {
+			width, ok := env.Info.Widths[tgt]
+			if !ok || width <= 0 || width > 128 || env.IsFrozen(tgt) {
+				continue
+			}
+			pre = append(pre, buildOverwrite(vars, tgt, width, blocking, conds, a.NodePos(), "start"))
+			post = append(post, buildOverwrite(vars, tgt, width, blocking, conds, a.NodePos(), "end"))
+		}
+		body.Stmts = append(pre, append(body.Stmts, post...)...)
+	}
+	return out, nil
+}
+
+// buildOverwrite creates: if (φ) if (guard) tgt <= α;
+// where guard = ∧_j (φ_j ? (α_j ? c_j : !c_j) : 1'b1).
+func buildOverwrite(vars *VarTable, tgt string, width int, blocking bool, conds []verilog.Expr, pos verilog.Pos, where string) verilog.Stmt {
+	phi := vars.NewPhi(1, fmt.Sprintf("assign constant to %s at %s of process at %v", tgt, where, pos))
+	alpha := vars.NewAlpha(width)
+	assign := &verilog.Assign{
+		Pos:      pos,
+		LHS:      &verilog.Ident{Pos: pos, Name: tgt},
+		RHS:      alpha,
+		Blocking: blocking,
+	}
+	var inner verilog.Stmt = assign
+	if len(conds) > 0 {
+		var guard verilog.Expr
+		for _, c := range conds {
+			phiC := vars.NewPhi(1, fmt.Sprintf("guard new %s assignment with %s", tgt, clip(verilog.PrintExpr(c))))
+			pol := vars.NewAlpha(1)
+			sel := &verilog.Ternary{
+				Pos:  pos,
+				Cond: pol,
+				Then: verilog.CloneExpr(c),
+				Else: &verilog.Unary{Pos: pos, Op: "!", X: verilog.CloneExpr(c)},
+			}
+			part := &verilog.Ternary{Pos: pos, Cond: phiC, Then: sel, Else: verilog.MkNumber(1, 1)}
+			if guard == nil {
+				guard = part
+			} else {
+				guard = &verilog.Binary{Pos: pos, Op: "&&", X: guard, Y: part}
+			}
+		}
+		inner = &verilog.If{Pos: pos, Cond: guard, Then: assign}
+	}
+	return &verilog.If{Pos: pos, Cond: phi, Then: inner}
+}
+
+// processUsesBlocking reports whether a process uses blocking
+// assignments (combinational style).
+func processUsesBlocking(a *verilog.Always) bool {
+	blocking := !a.IsClocked()
+	var rec func(verilog.Stmt)
+	rec = func(s verilog.Stmt) {
+		switch s := s.(type) {
+		case *verilog.Block:
+			for _, inner := range s.Stmts {
+				rec(inner)
+			}
+		case *verilog.If:
+			rec(s.Then)
+			if s.Else != nil {
+				rec(s.Else)
+			}
+		case *verilog.Case:
+			for _, item := range s.Items {
+				rec(item.Body)
+			}
+		case *verilog.Assign:
+			blocking = s.Blocking
+		}
+	}
+	rec(a.Body)
+	return blocking
+}
+
+// mineConditions extracts up to limit distinct condition expressions
+// from if statements and case comparisons of the process (Figure 4,
+// step 2).
+func mineConditions(s verilog.Stmt, limit int) []verilog.Expr {
+	var out []verilog.Expr
+	seen := map[string]bool{}
+	add := func(e verilog.Expr) {
+		if len(out) >= limit {
+			return
+		}
+		key := verilog.PrintExpr(e)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, verilog.CloneExpr(e))
+	}
+	var rec func(verilog.Stmt)
+	rec = func(s verilog.Stmt) {
+		switch s := s.(type) {
+		case *verilog.Block:
+			for _, inner := range s.Stmts {
+				rec(inner)
+			}
+		case *verilog.If:
+			add(s.Cond)
+			rec(s.Then)
+			if s.Else != nil {
+				rec(s.Else)
+			}
+		case *verilog.Case:
+			for _, item := range s.Items {
+				for _, label := range item.Exprs {
+					if len(out) < limit {
+						add(&verilog.Binary{Pos: s.NodePos(), Op: "==",
+							X: verilog.CloneExpr(s.Subject), Y: verilog.CloneExpr(label)})
+					}
+				}
+				rec(item.Body)
+			}
+		}
+	}
+	rec(s)
+	return out
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/verilog"
+)
+
+// instrument applies one template and returns the clone + table.
+func instrument(t *testing.T, tmpl Template, src string) (*verilog.Module, *VarTable) {
+	t.Helper()
+	m := mustParse(t, src)
+	counter := 0
+	vars := NewVarTable(&counter)
+	info := elaborateInfo(smt.NewContext(), m, nil)
+	out, err := tmpl.Instrument(m, &Env{Info: info}, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, vars
+}
+
+// Figure 6: literals in case labels, parameter definitions and
+// part-select bounds must not be replaced; r-value literals must be.
+func TestReplaceLiteralsExclusions(t *testing.T) {
+	src := `
+module f6(input clk, input [1:0] sel, input [1:0] a, output reg [1:0] out);
+localparam P = 2'd1;
+always @(posedge clk) begin
+  case (sel)
+    2'b00: out <= a;
+    P: out <= a + 2'd1;
+  endcase
+end
+endmodule`
+	instr, vars := instrument(t, ReplaceLiterals{}, src)
+	// Replaceable literals: the RHS "2'd1" only. (The case labels 2'b00
+	// and P's value, and the range [1:0]s, must stay constant.)
+	if len(vars.Phis) != 1 {
+		var descs []string
+		for _, p := range vars.Phis {
+			descs = append(descs, p.Desc)
+		}
+		t.Fatalf("got %d replaceable literals, want 1: %v", len(vars.Phis), descs)
+	}
+	if !strings.Contains(vars.Phis[0].Desc, "2'd1") {
+		t.Fatalf("wrong literal instrumented: %s", vars.Phis[0].Desc)
+	}
+	// The instrumented case labels must still be plain constants.
+	verilog.WalkStmts(instr, func(s verilog.Stmt, _ *verilog.Always) {
+		if c, ok := s.(*verilog.Case); ok {
+			for _, item := range c.Items {
+				for _, e := range item.Exprs {
+					switch e.(type) {
+					case *verilog.Number, *verilog.Ident:
+					default:
+						t.Fatalf("case label was instrumented: %s", verilog.PrintExpr(e))
+					}
+				}
+			}
+		}
+	})
+}
+
+// Figure 5: guard candidates must not create combinational cycles —
+// a_next (which depends on d... and through the guarded assign on ba
+// itself) is rejected as a guard for ba, while a and rst are allowed.
+func TestAddGuardCycleSafety(t *testing.T) {
+	src := `
+module f5(input clk, input d, input rst, output ba, output a_next);
+reg a;
+assign ba = b_and_a;
+wire b_and_a;
+assign b_and_a = d & a;
+assign a_next = d ? 1'b0 : 1'b1;
+always @(posedge clk) begin
+  if (rst) a <= 1'b0;
+  else a <= a_next;
+end
+endmodule`
+	// Make a_next combinationally depend on ba to force the exclusion.
+	src = strings.Replace(src, "assign a_next = d ? 1'b0 : 1'b1;",
+		"assign a_next = ba ? 1'b0 : 1'b1;", 1)
+	m := mustParse(t, src)
+	counter := 0
+	vars := NewVarTable(&counter)
+	info := elaborateInfo(smt.NewContext(), m, nil)
+	g := &guardInstr{env: &Env{Info: info}, vars: vars, reach: map[string]map[string]bool{}}
+	for name, w := range info.Widths {
+		if w == 1 && name != info.ClockName {
+			g.oneBit = append(g.oneBit, name)
+		}
+	}
+	cands := g.candidates([]string{"b_and_a"})
+	for _, c := range cands {
+		if c == "a_next" {
+			t.Fatal("a_next would create a combinational cycle through b_and_a")
+		}
+		if c == "b_and_a" {
+			t.Fatal("a signal must not guard itself")
+		}
+	}
+	found := map[string]bool{}
+	for _, c := range cands {
+		found[c] = true
+	}
+	if !found["a"] || !found["rst"] || !found["d"] {
+		t.Fatalf("safe candidates missing: %v", cands)
+	}
+}
+
+// Clocked contexts have no combinational cycle risk: all candidates are
+// allowed (synchronous dependencies are ignored, Figure 5).
+func TestAddGuardClockedUnrestricted(t *testing.T) {
+	src := `
+module cg(input clk, input rst, input d, output reg q);
+always @(posedge clk) begin
+  if (rst) q <= 1'b0;
+  else q <= d;
+end
+endmodule`
+	instr, vars := instrument(t, AddGuard{}, src)
+	if vars.Empty() {
+		t.Fatal("no guard opportunities found")
+	}
+	_ = instr
+	// Inversion + guard + second disjunct per site: the if condition and
+	// the two 1-bit assignment RHSs = 3 sites * 3 phis.
+	if len(vars.Phis) != 9 {
+		t.Fatalf("phis = %d, want 9", len(vars.Phis))
+	}
+}
+
+// Figure 4: conditional overwrites appear at the start and end of the
+// process, use the process's assignment kind, and mine its conditions.
+func TestCondOverwriteMechanics(t *testing.T) {
+	src := `
+module f4(input clk, input rst, input cnd, output reg a, output reg [3:0] b);
+always @(posedge clk) begin
+  if (rst) begin
+    a <= 1'b0;
+  end else if (cnd) begin
+    b <= b + 1;
+  end
+end
+endmodule`
+	instr, vars := instrument(t, CondOverwrite{}, src)
+	// Two targets (a, b) × two insertion points (start, end).
+	baseAssigns := 0
+	for _, p := range vars.Phis {
+		if strings.Contains(p.Desc, "assign constant to") {
+			baseAssigns++
+		}
+	}
+	if baseAssigns != 4 {
+		t.Fatalf("base overwrites = %d, want 4", baseAssigns)
+	}
+	// Guard conditions mined from the process: rst and cnd.
+	guards := 0
+	for _, p := range vars.Phis {
+		if strings.Contains(p.Desc, "guard new") {
+			guards++
+		}
+	}
+	if guards == 0 {
+		t.Fatal("no mined guard conditions")
+	}
+	// Inserted statements must use non-blocking assignments.
+	blocking := false
+	verilog.WalkStmts(instr, func(s verilog.Stmt, _ *verilog.Always) {
+		if a, ok := s.(*verilog.Assign); ok && a.Blocking {
+			blocking = true
+		}
+	})
+	if blocking {
+		t.Fatal("inserted assignment uses blocking form in a non-blocking process")
+	}
+}
+
+func TestCondOverwriteCombProcessUsesBlocking(t *testing.T) {
+	src := `
+module cb(input a, input b, output reg y);
+always @(*) begin
+  if (a) y = b;
+  else y = 1'b0;
+end
+endmodule`
+	instr, _ := instrument(t, CondOverwrite{}, src)
+	nonBlocking := false
+	verilog.WalkStmts(instr, func(s verilog.Stmt, _ *verilog.Always) {
+		if a, ok := s.(*verilog.Assign); ok && !a.Blocking {
+			nonBlocking = true
+		}
+	})
+	if nonBlocking {
+		t.Fatal("inserted assignment uses non-blocking form in a blocking process")
+	}
+}
+
+// The cost model: enabling the second guard disjunct must cost an extra
+// change (§4.2: "the cost of adding a more complex guard ∧(a ∨ b) is
+// two").
+func TestAddGuardCostModel(t *testing.T) {
+	_, vars := instrument(t, AddGuard{}, `
+module c(input clk, input a, input b, input d, output reg q);
+always @(posedge clk) q <= d;
+endmodule`)
+	// One site (the q <= d RHS): phi_inv, phi_guard, phi_second.
+	if len(vars.Phis) != 3 {
+		t.Fatalf("phis = %d, want 3", len(vars.Phis))
+	}
+	for _, p := range vars.Phis {
+		if p.Cost != 1 {
+			t.Fatalf("phi %s cost %d, want 1 each (complex guard = 2 total)", p.Name, p.Cost)
+		}
+	}
+	a := Assignment{}
+	for _, p := range vars.Phis {
+		a[p.Name] = bv.New(1, 1)
+	}
+	for _, al := range vars.Alphas {
+		a[al.Name] = bv.Zero(al.Width)
+	}
+	if got := vars.Changes(a); got != 3 {
+		t.Fatalf("all-enabled cost = %d, want 3", got)
+	}
+}
+
+// Resolving an Add Guard solution with inversion produces !(e), and the
+// enabled guard appends && cand.
+func TestResolveAddGuardShapes(t *testing.T) {
+	src := `
+module r(input clk, input a, input b, output reg q);
+always @(posedge clk) q <= a;
+endmodule`
+	instr, vars := instrument(t, AddGuard{}, src)
+	assign := Assignment{}
+	for _, p := range vars.Phis {
+		assign[p.Name] = bv.Zero(1)
+	}
+	for _, al := range vars.Alphas {
+		assign[al.Name] = bv.Zero(al.Width)
+	}
+	// Enable inversion only (first phi of the site).
+	assign[vars.Phis[0].Name] = bv.New(1, 1)
+	repaired, err := Resolve(instr, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(verilog.Print(repaired), "q <= !a") {
+		t.Fatalf("inversion not applied:\n%s", verilog.Print(repaired))
+	}
+
+	// Enable guard only, selecting some candidate with positive polarity.
+	assign[vars.Phis[0].Name] = bv.Zero(1)
+	assign[vars.Phis[1].Name] = bv.New(1, 1)
+	repaired, err = Resolve(instr, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := verilog.Print(repaired)
+	if !strings.Contains(out, "q <= a && ") {
+		t.Fatalf("guard not applied:\n%s", out)
+	}
+}

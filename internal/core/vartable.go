@@ -1,0 +1,114 @@
+// Package core implements RTL-Repair's contribution: the symbolic,
+// template-based repair algorithm (§4). Repair templates are compiler
+// passes over the Verilog AST that add spaces of possible changes, each
+// guarded by an indicator variable φ and parameterized by free constants
+// α. The repair synthesizer unrolls the instrumented transition system
+// against an I/O trace and asks the SMT solver for an assignment to the
+// synthesis variables that makes the trace pass, minimizing Σφ. The
+// adaptive windowing engine (§4.4) keeps the unrolling short for long
+// traces.
+package core
+
+import (
+	"fmt"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/verilog"
+)
+
+// PhiVar is an indicator variable: enabling it activates one change at
+// the given cost (almost always 1, see §4.2).
+type PhiVar struct {
+	Name string
+	Cost int
+	// Desc explains the change for repair reports (e.g. "replace literal
+	// 4'b0000 at 12:9").
+	Desc string
+}
+
+// AlphaVar is a free constant the synthesizer may choose.
+type AlphaVar struct {
+	Name  string
+	Width int
+}
+
+// VarTable collects the synthesis variables a template introduced.
+type VarTable struct {
+	Phis    []PhiVar
+	Alphas  []AlphaVar
+	counter *int
+}
+
+// NewVarTable returns an empty table sharing the engine's name counter.
+func NewVarTable(counter *int) *VarTable { return &VarTable{counter: counter} }
+
+// NewPhi allocates a fresh indicator variable.
+func (t *VarTable) NewPhi(cost int, desc string) *verilog.SynthHole {
+	name := fmt.Sprintf("phi_%d", *t.counter)
+	*t.counter++
+	t.Phis = append(t.Phis, PhiVar{Name: name, Cost: cost, Desc: desc})
+	return &verilog.SynthHole{Name: name, Width: 1}
+}
+
+// NewAlpha allocates a fresh constant variable of the given width.
+func (t *VarTable) NewAlpha(width int) *verilog.SynthHole {
+	name := fmt.Sprintf("alpha_%d", *t.counter)
+	*t.counter++
+	t.Alphas = append(t.Alphas, AlphaVar{Name: name, Width: width})
+	return &verilog.SynthHole{Name: name, Width: width}
+}
+
+// Empty reports whether the template found no repair opportunities.
+func (t *VarTable) Empty() bool { return len(t.Phis) == 0 }
+
+// Assignment is a model for the synthesis variables.
+type Assignment map[string]bv.BV
+
+// Changes counts the enabled indicator variables weighted by cost.
+func (t *VarTable) Changes(a Assignment) int {
+	n := 0
+	for _, p := range t.Phis {
+		if v, ok := a[p.Name]; ok && !v.IsZero() {
+			n += p.Cost
+		}
+	}
+	return n
+}
+
+// EnabledDescs lists the descriptions of enabled changes.
+func (t *VarTable) EnabledDescs(a Assignment) []string {
+	var out []string
+	for _, p := range t.Phis {
+		if v, ok := a[p.Name]; ok && !v.IsZero() {
+			out = append(out, p.Desc)
+		}
+	}
+	return out
+}
+
+// Env provides analysis context to templates.
+type Env struct {
+	// Info is the elaboration info of the preprocessed design.
+	Info *synth.Info
+	// Lib maps module names for instantiated designs.
+	Lib map[string]*verilog.Module
+	// Frozen names signals whose driving logic must not be changed —
+	// used when repairing against a formal property so the property
+	// expression itself cannot be "repaired" away.
+	Frozen map[string]bool
+}
+
+// IsFrozen reports whether a signal's drivers are off-limits.
+func (e *Env) IsFrozen(name string) bool { return e.Frozen != nil && e.Frozen[name] }
+
+// Template is a repair template: a compiler pass that instruments a
+// module with a space of possible changes (§4.2). New templates can be
+// added without changing the synthesizer as long as they communicate
+// through φ/α variables.
+type Template interface {
+	Name() string
+	// Instrument returns an instrumented deep copy of m. The input is
+	// never modified.
+	Instrument(m *verilog.Module, env *Env, vars *VarTable) (*verilog.Module, error)
+}

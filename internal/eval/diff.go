@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"rtlrepair/internal/verilog"
+)
+
+// DiffLines computes a minimal line diff (LCS-based) between two
+// sources, rendered unified-style with -/+ prefixes. Used for the
+// qualitative repair reports (Figures 8 and 9).
+func DiffLines(a, b string) string {
+	al := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	bl := strings.Split(strings.TrimRight(b, "\n"), "\n")
+	n, m := len(al), len(bl)
+	// LCS table.
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var sb strings.Builder
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case al[i] == bl[j]:
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			fmt.Fprintf(&sb, "- %s\n", al[i])
+			i++
+		default:
+			fmt.Fprintf(&sb, "+ %s\n", bl[j])
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		fmt.Fprintf(&sb, "- %s\n", al[i])
+	}
+	for ; j < m; j++ {
+		fmt.Fprintf(&sb, "+ %s\n", bl[j])
+	}
+	return sb.String()
+}
+
+// DiffStats counts added and removed lines.
+func DiffStats(a, b string) (added, removed int) {
+	for _, line := range strings.Split(DiffLines(a, b), "\n") {
+		if strings.HasPrefix(line, "+") {
+			added++
+		} else if strings.HasPrefix(line, "-") {
+			removed++
+		}
+	}
+	return added, removed
+}
+
+// changedLineSet returns the 0-based indices of lines of a that were
+// removed/changed relative to b.
+func changedLineSet(a, b string) map[int]bool {
+	al := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	bl := strings.Split(strings.TrimRight(b, "\n"), "\n")
+	n, m := len(al), len(bl)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	out := map[int]bool{}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case al[i] == bl[j]:
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			out[i] = true
+			i++
+		default:
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		out[i] = true
+	}
+	return out
+}
+
+// ModuleDiff renders the diff between two modules' canonical sources.
+func ModuleDiff(a, b *verilog.Module) string {
+	return DiffLines(verilog.Print(a), verilog.Print(b))
+}

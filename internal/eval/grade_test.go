@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"testing"
+
+	"rtlrepair/internal/bench"
+	"rtlrepair/internal/verilog"
+)
+
+func parse(t *testing.T, src string) *verilog.Module {
+	t.Helper()
+	m, err := verilog.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGradeRepairExactMatchIsA(t *testing.T) {
+	b := bench.ByName("counter_w2")
+	gt := parse(t, b.GroundTruth)
+	if grade := GradeRepair(b, gt); grade != "A" {
+		t.Fatalf("ground truth graded %q, want A", grade)
+	}
+}
+
+func TestGradeRepairEquivalentIsA(t *testing.T) {
+	// A syntactically different but behaviourally identical repair.
+	b := bench.ByName("counter_w2")
+	equiv := parse(t, b.GroundTruth)
+	verilog.RewriteExprs(equiv, func(e verilog.Expr) verilog.Expr {
+		// count + 1 → count + 4'b0001 (same semantics after sizing)
+		if n, ok := e.(*verilog.Number); ok && !n.Sized && n.Bits.Val.Uint64() == 1 {
+			return verilog.MkNumber(4, 1)
+		}
+		return e
+	})
+	if grade := GradeRepair(b, equiv); grade != "A" {
+		t.Fatalf("equivalent repair graded %q, want A", grade)
+	}
+}
+
+func TestGradeRepairSameExpressionIsC(t *testing.T) {
+	// counter_w2's bug: count + 2. A repair changing the same expression
+	// differently (count + 2 → (count + 2) - 1 ... emulate by count + 3
+	// which is wrong but same line) grades C at best, never A.
+	b := bench.ByName("counter_w2")
+	wrong := parse(t, b.Buggy)
+	verilog.RewriteExprs(wrong, func(e verilog.Expr) verilog.Expr {
+		if n, ok := e.(*verilog.Number); ok && !n.Sized && n.Bits.Val.Uint64() == 2 {
+			return verilog.MkNumber(32, 3)
+		}
+		return e
+	})
+	grade := GradeRepair(b, wrong)
+	if grade == "A" {
+		t.Fatalf("non-equivalent repair graded A")
+	}
+	if grade != "B" && grade != "C" {
+		t.Fatalf("same-expression repair graded %q, want B or C", grade)
+	}
+}
+
+func TestGradeRepairUnrelatedChangeIsD(t *testing.T) {
+	b := bench.ByName("counter_w2")
+	far := parse(t, b.Buggy)
+	// Change the overflow logic instead of the increment.
+	verilog.RewriteExprs(far, func(e verilog.Expr) verilog.Expr {
+		if n, ok := e.(*verilog.Number); ok && n.Sized && n.Width == 4 && n.Bits.Val.Uint64() == 15 {
+			return verilog.MkNumber(4, 14)
+		}
+		return e
+	})
+	if grade := GradeRepair(b, far); grade != "D" {
+		t.Fatalf("unrelated repair graded %q, want D", grade)
+	}
+}
+
+func TestChooseSeedFindsRevealingSeed(t *testing.T) {
+	// D11's bug (missing reset) is only visible when the randomized
+	// power-on value happens to be 1; chooseSeed must find such a seed.
+	b := bench.ByName("D11")
+	seed := chooseSeed(b, 1)
+	if seed < 1 || seed > 8 {
+		t.Fatalf("seed = %d", seed)
+	}
+	// The returned seed must actually reveal the bug (checked inside
+	// chooseSeed; re-verify through the public repair path).
+	run := RunRTLRepair(b, quickOpts())
+	if run.Status == "no-repair-needed" {
+		t.Fatal("chosen seed does not reveal the D11 bug")
+	}
+}

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"rtlrepair/internal/bench"
+)
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.RTLTimeout = 45 * time.Second
+	o.CirFixTimeout = 3 * time.Second
+	o.CirFixGenerations = 12
+	return o
+}
+
+func TestRTLRepairKeyBenchmarks(t *testing.T) {
+	cases := []struct {
+		name        string
+		wantVerdict Verdict
+		wantStatus  string
+	}{
+		{"counter_k1", VerdictCorrect, "repaired"},
+		{"counter_w2", VerdictCorrect, "repaired"},
+		{"counter_w1", VerdictNone, "cannot-repair"},
+		{"decoder_w1", VerdictCorrect, "repaired"},
+		{"flop_w1", VerdictCorrect, "repaired"},
+		{"flop_w2", VerdictCorrect, "repaired"},
+		{"fsm_s2", VerdictCorrect, "repaired-by-preprocessing"},
+		{"fsm_w2", VerdictCorrect, "repaired-by-preprocessing"},
+		{"fsm_s1", VerdictCorrect, "repaired-by-preprocessing"},
+		{"shift_w1", VerdictCorrect, "repaired-by-preprocessing"},
+		{"shift_w2", VerdictCorrect, "repaired"},
+		{"shift_k1", VerdictWrong, "no-repair-needed"},
+		{"mux_w2", VerdictCorrect, "repaired"},
+		{"mux_w1", VerdictCorrect, "repaired"},
+		{"mux_k1", VerdictNone, "cannot-repair"},
+		{"sdram_w2", VerdictCorrect, "repaired"},
+		{"sdram_k2", VerdictCorrect, "repaired-by-preprocessing"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			b := bench.ByName(tc.name)
+			if b == nil {
+				t.Fatalf("benchmark %s missing", tc.name)
+			}
+			run := RunRTLRepair(b, quickOpts())
+			if run.Err != "" {
+				t.Fatalf("error: %s", run.Err)
+			}
+			if run.Status != tc.wantStatus {
+				t.Errorf("status = %s, want %s (verdict %v, template %s, changes %d, checks %+v)",
+					run.Status, tc.wantStatus, run.Verdict, run.Template, run.Changes, run.Checks)
+			}
+			if run.Verdict != tc.wantVerdict {
+				t.Errorf("verdict = %v, want %v (checks %+v)", run.Verdict, tc.wantVerdict, run.Checks)
+			}
+		})
+	}
+}
+
+func TestRTLRepairLongTraceI2C(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long benchmark")
+	}
+	b := bench.ByName("i2c_k1")
+	run := RunRTLRepair(b, quickOpts())
+	if run.Err != "" {
+		t.Fatalf("error: %s", run.Err)
+	}
+	if run.Verdict != VerdictCorrect {
+		t.Fatalf("i2c_k1: status %s verdict %v changes %d (window %v, checks %+v)",
+			run.Status, run.Verdict, run.Changes, run.Window, run.Checks)
+	}
+}

@@ -1,0 +1,267 @@
+// Package lint implements RTL-Repair's static-analysis preprocessing
+// (§4.1). The paper runs Verilator as a linter and automatically fixes
+// two classes of issues that keep a design from synthesizing: the wrong
+// kind of procedural assignment for the process type, and inferred
+// latches, which get a default value of zero. We additionally complete
+// level-sensitive sensitivity lists (Verilator's COMBDLY/ALWCOMBORDER
+// family of warnings), which is how several "incorrect sensitivity list"
+// benchmarks are repaired by preprocessing alone.
+package lint
+
+import (
+	"errors"
+	"fmt"
+
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/verilog"
+)
+
+// FixKind enumerates automatic fixes.
+type FixKind int
+
+// Fix kinds.
+const (
+	FixAssignKind FixKind = iota
+	FixSensitivity
+	FixLatchDefault
+)
+
+func (k FixKind) String() string {
+	switch k {
+	case FixAssignKind:
+		return "assignment-kind"
+	case FixSensitivity:
+		return "sensitivity-list"
+	case FixLatchDefault:
+		return "latch-default"
+	}
+	return "unknown"
+}
+
+// Fix describes one applied preprocessing change.
+type Fix struct {
+	Kind   FixKind
+	Pos    verilog.Pos
+	Signal string
+	Desc   string
+}
+
+// Preprocess returns a repaired clone of m together with the list of
+// fixes that were applied. The input module is not modified. Lib
+// provides instantiated modules (they are preprocessed transitively via
+// flattening inside elaboration; lint itself only touches the top
+// module, as in the paper's per-file operation).
+func Preprocess(m *verilog.Module, lib map[string]*verilog.Module) (*verilog.Module, []Fix, error) {
+	out := verilog.CloneModule(m)
+	var fixes []Fix
+
+	fixes = append(fixes, fixAssignKinds(out)...)
+	fixes = append(fixes, fixSensitivity(out)...)
+
+	latchFixes, err := fixLatches(out, lib)
+	if err != nil {
+		return out, fixes, err
+	}
+	fixes = append(fixes, latchFixes...)
+	return out, fixes, nil
+}
+
+// fixAssignKinds converts blocking assignments in clocked processes to
+// non-blocking and vice versa in combinational processes.
+func fixAssignKinds(m *verilog.Module) []Fix {
+	var fixes []Fix
+	verilog.WalkStmts(m, func(s verilog.Stmt, parent *verilog.Always) {
+		a, ok := s.(*verilog.Assign)
+		if !ok || parent == nil {
+			return
+		}
+		if parent.IsClocked() && a.Blocking {
+			a.Blocking = false
+			fixes = append(fixes, Fix{Kind: FixAssignKind, Pos: a.Pos,
+				Desc: fmt.Sprintf("%v: blocking assignment in clocked process changed to non-blocking", a.Pos)})
+		} else if !parent.IsClocked() && !a.Blocking {
+			a.Blocking = true
+			fixes = append(fixes, Fix{Kind: FixAssignKind, Pos: a.Pos,
+				Desc: fmt.Sprintf("%v: non-blocking assignment in combinational process changed to blocking", a.Pos)})
+		}
+	})
+	return fixes
+}
+
+// fixSensitivity replaces incomplete level-sensitive lists with @(*).
+func fixSensitivity(m *verilog.Module) []Fix {
+	var fixes []Fix
+	for _, it := range m.Items {
+		a, ok := it.(*verilog.Always)
+		if !ok || a.Star || a.IsClocked() || len(a.Senses) == 0 {
+			continue
+		}
+		listed := map[string]bool{}
+		for _, s := range a.Senses {
+			listed[s.Signal] = true
+		}
+		reads := map[string]bool{}
+		collectReads(a.Body, reads)
+		// Assigned signals read back in the same block are not required
+		// in the list (they are the latch/feedback case handled later).
+		missing := false
+		for name := range reads {
+			if !listed[name] {
+				missing = true
+				break
+			}
+		}
+		if missing {
+			a.Star = true
+			a.Senses = nil
+			fixes = append(fixes, Fix{Kind: FixSensitivity, Pos: a.Pos,
+				Desc: fmt.Sprintf("%v: incomplete sensitivity list replaced with @(*)", a.Pos)})
+		}
+	}
+	return fixes
+}
+
+// collectReads gathers identifiers *read* by a statement: right-hand
+// sides, conditions, case subjects and labels, and index expressions on
+// assignment targets — but not the targets themselves.
+func collectReads(s verilog.Stmt, reads map[string]bool) {
+	addExpr := func(e verilog.Expr) {
+		verilog.WalkStmtExprs(&verilog.Assign{RHS: e, LHS: &verilog.Ident{Name: "_"}}, func(x verilog.Expr) bool {
+			if id, ok := x.(*verilog.Ident); ok && id.Name != "_" {
+				reads[id.Name] = true
+			}
+			return true
+		})
+	}
+	switch s := s.(type) {
+	case *verilog.Block:
+		for _, inner := range s.Stmts {
+			collectReads(inner, reads)
+		}
+	case *verilog.If:
+		addExpr(s.Cond)
+		collectReads(s.Then, reads)
+		if s.Else != nil {
+			collectReads(s.Else, reads)
+		}
+	case *verilog.Case:
+		addExpr(s.Subject)
+		for _, item := range s.Items {
+			for _, e := range item.Exprs {
+				addExpr(e)
+			}
+			collectReads(item.Body, reads)
+		}
+	case *verilog.Assign:
+		addExpr(s.RHS)
+		collectLHSIndexReads(s.LHS, reads)
+	case *verilog.For:
+		addExpr(s.Init)
+		addExpr(s.Cond)
+		addExpr(s.Step)
+		collectReads(s.Body, reads)
+	}
+}
+
+func collectLHSIndexReads(lhs verilog.Expr, reads map[string]bool) {
+	addExpr := func(e verilog.Expr) {
+		if e == nil {
+			return
+		}
+		verilog.WalkStmtExprs(&verilog.Assign{RHS: e, LHS: &verilog.Ident{Name: "_"}}, func(x verilog.Expr) bool {
+			if id, ok := x.(*verilog.Ident); ok && id.Name != "_" {
+				reads[id.Name] = true
+			}
+			return true
+		})
+	}
+	switch l := lhs.(type) {
+	case *verilog.Index:
+		addExpr(l.Idx)
+	case *verilog.PartSelect:
+		addExpr(l.MSB)
+		addExpr(l.LSB)
+	case *verilog.Concat:
+		for _, p := range l.Parts {
+			collectLHSIndexReads(p, reads)
+		}
+	}
+}
+
+// fixLatches elaborates the design and, for every latch diagnostic,
+// inserts a zero default assignment at the start of the responsible
+// combinational process, repeating until elaboration stops reporting
+// latches (or fails differently).
+func fixLatches(m *verilog.Module, lib map[string]*verilog.Module) ([]Fix, error) {
+	var fixes []Fix
+	for iter := 0; iter < 8; iter++ {
+		_, _, err := synth.Elaborate(smt.NewContext(), m, synth.Options{Lib: lib})
+		if err == nil {
+			return fixes, nil
+		}
+		var se *synth.ErrSynth
+		if !errors.As(err, &se) || se.Kind != "latch" || len(se.Signals) == 0 {
+			// Other synthesis problems are not lint's to fix; they are
+			// reported to the repair engine which will classify the
+			// design as not repairable.
+			return fixes, nil
+		}
+		static, serr := synth.Static(m)
+		if serr != nil {
+			return fixes, nil
+		}
+		progress := false
+		for _, name := range se.Signals {
+			blk := findCombBlockAssigning(m, name)
+			if blk == nil {
+				continue
+			}
+			width := 1
+			if d, ok := static.Signals[name]; ok {
+				width = d.Width
+			}
+			def := &verilog.Assign{
+				Pos:      blk.NodePos(),
+				LHS:      &verilog.Ident{Name: name},
+				RHS:      verilog.MkNumber(width, 0),
+				Blocking: true,
+			}
+			prependStmt(blk, def)
+			progress = true
+			fixes = append(fixes, Fix{Kind: FixLatchDefault, Pos: blk.NodePos(), Signal: name,
+				Desc: fmt.Sprintf("%v: latch on %q removed by inserting default assignment to 0", blk.NodePos(), name)})
+		}
+		if !progress {
+			return fixes, nil
+		}
+	}
+	return fixes, nil
+}
+
+// findCombBlockAssigning locates the combinational always block that
+// assigns the given signal.
+func findCombBlockAssigning(m *verilog.Module, name string) *verilog.Always {
+	var found *verilog.Always
+	verilog.WalkStmts(m, func(s verilog.Stmt, parent *verilog.Always) {
+		if found != nil || parent == nil || parent.IsClocked() {
+			return
+		}
+		if a, ok := s.(*verilog.Assign); ok {
+			if id, ok := a.LHS.(*verilog.Ident); ok && id.Name == name {
+				found = parent
+			}
+		}
+	})
+	return found
+}
+
+// prependStmt inserts a statement at the start of an always body,
+// wrapping non-block bodies in a begin/end.
+func prependStmt(a *verilog.Always, s verilog.Stmt) {
+	if b, ok := a.Body.(*verilog.Block); ok {
+		b.Stmts = append([]verilog.Stmt{s}, b.Stmts...)
+		return
+	}
+	a.Body = &verilog.Block{Pos: a.Pos, Stmts: []verilog.Stmt{s, a.Body}}
+}

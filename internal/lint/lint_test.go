@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/verilog"
+)
+
+func preprocess(t *testing.T, src string) (*verilog.Module, []Fix) {
+	t.Helper()
+	m, err := verilog.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, fixes, err := Preprocess(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, fixes
+}
+
+func TestFixBlockingInClockedBlock(t *testing.T) {
+	out, fixes := preprocess(t, `
+module m(input clk, input d, output reg q);
+always @(posedge clk) q = d;
+endmodule`)
+	if len(fixes) != 1 || fixes[0].Kind != FixAssignKind {
+		t.Fatalf("fixes = %v", fixes)
+	}
+	if !strings.Contains(verilog.Print(out), "q <= d") {
+		t.Fatalf("not converted:\n%s", verilog.Print(out))
+	}
+}
+
+func TestFixNonBlockingInCombBlock(t *testing.T) {
+	out, fixes := preprocess(t, `
+module m(input a, b, output reg y);
+always @(*) y <= a & b;
+endmodule`)
+	if len(fixes) != 1 || fixes[0].Kind != FixAssignKind {
+		t.Fatalf("fixes = %v", fixes)
+	}
+	if !strings.Contains(verilog.Print(out), "y = a & b") {
+		t.Fatalf("not converted:\n%s", verilog.Print(out))
+	}
+}
+
+func TestFixIncompleteSensitivityList(t *testing.T) {
+	out, fixes := preprocess(t, `
+module m(input a, b, output reg y);
+always @(a) y = a & b;
+endmodule`)
+	if len(fixes) != 1 || fixes[0].Kind != FixSensitivity {
+		t.Fatalf("fixes = %v", fixes)
+	}
+	if !strings.Contains(verilog.Print(out), "@(*)") {
+		t.Fatalf("sense list not fixed:\n%s", verilog.Print(out))
+	}
+	// Result must elaborate cleanly.
+	if _, _, err := synth.Elaborate(smt.NewContext(), out, synth.Options{}); err != nil {
+		t.Fatalf("fixed module does not synthesize: %v", err)
+	}
+}
+
+func TestCompleteSenseListUntouched(t *testing.T) {
+	_, fixes := preprocess(t, `
+module m(input a, b, output reg y);
+always @(a or b) y = a & b;
+endmodule`)
+	if len(fixes) != 0 {
+		t.Fatalf("unexpected fixes: %v", fixes)
+	}
+}
+
+func TestFixLatch(t *testing.T) {
+	out, fixes := preprocess(t, `
+module m(input en, input d, output reg q);
+always @(*) begin
+  if (en) q = d;
+end
+endmodule`)
+	found := false
+	for _, f := range fixes {
+		if f.Kind == FixLatchDefault && f.Signal == "q" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("latch fix missing: %v", fixes)
+	}
+	if _, _, err := synth.Elaborate(smt.NewContext(), out, synth.Options{}); err != nil {
+		t.Fatalf("latch fix did not synthesize: %v\n%s", err, verilog.Print(out))
+	}
+	// Default must come before the conditional assignment.
+	src := verilog.Print(out)
+	if strings.Index(src, "q = 1'b0") > strings.Index(src, "if (en)") {
+		t.Fatalf("default not prepended:\n%s", src)
+	}
+}
+
+func TestFixLatchInCase(t *testing.T) {
+	// fsm-style bug: a case statement without default and a missing arm
+	// assignment infers a latch on next_state.
+	out, fixes := preprocess(t, `
+module fsm(input [1:0] state, output reg [1:0] next_state);
+always @(*) begin
+  case (state)
+    2'b00: next_state = 2'b01;
+    2'b01: next_state = 2'b10;
+  endcase
+end
+endmodule`)
+	if len(fixes) == 0 {
+		t.Fatal("expected a latch fix")
+	}
+	if _, _, err := synth.Elaborate(smt.NewContext(), out, synth.Options{}); err != nil {
+		t.Fatalf("fixed module does not synthesize: %v", err)
+	}
+}
+
+func TestLevelClockFeedbackBecomesCombLoop(t *testing.T) {
+	// counter_w1 pattern: lint completes the sense list, but the design
+	// then fails synthesis with a comb loop — RTL-Repair correctly
+	// cannot handle it (§6.2, Figure 8).
+	m, err := verilog.ParseModule(`
+module c(input clk, input en, output reg [3:0] q);
+always @(clk) begin
+  if (en) q <= q + 1;
+end
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Preprocess(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = synth.Elaborate(smt.NewContext(), out, synth.Options{})
+	if err == nil {
+		t.Fatal("expected synthesis to fail after preprocessing")
+	}
+}
+
+func TestPreprocessDoesNotMutateInput(t *testing.T) {
+	m, err := verilog.ParseModule(`
+module m(input clk, input d, output reg q);
+always @(posedge clk) q = d;
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := verilog.Print(m)
+	if _, _, err := Preprocess(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if verilog.Print(m) != before {
+		t.Fatal("Preprocess mutated its input")
+	}
+}
+
+func TestCleanDesignNoFixes(t *testing.T) {
+	_, fixes := preprocess(t, `
+module m(input clk, input reset, input d, output reg q);
+always @(posedge clk) begin
+  if (reset) q <= 1'b0;
+  else q <= d;
+end
+endmodule`)
+	if len(fixes) != 0 {
+		t.Fatalf("unexpected fixes on clean design: %v", fixes)
+	}
+}
+
+func TestFixMultipleLatchesAcrossBlocks(t *testing.T) {
+	out, fixes := preprocess(t, `
+module ml(input en1, input en2, input [3:0] d, output reg [3:0] a, output reg [3:0] b);
+always @(*) begin
+  if (en1) a = d;
+end
+always @(*) begin
+  if (en2) b = ~d;
+end
+endmodule`)
+	latchFixes := 0
+	for _, f := range fixes {
+		if f.Kind == FixLatchDefault {
+			latchFixes++
+		}
+	}
+	if latchFixes != 2 {
+		t.Fatalf("latch fixes = %d, want 2", latchFixes)
+	}
+	if _, _, err := synth.Elaborate(smt.NewContext(), out, synth.Options{}); err != nil {
+		t.Fatalf("fixed module does not synthesize: %v", err)
+	}
+}
+
+func TestFixKindStrings(t *testing.T) {
+	for k, want := range map[FixKind]string{
+		FixAssignKind:   "assignment-kind",
+		FixSensitivity:  "sensitivity-list",
+		FixLatchDefault: "latch-default",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}

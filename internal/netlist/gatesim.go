@@ -1,0 +1,190 @@
+package netlist
+
+import (
+	"math/rand"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/trace"
+)
+
+// tval is a 4-state gate value.
+type tval uint8
+
+// Gate values.
+const (
+	v0 tval = iota
+	v1
+	vX
+)
+
+func fromBit(known, val bool) tval {
+	if !known {
+		return vX
+	}
+	if val {
+		return v1
+	}
+	return v0
+}
+
+func andT(a, b tval) tval {
+	if a == v0 || b == v0 {
+		return v0
+	}
+	if a == vX || b == vX {
+		return vX
+	}
+	return v1
+}
+
+func notT(a tval) tval {
+	switch a {
+	case v0:
+		return v1
+	case v1:
+		return v0
+	}
+	return vX
+}
+
+// GateSim simulates a Netlist cycle by cycle with per-bit 4-state values
+// (gate-level X-pessimism: no branch merging, X spreads through
+// reconvergent muxes).
+type GateSim struct {
+	nl   *Netlist
+	vals []tval
+	rng  *rand.Rand
+	// policy: 0 = keep X, 1 = randomize, 2 = zero
+	policy int
+}
+
+// Policy constants mirroring sim.UnknownPolicy (kept local to avoid an
+// import cycle; callers translate).
+const (
+	PolicyKeepX = iota
+	PolicyRandomize
+	PolicyZero
+)
+
+// NewGateSim returns a gate simulator with flops at their power-on value.
+func NewGateSim(nl *Netlist, policy int, seed int64) *GateSim {
+	g := &GateSim{nl: nl, vals: make([]tval, len(nl.Nodes)), rng: rand.New(rand.NewSource(seed)), policy: policy}
+	g.Reset()
+	return g
+}
+
+// Reset re-initializes all flip-flops.
+func (g *GateSim) Reset() {
+	for i := range g.vals {
+		g.vals[i] = vX
+	}
+	g.vals[0] = v0 // constant node
+	for _, d := range g.nl.DFFs {
+		switch {
+		case d.Init != nil:
+			g.vals[d.Node] = fromBit(true, *d.Init)
+		case g.policy == PolicyRandomize:
+			g.vals[d.Node] = fromBit(true, g.rng.Intn(2) == 1)
+		case g.policy == PolicyZero:
+			g.vals[d.Node] = v0
+		default:
+			g.vals[d.Node] = vX
+		}
+	}
+}
+
+func (g *GateSim) litVal(l Lit) tval {
+	v := g.vals[l.Node()]
+	if l.Inverted() {
+		return notT(v)
+	}
+	return v
+}
+
+// Step drives inputs, evaluates the combinational cloud, samples the
+// outputs, then clocks the flops. Unknown input bits are concretized per
+// policy.
+func (g *GateSim) Step(inputs map[string]bv.XBV) map[string]bv.XBV {
+	for _, w := range g.nl.Inputs {
+		v, ok := inputs[w.Name]
+		if !ok {
+			v = bv.X(len(w.Lits))
+		}
+		for i, l := range w.Lits {
+			known := v.Known.Bit(i)
+			var bit bool
+			if known {
+				bit = v.Val.Bit(i)
+			} else {
+				switch g.policy {
+				case PolicyRandomize:
+					known, bit = true, g.rng.Intn(2) == 1
+				case PolicyZero:
+					known, bit = true, false
+				}
+			}
+			g.vals[l.Node()] = fromBit(known, bit)
+		}
+	}
+	// Combinational evaluation: nodes are in topological order.
+	for i, node := range g.nl.Nodes {
+		if node.Kind == KindAnd {
+			g.vals[i] = andT(g.litVal(node.A), g.litVal(node.B))
+		}
+	}
+	outs := map[string]bv.XBV{}
+	for _, w := range g.nl.Outputs {
+		val, known := bv.Zero(len(w.Lits)), bv.Zero(len(w.Lits))
+		for i, l := range w.Lits {
+			switch g.litVal(l) {
+			case v1:
+				val = val.WithBit(i, true)
+				known = known.WithBit(i, true)
+			case v0:
+				known = known.WithBit(i, true)
+			}
+		}
+		outs[w.Name] = bv.XBV{Val: val, Known: known}
+	}
+	// Clock edge: capture D inputs, then update flops.
+	nextVals := make([]tval, len(g.nl.DFFs))
+	for i, d := range g.nl.DFFs {
+		nextVals[i] = g.litVal(d.Next)
+	}
+	for i, d := range g.nl.DFFs {
+		g.vals[d.Node] = nextVals[i]
+	}
+	return outs
+}
+
+// RunGateTrace checks a trace against the gate-level netlist, mirroring
+// sim.RunTrace.
+func RunGateTrace(nl *Netlist, tr *trace.Trace, policy int, seed int64) (firstFailure int, failedSignal string) {
+	g := NewGateSim(nl, policy, seed)
+	for cycle := 0; cycle < tr.Len(); cycle++ {
+		inputs := map[string]bv.XBV{}
+		for i, sig := range tr.Inputs {
+			inputs[sig.Name] = tr.InputRows[cycle][i]
+		}
+		outs := g.Step(inputs)
+		for i, sig := range tr.Outputs {
+			exp := tr.OutputRows[cycle][i]
+			got, ok := outs[sig.Name]
+			if !ok {
+				continue
+			}
+			if got.Width() != exp.Width() {
+				if exp.Known.IsZero() {
+					continue
+				}
+				return cycle, sig.Name
+			}
+			check := exp.Known
+			if !got.Known.And(check).Eq(check) ||
+				!exp.Val.And(check).Eq(got.Val.And(check)) {
+				return cycle, sig.Name
+			}
+		}
+	}
+	return -1, ""
+}

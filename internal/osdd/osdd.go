@@ -1,0 +1,110 @@
+// Package osdd computes the output/state divergence delta metric of §5:
+// starting the ground-truth and buggy circuits from the same state and
+// driving them with the same inputs, it measures the distance between
+// the first divergence in state values and the first divergence in
+// output values. An OSDD of zero means only the output function is
+// wrong; large OSDDs indicate bugs whose effects hide in state for many
+// cycles, which are hard for unrolling-based repair tools.
+package osdd
+
+import (
+	"fmt"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/sim"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/tsys"
+)
+
+// Result is the outcome of an OSDD analysis.
+type Result struct {
+	// Defined is false when the metric does not apply (no common clocked
+	// state, or the outputs never diverge on the given inputs).
+	Defined bool
+	// FirstOutputDiv is the cycle of the first output divergence
+	// (-1 if outputs never diverge).
+	FirstOutputDiv int
+	// FirstStateDiv is the cycle of the first state divergence
+	// (-1 if the state never diverges before the output does).
+	FirstStateDiv int
+	// OSDD is 0 when the state never diverges before the output does;
+	// otherwise FirstOutputDiv - FirstStateDiv + 1.
+	OSDD int
+	// DivergedSignal names the first diverging output.
+	DivergedSignal string
+	// DivergedState names the first diverging state variable.
+	DivergedState string
+}
+
+// Compute co-simulates the ground truth and the buggy design from a
+// common initial state over the trace inputs. Both systems must expose
+// the same outputs; state comparison uses the intersection of state
+// variable names (the paper's definition requires equal state, which
+// holds for all benchmarks both tools can repair).
+func Compute(groundTruth, buggy *tsys.System, tr *trace.Trace, seed int64) (*Result, error) {
+	gt := sim.NewCycleSim(groundTruth, sim.Randomize, seed)
+	bg := sim.NewCycleSim(buggy, sim.Randomize, seed)
+
+	// Common starting assignment: copy the ground truth's initial state
+	// onto the buggy design for all shared state variables.
+	shared := []string{}
+	for _, st := range groundTruth.States {
+		other := buggy.StateByName(st.Var.Name)
+		if other == nil || other.Var.Width != st.Var.Width {
+			// Width-mismatched registers (e.g. the "insufficient register
+			// size" defect) cannot be compared bit-for-bit; they are
+			// excluded from the common starting state.
+			continue
+		}
+		shared = append(shared, st.Var.Name)
+		bg.SetState(st.Var.Name, gt.State(st.Var.Name))
+	}
+
+	res := &Result{FirstOutputDiv: -1, FirstStateDiv: -1}
+	for cycle := 0; cycle < tr.Len(); cycle++ {
+		inputs := map[string]bv.XBV{}
+		for i, sig := range tr.Inputs {
+			inputs[sig.Name] = tr.InputRows[cycle][i]
+		}
+		// Compare state before this cycle's update.
+		if res.FirstStateDiv < 0 {
+			for _, name := range shared {
+				if !gt.State(name).SameAs(bg.State(name)) {
+					res.FirstStateDiv = cycle
+					res.DivergedState = name
+					break
+				}
+			}
+		}
+		gtOut := gt.Step(inputs)
+		bgOut := bg.Step(inputs)
+		for _, o := range groundTruth.Outputs {
+			bo, ok := bgOut[o.Name]
+			if !ok {
+				return nil, fmt.Errorf("osdd: buggy design lacks output %q", o.Name)
+			}
+			if bo.Width() != gtOut[o.Name].Width() || !gtOut[o.Name].SameAs(bo) {
+				res.FirstOutputDiv = cycle
+				res.DivergedSignal = o.Name
+				break
+			}
+		}
+		if res.FirstOutputDiv >= 0 {
+			break
+		}
+	}
+	if res.FirstOutputDiv < 0 {
+		// Outputs never diverge on this input sequence.
+		return res, nil
+	}
+	res.Defined = true
+	if res.FirstStateDiv < 0 || res.FirstStateDiv > res.FirstOutputDiv {
+		// State never diverged before the bug was revealed: the output
+		// functions differ (Figure 7b).
+		res.OSDD = 0
+		res.FirstStateDiv = -1
+		return res, nil
+	}
+	res.OSDD = res.FirstOutputDiv - res.FirstStateDiv + 1
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package osdd
+
+import (
+	"testing"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/tsys"
+	"rtlrepair/internal/verilog"
+)
+
+func elab(t *testing.T, src string) *tsys.System {
+	t.Helper()
+	m, err := verilog.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _, err := synth.Elaborate(smt.NewContext(), m, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// inputsOnly builds a trace with the given input rows (outputs ignored
+// by OSDD).
+func inputsOnly(ins []trace.Signal, rows [][]bv.XBV) *trace.Trace {
+	outs := []trace.Signal{}
+	tr := trace.New(ins, outs)
+	for _, r := range rows {
+		tr.AddRow(r, nil)
+	}
+	return tr
+}
+
+// Figure 7b: output functions differ → OSDD = 0.
+func TestOSDDZeroForOutputBug(t *testing.T) {
+	good := elab(t, `
+module m(input clk, input d, output y);
+reg r;
+always @(posedge clk) r <= d;
+assign y = r;
+endmodule`)
+	buggy := elab(t, `
+module m(input clk, input d, output y);
+reg r;
+always @(posedge clk) r <= d;
+assign y = ~r;
+endmodule`)
+	ins := []trace.Signal{{Name: "d", Width: 1}}
+	rows := [][]bv.XBV{{bv.KU(1, 1)}, {bv.KU(1, 0)}, {bv.KU(1, 1)}}
+	res, err := Compute(good, buggy, inputsOnly(ins, rows), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Defined || res.OSDD != 0 {
+		t.Fatalf("res = %+v, want OSDD 0", res)
+	}
+}
+
+// Figure 7c: a state update bug revealed on the next cycle → OSDD = 1.
+func TestOSDDOneForStateUpdateBug(t *testing.T) {
+	good := elab(t, `
+module m(input clk, input rst, input d, output y);
+reg r;
+always @(posedge clk) if (rst) r <= 1'b0; else r <= d;
+assign y = r;
+endmodule`)
+	buggy := elab(t, `
+module m(input clk, input rst, input d, output y);
+reg r;
+always @(posedge clk) if (rst) r <= 1'b0; else r <= ~d;
+assign y = r;
+endmodule`)
+	ins := []trace.Signal{{Name: "rst", Width: 1}, {Name: "d", Width: 1}}
+	rows := [][]bv.XBV{
+		{bv.KU(1, 1), bv.KU(1, 0)},
+		{bv.KU(1, 0), bv.KU(1, 1)},
+		{bv.KU(1, 0), bv.KU(1, 0)},
+	}
+	res, err := Compute(good, buggy, inputsOnly(ins, rows), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Defined || res.OSDD != 1 {
+		t.Fatalf("res = %+v, want OSDD 1", res)
+	}
+}
+
+// A bug that corrupts hidden state long before it reaches an output
+// produces a large OSDD (the pairing/reed class of Table 2).
+func TestOSDDLargeForDelayedBug(t *testing.T) {
+	// A 6-stage shift pipeline: the bug corrupts the input stage; the
+	// output only shows it 6 cycles later... but each shift moves it, so
+	// the *state* diverges immediately while the output diverges 6
+	// cycles later → OSDD = 6+1? The first state divergence is at the
+	// cycle after the wrong value enters stage0.
+	good := elab(t, `
+module p(input clk, input d, output y);
+reg s0, s1, s2, s3, s4, s5;
+always @(posedge clk) begin
+  s0 <= d; s1 <= s0; s2 <= s1; s3 <= s2; s4 <= s3; s5 <= s4;
+end
+assign y = s5;
+endmodule`)
+	buggy := elab(t, `
+module p(input clk, input d, output y);
+reg s0, s1, s2, s3, s4, s5;
+always @(posedge clk) begin
+  s0 <= ~d; s1 <= s0; s2 <= s1; s3 <= s2; s4 <= s3; s5 <= s4;
+end
+assign y = s5;
+endmodule`)
+	ins := []trace.Signal{{Name: "d", Width: 1}}
+	var rows [][]bv.XBV
+	for i := 0; i < 20; i++ {
+		rows = append(rows, []bv.XBV{bv.KU(1, uint64(i)&1)})
+	}
+	res, err := Compute(good, buggy, inputsOnly(ins, rows), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Defined {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.OSDD < 5 {
+		t.Fatalf("OSDD = %d, want >= 5 (deep pipeline)", res.OSDD)
+	}
+}
+
+func TestOSDDUndefinedWhenEquivalent(t *testing.T) {
+	src := `
+module m(input clk, input d, output y);
+reg r;
+always @(posedge clk) r <= d;
+assign y = r;
+endmodule`
+	good := elab(t, src)
+	same := elab(t, src)
+	ins := []trace.Signal{{Name: "d", Width: 1}}
+	rows := [][]bv.XBV{{bv.KU(1, 1)}, {bv.KU(1, 0)}}
+	res, err := Compute(good, same, inputsOnly(ins, rows), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Defined || res.FirstOutputDiv != -1 {
+		t.Fatalf("res = %+v, want undefined", res)
+	}
+}

@@ -1,0 +1,48 @@
+package sat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: literal encoding round-trips for any variable index and
+// polarity.
+func TestQuickLitEncoding(t *testing.T) {
+	f := func(v uint16, neg bool) bool {
+		l := MkLit(int(v), neg)
+		return l.Var() == int(v) && l.Neg() == neg &&
+			l.Not().Var() == int(v) && l.Not().Neg() == !neg && l.Not().Not() == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a formula consisting of arbitrary unit clauses over distinct
+// variables is always satisfiable, with the model matching the units.
+func TestQuickUnitsSatisfiable(t *testing.T) {
+	f := func(bits []bool) bool {
+		if len(bits) > 64 {
+			bits = bits[:64]
+		}
+		s := New()
+		vars := make([]int, len(bits))
+		for i := range bits {
+			vars[i] = s.NewVar()
+			s.AddClause(MkLit(vars[i], !bits[i]))
+		}
+		st, err := s.Solve()
+		if err != nil || st != Sat {
+			return false
+		}
+		for i, b := range bits {
+			if s.Value(vars[i]) != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,633 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver in the MiniSat tradition: two-watched-literal propagation,
+// first-UIP conflict analysis, VSIDS-style activity branching with phase
+// saving, Luby restarts, learned-clause reduction, and solving under
+// assumptions. Assumptions make the solver incrementally reusable, which
+// the repair synthesizer relies on for its minimal-change search.
+package sat
+
+import (
+	"errors"
+	"time"
+)
+
+// Lit is a literal: variable index shifted left once, low bit 1 for the
+// negated polarity. Variables are numbered from 0.
+type Lit int32
+
+// MkLit builds a literal for variable v, negated if neg.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of variable v.
+func PosLit(v int) Lit { return MkLit(v, false) }
+
+// NegLit returns the negative literal of variable v.
+func NegLit(v int) Lit { return MkLit(v, true) }
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Status is a solver verdict.
+type Status int
+
+// Solver verdicts.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrTimeout is returned by Solve when the configured deadline expires.
+var ErrTimeout = errors.New("sat: timeout")
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) neg() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses  []*clause
+	learnts  []*clause
+	watches  [][]watcher // indexed by literal
+	assigns  []lbool     // indexed by var
+	phase    []bool      // saved phase, indexed by var
+	level    []int       // decision level per var
+	reason   []*clause   // antecedent per var
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity  []float64
+	varInc    float64
+	heap      *varHeap
+	claInc    float64
+	seen      []bool
+	conflicts int64
+	decisions int64
+	props     int64
+
+	assumptionLevel int
+	failed          []Lit
+
+	ok       bool // false once an empty clause is derived at level 0
+	Deadline time.Time
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	s.heap = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars reports the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.phase = append(s.phase, false)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(v)
+	return v
+}
+
+func (s *Solver) value(l Lit) lbool {
+	a := s.assigns[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return a.neg()
+	}
+	return a
+}
+
+// AddClause adds a clause. Returns false if the formula became trivially
+// unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.backtrackTo(0)
+	s.assumptionLevel = 0
+	// Normalize: sort-free dedup, drop false literals, detect tautology.
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return true // satisfied at level 0
+		case lFalse:
+			continue
+		}
+		dup, taut := false, false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				taut = true
+				break
+			}
+		}
+		if taut {
+			return true
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.props++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				// Conflict: keep remaining watchers and bail.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.enqueue(first, c)
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // reserve slot for asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	var marked []int
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				marked = append(marked, v)
+				s.bumpVar(v)
+				if s.level[v] >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal to look at.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Simplify: remove literals implied by the rest (local minimization).
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		r := s.reason[v]
+		redundant := false
+		if r != nil {
+			redundant = true
+			for _, q := range r.lits {
+				if q.Var() == v {
+					continue
+				}
+				if !s.seenOrLevel0(q) {
+					redundant = false
+					break
+				}
+			}
+		}
+		if !redundant {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	// Find backtrack level: max level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	for _, v := range marked {
+		s.seen[v] = false
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) seenOrLevel0(q Lit) bool {
+	// Mark-based check used during minimization: literal q is redundant
+	// support if it is already in the learnt set (seen) or fixed at the
+	// root level.
+	return s.seen[q.Var()] || s.level[q.Var()] == 0
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, cl := range s.learnts {
+			cl.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assigns[v] == lTrue
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.heap.insertIfAbsent(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() int {
+	for {
+		v, ok := s.heap.pop()
+		if !ok {
+			return -1
+		}
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// luby computes the Luby restart sequence element i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i < (int64(1)<<k)-1 {
+			return luby(i - (int64(1) << (k - 1)) + 1)
+		}
+	}
+}
+
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 2 {
+		return
+	}
+	// Drop the lower-activity half of learnt clauses (keep binary ones
+	// and reasons).
+	sorted := make([]*clause, len(s.learnts))
+	copy(sorted, s.learnts)
+	// Simple insertion-style partial sort by activity ascending.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].activity < sorted[j-1].activity; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	locked := map[*clause]bool{}
+	for _, r := range s.reason {
+		if r != nil {
+			locked[r] = true
+		}
+	}
+	removed := map[*clause]bool{}
+	for _, c := range sorted[:len(sorted)/2] {
+		if len(c.lits) <= 2 || locked[c] {
+			continue
+		}
+		removed[c] = true
+	}
+	if len(removed) == 0 {
+		return
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !removed[c] {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+	for li := range s.watches {
+		ws := s.watches[li][:0]
+		for _, w := range s.watches[li] {
+			if !removed[w.c] {
+				ws = append(ws, w)
+			}
+		}
+		s.watches[li] = ws
+	}
+}
+
+// Solve searches for a model extending the given assumptions. On Sat the
+// model can be read with Value. On Unsat under assumptions, the conflict
+// subset is available via FailedAssumptions.
+func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
+	if !s.ok {
+		return Unsat, nil
+	}
+	s.backtrackTo(0)
+	s.failed = nil
+	s.assumptionLevel = 0
+
+	restarts := int64(0)
+	conflictBudget := int64(100) * luby(1)
+	conflictsAtRestart := s.conflicts
+	checkCounter := 0
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat, nil
+			}
+			// Fail if conflict is at or below the assumption levels: we
+			// must analyze whether assumptions are to blame.
+			learnt, btLevel := s.analyze(confl)
+			if btLevel < s.assumptionLevel {
+				btLevel = s.assumptionLevel
+				// If the asserting literal conflicts with assumptions we
+				// may loop; detect by checking enqueue below.
+			}
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 {
+				s.backtrackTo(0)
+				if !s.enqueue(learnt[0], nil) {
+					s.ok = false
+					return Unsat, nil
+				}
+				// Re-establish assumptions after a root-level restart.
+				if st, done := s.reassume(assumptions); done {
+					return st, nil
+				}
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				if !s.enqueue(learnt[0], c) {
+					// Asserting literal false at assumption level →
+					// assumptions are inconsistent with the formula.
+					s.computeFailed(assumptions)
+					return Unsat, nil
+				}
+			}
+			s.varInc *= 1.052
+			s.claInc *= 1.001
+			continue
+		}
+
+		checkCounter++
+		if checkCounter&1023 == 0 && !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+			return Unknown, ErrTimeout
+		}
+		if s.conflicts-conflictsAtRestart >= conflictBudget {
+			restarts++
+			conflictBudget = 100 * luby(restarts+1)
+			conflictsAtRestart = s.conflicts
+			s.backtrackTo(s.assumptionLevel)
+			if len(s.learnts) > 4000+len(s.clauses) {
+				s.backtrackTo(0)
+				s.reduceDB()
+				if st, done := s.reassume(assumptions); done {
+					return st, nil
+				}
+				continue
+			}
+		}
+
+		// Extend assumptions first.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.assumptionLevel = s.decisionLevel()
+				continue
+			case lFalse:
+				s.computeFailed(assumptions)
+				return Unsat, nil
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, nil)
+			s.assumptionLevel = s.decisionLevel()
+			continue
+		}
+
+		v := s.pickBranchVar()
+		if v == -1 {
+			return Sat, nil
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(MkLit(v, !s.phase[v]), nil)
+	}
+}
+
+// reassume replays assumption decisions after a restart to level 0.
+// It returns (status, true) if solving is already decided.
+func (s *Solver) reassume([]Lit) (Status, bool) {
+	s.assumptionLevel = 0
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat, true
+	}
+	return Unknown, false
+}
+
+// computeFailed records which assumptions were contradicted. We keep it
+// simple: report all assumptions that are currently assigned false.
+func (s *Solver) computeFailed(assumptions []Lit) {
+	s.failed = nil
+	for _, a := range assumptions {
+		if s.value(a) == lFalse {
+			s.failed = append(s.failed, a)
+		}
+	}
+}
+
+// FailedAssumptions returns assumptions found inconsistent in the last
+// Unsat answer (possibly empty when the formula itself is Unsat).
+func (s *Solver) FailedAssumptions() []Lit { return s.failed }
+
+// Value reports the model value of variable v after a Sat answer.
+func (s *Solver) Value(v int) bool { return s.assigns[v] == lTrue }
+
+// Stats reports search statistics.
+func (s *Solver) Stats() (conflicts, decisions, propagations int64) {
+	return s.conflicts, s.decisions, s.props
+}

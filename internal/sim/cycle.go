@@ -1,0 +1,271 @@
+// Package sim provides the three simulation backends the evaluation
+// needs: CycleSim, a 4-state cycle-accurate simulator over the
+// transition system (the Verilator stand-in); EventSim, an event-driven
+// interpreter over the Verilog AST with scheduling semantics (the Icarus
+// Verilog stand-in); and, together with internal/netlist, gate-level
+// simulation (the VCS GLS stand-in). Divergence between the backends is
+// how synthesis–simulation mismatch is detected, as in §6.2 of the paper.
+package sim
+
+import (
+	"math/rand"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/tsys"
+)
+
+// UnknownPolicy selects how unknown values (uninitialized registers and
+// undriven trace inputs) are concretized, matching §4.3 of the paper.
+type UnknownPolicy int
+
+// Unknown-value policies.
+const (
+	// KeepX propagates X symbolically (4-state simulation).
+	KeepX UnknownPolicy = iota
+	// Randomize picks random concrete values (CirFix-suite mode).
+	Randomize
+	// Zero uses zero (Verilator mode).
+	Zero
+)
+
+// CycleSim simulates a transition system cycle by cycle with 4-state
+// values.
+type CycleSim struct {
+	sys    *tsys.System
+	state  map[string]bv.XBV
+	params map[string]bv.BV
+	policy UnknownPolicy
+	rng    *rand.Rand
+}
+
+// NewCycleSim returns a simulator in the power-on state: registers take
+// their init value or, per policy, X / random / zero.
+func NewCycleSim(sys *tsys.System, policy UnknownPolicy, seed int64) *CycleSim {
+	s := &CycleSim{
+		sys:    sys,
+		params: map[string]bv.BV{},
+		policy: policy,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	s.Reset()
+	return s
+}
+
+// Reset returns every register to its power-on value.
+func (s *CycleSim) Reset() {
+	s.state = map[string]bv.XBV{}
+	for _, st := range s.sys.States {
+		if st.Init != nil {
+			s.state[st.Var.Name] = bv.K(st.Init.Val)
+			continue
+		}
+		s.state[st.Var.Name] = s.unknown(st.Var.Width)
+	}
+}
+
+func (s *CycleSim) unknown(width int) bv.XBV {
+	switch s.policy {
+	case Randomize:
+		return bv.K(bv.FromWords(width, []uint64{s.rng.Uint64(), s.rng.Uint64(), s.rng.Uint64(), s.rng.Uint64()}))
+	case Zero:
+		return bv.K(bv.Zero(width))
+	default:
+		return bv.X(width)
+	}
+}
+
+// SetParams fixes the synthesis constants (φ/α) for instrumented designs.
+func (s *CycleSim) SetParams(vals map[string]bv.BV) {
+	for k, v := range vals {
+		s.params[k] = v
+	}
+}
+
+// SetState overrides one register value (used to seed the adaptive
+// window's concrete prefix and the OSDD co-simulation).
+func (s *CycleSim) SetState(name string, v bv.XBV) { s.state[name] = v }
+
+// State reads one register value.
+func (s *CycleSim) State(name string) bv.XBV { return s.state[name] }
+
+// StateNames returns the register names in system order.
+func (s *CycleSim) StateNames() []string {
+	out := make([]string, len(s.sys.States))
+	for i, st := range s.sys.States {
+		out[i] = st.Var.Name
+	}
+	return out
+}
+
+// Snapshot copies the full register state.
+func (s *CycleSim) Snapshot() map[string]bv.XBV {
+	out := make(map[string]bv.XBV, len(s.state))
+	for k, v := range s.state {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore replaces the register state with a snapshot.
+func (s *CycleSim) Restore(snap map[string]bv.XBV) {
+	s.state = map[string]bv.XBV{}
+	for k, v := range snap {
+		s.state[k] = v
+	}
+}
+
+// Step evaluates outputs for the current cycle under the given inputs and
+// then advances the registers. Unknown input bits are concretized per
+// policy.
+func (s *CycleSim) Step(inputs map[string]bv.XBV) map[string]bv.XBV {
+	env := s.env(inputs)
+	outs := map[string]bv.XBV{}
+	for _, o := range s.sys.Outputs {
+		outs[o.Name] = smt.EvalX(o.Expr, env)
+	}
+	next := map[string]bv.XBV{}
+	for _, st := range s.sys.States {
+		next[st.Var.Name] = smt.EvalX(st.Next, env)
+	}
+	s.state = next
+	return outs
+}
+
+// Peek evaluates the outputs without advancing the state.
+func (s *CycleSim) Peek(inputs map[string]bv.XBV) map[string]bv.XBV {
+	env := s.env(inputs)
+	outs := map[string]bv.XBV{}
+	for _, o := range s.sys.Outputs {
+		outs[o.Name] = smt.EvalX(o.Expr, env)
+	}
+	return outs
+}
+
+func (s *CycleSim) env(inputs map[string]bv.XBV) func(*smt.Term) bv.XBV {
+	resolved := map[string]bv.XBV{}
+	return func(v *smt.Term) bv.XBV {
+		if val, ok := s.state[v.Name]; ok {
+			return val
+		}
+		if val, ok := s.params[v.Name]; ok {
+			return bv.K(val)
+		}
+		if val, ok := resolved[v.Name]; ok {
+			return val
+		}
+		val, ok := inputs[v.Name]
+		if !ok {
+			val = bv.X(v.Width)
+		}
+		if val.HasUnknown() && s.policy != KeepX {
+			fill := s.unknown(v.Width)
+			val = bv.XBV{Val: val.Resolve(fill.Val), Known: bv.Ones(v.Width)}
+		}
+		resolved[v.Name] = val
+		return val
+	}
+}
+
+// RunResult is the outcome of running a trace against a design.
+type RunResult struct {
+	// FirstFailure is the first cycle whose checked outputs mismatch,
+	// or -1 if the whole trace passes.
+	FirstFailure int
+	// Cycles is the number of cycles executed (stops after first failure
+	// unless RunAll).
+	Cycles int
+	// Outputs per executed cycle, in trace output-column order.
+	Outputs [][]bv.XBV
+	// States per executed cycle (value *before* the cycle's update), in
+	// sys.States order.
+	States [][]bv.XBV
+	// FailedSignal is the first mismatching output column name.
+	FailedSignal string
+}
+
+// Passed reports whether the trace passed.
+func (r *RunResult) Passed() bool { return r.FirstFailure < 0 }
+
+// RunOptions configures RunTrace.
+type RunOptions struct {
+	Policy UnknownPolicy
+	Seed   int64
+	// RunAll keeps executing after the first failure (needed for OSDD
+	// and windowing analysis).
+	RunAll bool
+	// Params fixes synthesis constants.
+	Params map[string]bv.BV
+	// RecordStates enables state logging.
+	RecordStates bool
+}
+
+// RunTrace executes tr against sys and checks expected outputs.
+// An output cell checks only its known bits; a fully-known expectation
+// against an X simulation value counts as a mismatch (the X would be
+// visible to the testbench).
+func RunTrace(sys *tsys.System, tr *trace.Trace, opts RunOptions) *RunResult {
+	sim := NewCycleSim(sys, opts.Policy, opts.Seed)
+	sim.SetParams(opts.Params)
+	return RunTraceFrom(sim, tr, 0, opts)
+}
+
+// RunTraceFrom continues a prepared simulator from the given trace cycle.
+func RunTraceFrom(sim *CycleSim, tr *trace.Trace, start int, opts RunOptions) *RunResult {
+	res := &RunResult{FirstFailure: -1}
+	for cycle := start; cycle < tr.Len(); cycle++ {
+		inputs := map[string]bv.XBV{}
+		for i, sig := range tr.Inputs {
+			inputs[sig.Name] = tr.InputRows[cycle][i]
+		}
+		if opts.RecordStates {
+			row := make([]bv.XBV, len(sim.sys.States))
+			for i, st := range sim.sys.States {
+				row[i] = sim.state[st.Var.Name]
+			}
+			res.States = append(res.States, row)
+		}
+		outs := sim.Step(inputs)
+		row := make([]bv.XBV, len(tr.Outputs))
+		for i, sig := range tr.Outputs {
+			row[i] = outs[sig.Name]
+		}
+		res.Outputs = append(res.Outputs, row)
+		res.Cycles++
+		if res.FirstFailure < 0 {
+			for i, sig := range tr.Outputs {
+				exp := tr.OutputRows[cycle][i]
+				got := outs[sig.Name]
+				if !outputMatches(exp, got) {
+					res.FirstFailure = cycle
+					res.FailedSignal = sig.Name
+					break
+				}
+			}
+			if res.FirstFailure >= 0 && !opts.RunAll {
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// outputMatches checks a 4-state simulation value against a 4-state
+// expectation: every known expected bit must be known and equal. A
+// width mismatch (e.g. a bug that narrows an output port) fails any
+// checked expectation.
+func outputMatches(exp, got bv.XBV) bool {
+	if exp.Width() != got.Width() {
+		if exp.Known.IsZero() {
+			return true // nothing checked
+		}
+		return false
+	}
+	// bits to check
+	check := exp.Known
+	if !got.Known.And(check).Eq(check) {
+		return false // an X reached a checked bit
+	}
+	return exp.Val.And(check).Eq(got.Val.And(check))
+}

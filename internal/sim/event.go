@@ -1,0 +1,544 @@
+package sim
+
+import (
+	"fmt"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/verilog"
+)
+
+// EventSim is an event-driven interpreter for the Verilog AST with
+// scheduling semantics modelled on Icarus Verilog: sensitivity lists are
+// honoured (incomplete lists produce stale values), X is treated
+// optimistically in conditions (an unknown condition takes the else
+// branch), case statements use 4-state identity matching, and
+// non-blocking assignments are applied after the active events of a time
+// step drain. These are precisely the behaviours that differ from the
+// synthesized circuit and therefore expose synthesis–simulation
+// mismatch.
+type EventSim struct {
+	mod    *verilog.Module
+	info   *synth.StaticInfo
+	clock  string
+	vals   map[string]bv.XBV
+	procs  []*eproc
+	bySig  map[string][]*eproc
+	nbaQ   []nba
+	sched  []*eproc
+	inQ    map[*eproc]bool
+	maxIt  int
+	OscErr error // set if a combinational oscillation was detected
+}
+
+type eproc struct {
+	always *verilog.Always // nil for continuous assignments
+	cont   *verilog.ContAssign
+	senses []verilog.SenseItem // resolved sensitivity (incl. computed @*)
+}
+
+type nba struct {
+	lhs verilog.Expr
+	val bv.XBV
+}
+
+// NewEventSim builds an event simulator for a flattened module.
+func NewEventSim(m *verilog.Module, lib map[string]*verilog.Module) (*EventSim, error) {
+	flat, err := synth.Flatten(m, lib)
+	if err != nil {
+		return nil, err
+	}
+	info, err := synth.Static(flat)
+	if err != nil {
+		return nil, err
+	}
+	clock, err := synth.FindClock(flat)
+	if err != nil {
+		return nil, err
+	}
+	s := &EventSim{
+		mod:   flat,
+		info:  info,
+		clock: clock,
+		vals:  map[string]bv.XBV{},
+		bySig: map[string][]*eproc{},
+		inQ:   map[*eproc]bool{},
+		maxIt: 10000,
+	}
+	for _, name := range info.Order {
+		s.vals[name] = bv.X(info.Signals[name].Width)
+	}
+	for _, it := range flat.Items {
+		switch it := it.(type) {
+		case *verilog.Always:
+			p := &eproc{always: it}
+			if it.Star {
+				p.senses = starSenses(it.Body)
+			} else {
+				p.senses = it.Senses
+			}
+			s.addProc(p)
+		case *verilog.ContAssign:
+			p := &eproc{cont: it}
+			for _, name := range exprReads(it.RHS) {
+				p.senses = append(p.senses, verilog.SenseItem{Edge: verilog.EdgeLevel, Signal: name})
+			}
+			// Index expressions on the LHS are reads too.
+			for _, name := range lhsIndexReads(it.LHS) {
+				p.senses = append(p.senses, verilog.SenseItem{Edge: verilog.EdgeLevel, Signal: name})
+			}
+			s.addProc(p)
+		case *verilog.Initial:
+			// applied in Reset
+		}
+	}
+	s.Reset()
+	return s, nil
+}
+
+func (s *EventSim) addProc(p *eproc) {
+	s.procs = append(s.procs, p)
+	seen := map[string]bool{}
+	for _, sense := range p.senses {
+		if seen[sense.Signal] {
+			continue
+		}
+		seen[sense.Signal] = true
+		s.bySig[sense.Signal] = append(s.bySig[sense.Signal], p)
+	}
+}
+
+// Reset returns the simulation to time zero: everything X, initial
+// blocks applied, combinational processes evaluated once.
+func (s *EventSim) Reset() {
+	s.OscErr = nil
+	s.nbaQ = nil
+	s.sched = nil
+	s.inQ = map[*eproc]bool{}
+	for _, name := range s.info.Order {
+		s.vals[name] = bv.X(s.info.Signals[name].Width)
+	}
+	for _, it := range s.mod.Items {
+		switch it := it.(type) {
+		case *verilog.Decl:
+			if it.Init != nil && it.Kind == verilog.KindReg {
+				if v, err := s.eval(it.Init, s.info.Signals[it.Name].Width); err == nil {
+					s.write(it.Name, v)
+				}
+			}
+		case *verilog.Initial:
+			s.execStmt(it.Body)
+		}
+	}
+	// Time-zero evaluation of all combinational processes.
+	for _, p := range s.procs {
+		if p.cont != nil || (p.always != nil && !p.always.IsClocked()) {
+			s.schedule(p)
+		}
+	}
+	s.settle()
+}
+
+// Value reads a signal's current value.
+func (s *EventSim) Value(name string) bv.XBV { return s.vals[name] }
+
+// SetInput drives an input signal (triggering sensitive processes).
+func (s *EventSim) SetInput(name string, v bv.XBV) {
+	s.write(name, v)
+}
+
+// Step performs one full clock cycle: drive inputs, settle, sample
+// outputs (pre-edge, like the cycle simulator), then clock 0→1→0.
+func (s *EventSim) Step(inputs map[string]bv.XBV, outputs []string) map[string]bv.XBV {
+	for name, v := range inputs {
+		s.write(name, v)
+	}
+	s.settle()
+	outs := map[string]bv.XBV{}
+	for _, o := range outputs {
+		outs[o] = s.vals[o]
+	}
+	if s.clock != "" {
+		s.write(s.clock, bv.KU(1, 1))
+		s.settle()
+		s.write(s.clock, bv.KU(1, 0))
+		s.settle()
+	}
+	return outs
+}
+
+func (s *EventSim) schedule(p *eproc) {
+	if !s.inQ[p] {
+		s.inQ[p] = true
+		s.sched = append(s.sched, p)
+	}
+}
+
+// write updates a signal and schedules sensitive processes.
+func (s *EventSim) write(name string, v bv.XBV) {
+	old, ok := s.vals[name]
+	if !ok {
+		s.vals[name] = v
+		return
+	}
+	v = v.Resize(old.Width())
+	if old.SameAs(v) {
+		return
+	}
+	s.vals[name] = v
+	for _, p := range s.bySig[name] {
+		for _, sense := range p.senses {
+			if sense.Signal != name {
+				continue
+			}
+			switch sense.Edge {
+			case verilog.EdgeLevel:
+				s.schedule(p)
+			case verilog.EdgePos:
+				// transition to a known 1 from anything that was not 1
+				if v.Width() >= 1 && v.Known.Bit(0) && v.Val.Bit(0) && !(old.Known.Bit(0) && old.Val.Bit(0)) {
+					s.schedule(p)
+				}
+			case verilog.EdgeNeg:
+				if v.Width() >= 1 && v.Known.Bit(0) && !v.Val.Bit(0) && !(old.Known.Bit(0) && !old.Val.Bit(0)) {
+					s.schedule(p)
+				}
+			}
+		}
+	}
+}
+
+// settle runs active events and NBA updates until quiescent.
+func (s *EventSim) settle() {
+	for it := 0; ; it++ {
+		if it > s.maxIt {
+			s.OscErr = fmt.Errorf("sim: combinational oscillation (no fixpoint after %d events)", s.maxIt)
+			s.sched = nil
+			s.inQ = map[*eproc]bool{}
+			s.nbaQ = nil
+			return
+		}
+		if len(s.sched) > 0 {
+			p := s.sched[0]
+			s.sched = s.sched[1:]
+			delete(s.inQ, p)
+			s.runProc(p)
+			continue
+		}
+		if len(s.nbaQ) > 0 {
+			q := s.nbaQ
+			s.nbaQ = nil
+			for _, u := range q {
+				s.assign(u.lhs, u.val)
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (s *EventSim) runProc(p *eproc) {
+	if p.cont != nil {
+		w, err := s.lhsWidth(p.cont.LHS)
+		if err != nil {
+			return
+		}
+		v, err := s.eval(p.cont.RHS, w)
+		if err != nil {
+			return
+		}
+		s.assign(p.cont.LHS, v.Resize(w))
+		return
+	}
+	s.execStmt(p.always.Body)
+}
+
+func (s *EventSim) execStmt(st verilog.Stmt) {
+	switch st := st.(type) {
+	case *verilog.Block:
+		for _, inner := range st.Stmts {
+			s.execStmt(inner)
+		}
+	case *verilog.NullStmt:
+	case *verilog.If:
+		cond, err := s.eval(st.Cond, 0)
+		if err != nil {
+			return
+		}
+		// Verilog semantics: an unknown condition takes the else branch.
+		if cond.Truthy() {
+			s.execStmt(st.Then)
+		} else if st.Else != nil {
+			s.execStmt(st.Else)
+		}
+	case *verilog.Case:
+		s.execCase(st)
+	case *verilog.Assign:
+		w, err := s.lhsWidth(st.LHS)
+		if err != nil {
+			return
+		}
+		v, err := s.eval(st.RHS, w)
+		if err != nil {
+			return
+		}
+		v = v.Resize(w)
+		if st.Blocking {
+			s.assign(st.LHS, v)
+		} else {
+			s.nbaQ = append(s.nbaQ, nba{lhs: st.LHS, val: v})
+		}
+	}
+}
+
+func (s *EventSim) execCase(st *verilog.Case) {
+	subjW, err := s.selfWidth(st.Subject)
+	if err != nil {
+		return
+	}
+	for _, item := range st.Items {
+		for _, l := range item.Exprs {
+			if w, err := s.selfWidth(l); err == nil && w > subjW {
+				subjW = w
+			}
+		}
+	}
+	subj, err := s.eval(st.Subject, subjW)
+	if err != nil {
+		return
+	}
+	subj = subj.Resize(subjW)
+	var deflt verilog.Stmt
+	for _, item := range st.Items {
+		if item.Exprs == nil {
+			deflt = item.Body
+			continue
+		}
+		for _, l := range item.Exprs {
+			match := false
+			if n, ok := l.(*verilog.Number); ok {
+				lv := n.Bits.Resize(subjW)
+				switch st.Kind {
+				case verilog.CaseZ, verilog.CaseX:
+					mask := lv.Known
+					if st.Kind == verilog.CaseX {
+						mask = mask.And(subj.Known)
+					}
+					match = subj.Val.And(mask).Eq(lv.Val.And(mask)) && (st.Kind == verilog.CaseX || subj.Known.Or(mask.Not()).IsOnes())
+					// For casez, unknown subject bits in checked positions
+					// do not match a concrete label.
+					if st.Kind == verilog.CaseZ && !subj.Known.Or(mask.Not()).IsOnes() {
+						match = false
+					}
+				default:
+					// case equality (===): 4-state identity
+					match = subj.SameAs(lv)
+				}
+			} else {
+				lv, err := s.eval(l, subjW)
+				if err != nil {
+					continue
+				}
+				match = subj.SameAs(lv.Resize(subjW))
+			}
+			if match {
+				s.execStmt(item.Body)
+				return
+			}
+		}
+	}
+	if deflt != nil {
+		s.execStmt(deflt)
+	}
+}
+
+// assign writes an evaluated value to an lvalue.
+func (s *EventSim) assign(lhs verilog.Expr, v bv.XBV) {
+	switch l := lhs.(type) {
+	case *verilog.Ident:
+		s.write(l.Name, v)
+	case *verilog.Index:
+		id, ok := l.X.(*verilog.Ident)
+		if !ok {
+			return
+		}
+		d, ok := s.info.Signals[id.Name]
+		if !ok {
+			return
+		}
+		idx, err := s.eval(l.Idx, 0)
+		if err != nil || idx.HasUnknown() {
+			return // X index: write is lost (matches simulator behaviour)
+		}
+		b := int(idx.Val.Resize(64).Uint64()) - d.Lsb
+		if b < 0 || b >= d.Width {
+			return
+		}
+		cur := s.vals[id.Name]
+		nv := spliceX(cur, v.Resize(1), b, b)
+		s.write(id.Name, nv)
+	case *verilog.PartSelect:
+		id, ok := l.X.(*verilog.Ident)
+		if !ok {
+			return
+		}
+		d, ok := s.info.Signals[id.Name]
+		if !ok {
+			return
+		}
+		hi, err1 := s.constInt(l.MSB)
+		lo, err2 := s.constInt(l.LSB)
+		if err1 != nil || err2 != nil {
+			return
+		}
+		hb, lb := int(hi)-d.Lsb, int(lo)-d.Lsb
+		if lb < 0 || hb >= d.Width || hb < lb {
+			return
+		}
+		cur := s.vals[id.Name]
+		s.write(id.Name, spliceX(cur, v.Resize(hb-lb+1), hb, lb))
+	case *verilog.Concat:
+		offset := v.Width()
+		for _, p := range l.Parts {
+			w, err := s.lhsWidth(p)
+			if err != nil {
+				return
+			}
+			offset -= w
+			s.assign(p, v.Extract(offset+w-1, offset))
+		}
+	}
+}
+
+// spliceX replaces bits [hi:lo] of base with val (4-state).
+func spliceX(base, val bv.XBV, hi, lo int) bv.XBV {
+	parts := []bv.XBV{}
+	if hi < base.Width()-1 {
+		parts = append(parts, base.Extract(base.Width()-1, hi+1))
+	}
+	parts = append(parts, val)
+	if lo > 0 {
+		parts = append(parts, base.Extract(lo-1, 0))
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out = out.Concat(p)
+	}
+	return out
+}
+
+// starSenses computes the @(*) sensitivity of a statement: the signals
+// it *reads* (right-hand sides, conditions, case subjects and labels,
+// and index expressions on targets) — not the targets themselves, which
+// would make a block that assigns intermediate values re-trigger itself
+// forever.
+func starSenses(body verilog.Stmt) []verilog.SenseItem {
+	seen := map[string]bool{}
+	var out []verilog.SenseItem
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, verilog.SenseItem{Edge: verilog.EdgeLevel, Signal: name})
+		}
+	}
+	addExpr := func(e verilog.Expr) {
+		for _, name := range exprReads(e) {
+			add(name)
+		}
+	}
+	var rec func(verilog.Stmt)
+	rec = func(st verilog.Stmt) {
+		switch st := st.(type) {
+		case *verilog.Block:
+			for _, inner := range st.Stmts {
+				rec(inner)
+			}
+		case *verilog.If:
+			addExpr(st.Cond)
+			rec(st.Then)
+			if st.Else != nil {
+				rec(st.Else)
+			}
+		case *verilog.Case:
+			addExpr(st.Subject)
+			for _, item := range st.Items {
+				for _, e := range item.Exprs {
+					addExpr(e)
+				}
+				rec(item.Body)
+			}
+		case *verilog.Assign:
+			addExpr(st.RHS)
+			for _, name := range lhsIndexReads(st.LHS) {
+				add(name)
+			}
+		}
+	}
+	rec(body)
+	return out
+}
+
+// exprReads lists identifiers read by an expression.
+func exprReads(e verilog.Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	var rec func(verilog.Expr)
+	rec = func(e verilog.Expr) {
+		if e == nil {
+			return
+		}
+		if id, ok := e.(*verilog.Ident); ok {
+			if !seen[id.Name] {
+				seen[id.Name] = true
+				out = append(out, id.Name)
+			}
+			return
+		}
+		switch e := e.(type) {
+		case *verilog.Unary:
+			rec(e.X)
+		case *verilog.Binary:
+			rec(e.X)
+			rec(e.Y)
+		case *verilog.Ternary:
+			rec(e.Cond)
+			rec(e.Then)
+			rec(e.Else)
+		case *verilog.Concat:
+			for _, p := range e.Parts {
+				rec(p)
+			}
+		case *verilog.Repeat:
+			rec(e.Count)
+			for _, p := range e.Parts {
+				rec(p)
+			}
+		case *verilog.Index:
+			rec(e.X)
+			rec(e.Idx)
+		case *verilog.PartSelect:
+			rec(e.X)
+			rec(e.MSB)
+			rec(e.LSB)
+		}
+	}
+	rec(e)
+	return out
+}
+
+// lhsIndexReads lists identifiers read in index positions of an lvalue.
+func lhsIndexReads(lhs verilog.Expr) []string {
+	switch l := lhs.(type) {
+	case *verilog.Index:
+		return exprReads(l.Idx)
+	case *verilog.PartSelect:
+		return append(exprReads(l.MSB), exprReads(l.LSB)...)
+	case *verilog.Concat:
+		var out []string
+		for _, p := range l.Parts {
+			out = append(out, lhsIndexReads(p)...)
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"testing"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/verilog"
+)
+
+// evalIn builds an event simulator, drives inputs, settles, and reads
+// one output.
+func evalIn(t *testing.T, src string, inputs map[string]bv.XBV, out string) bv.XBV {
+	t.Helper()
+	m, err := verilog.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := NewEventSim(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range inputs {
+		es.SetInput(name, v)
+	}
+	es.settle()
+	if es.OscErr != nil {
+		t.Fatal(es.OscErr)
+	}
+	return es.Value(out)
+}
+
+func TestEventExprArithAndShift(t *testing.T) {
+	src := `
+module e(input [7:0] a, b, output [7:0] sum, diff, prod, quo, rem, shl, shr);
+assign sum = a + b;
+assign diff = a - b;
+assign prod = a * b;
+assign quo = a / b;
+assign rem = a % b;
+assign shl = a << b[2:0];
+assign shr = a >> b[2:0];
+endmodule`
+	in := map[string]bv.XBV{"a": bv.KU(8, 200), "b": bv.KU(8, 3)}
+	checks := map[string]uint64{
+		"sum": (200 + 3) & 0xff, "diff": 197, "prod": (200 * 3) & 0xff,
+		"quo": 66, "rem": 2, "shl": (200 << 3) & 0xff, "shr": 200 >> 3,
+	}
+	for out, want := range checks {
+		if got := evalIn(t, src, in, out); got.Val.Uint64() != want || got.HasUnknown() {
+			t.Errorf("%s = %v, want %d", out, got, want)
+		}
+	}
+}
+
+func TestEventExprSignedArithmeticShift(t *testing.T) {
+	src := `
+module s(input signed [7:0] a, output signed [7:0] y);
+assign y = a >>> 2;
+endmodule`
+	got := evalIn(t, src, map[string]bv.XBV{"a": bv.KU(8, 0x84)}, "y")
+	if got.Val.Uint64() != 0xe1 {
+		t.Fatalf("y = %v, want 0xe1", got)
+	}
+}
+
+func TestEventExprSignedComparison(t *testing.T) {
+	src := `
+module c(input signed [7:0] a, b, output lt, le, gt, ge);
+assign lt = a < b;
+assign le = a <= b;
+assign gt = a > b;
+assign ge = a >= b;
+endmodule`
+	in := map[string]bv.XBV{"a": bv.KU(8, 0xfe) /* -2 */, "b": bv.KU(8, 3)}
+	for out, want := range map[string]uint64{"lt": 1, "le": 1, "gt": 0, "ge": 0} {
+		if got := evalIn(t, src, in, out); got.Val.Uint64() != want {
+			t.Errorf("%s = %v, want %d", out, got, want)
+		}
+	}
+}
+
+func TestEventExprReductionsAndLogic(t *testing.T) {
+	src := `
+module r(input [3:0] a, output rand_, ror_, rxor_, nand_, nor_, nxor_, not_);
+assign rand_ = &a;
+assign ror_ = |a;
+assign rxor_ = ^a;
+assign nand_ = ~&a;
+assign nor_ = ~|a;
+assign nxor_ = ~^a;
+assign not_ = !a;
+endmodule`
+	in := map[string]bv.XBV{"a": bv.KU(4, 0b0111)}
+	for out, want := range map[string]uint64{
+		"rand_": 0, "ror_": 1, "rxor_": 1, "nand_": 1, "nor_": 0, "nxor_": 0, "not_": 0,
+	} {
+		if got := evalIn(t, src, in, out); got.Val.Uint64() != want {
+			t.Errorf("%s = %v, want %d", out, got, want)
+		}
+	}
+}
+
+func TestEventExprPartSelectAndConcatWrites(t *testing.T) {
+	src := `
+module w(input clk, input [3:0] n, output reg [7:0] q, output reg [3:0] h, output reg [3:0] l);
+initial q = 8'h00;
+always @(posedge clk) begin
+  q[7:4] <= n;
+  q[1:0] <= n[1:0];
+  {h, l} <= {n, ~n};
+end
+endmodule`
+	m, err := verilog.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := NewEventSim(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.Step(map[string]bv.XBV{"n": bv.KU(4, 0xa)}, nil)
+	if got := es.Value("q"); got.Val.Uint64() != 0xa2 {
+		t.Fatalf("q = %v, want 0xa2", got)
+	}
+	if es.Value("h").Val.Uint64() != 0xa || es.Value("l").Val.Uint64() != 0x5 {
+		t.Fatalf("h=%v l=%v", es.Value("h"), es.Value("l"))
+	}
+}
+
+func TestEventExprDynamicIndexWrite(t *testing.T) {
+	src := `
+module d(input clk, input [2:0] i, input b, output reg [7:0] q);
+initial q = 8'hff;
+always @(posedge clk) q[i] <= b;
+endmodule`
+	m, _ := verilog.ParseModule(src)
+	es, err := NewEventSim(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.Step(map[string]bv.XBV{"i": bv.KU(3, 4), "b": bv.KU(1, 0)}, nil)
+	if got := es.Value("q"); got.Val.Uint64() != 0xef {
+		t.Fatalf("q = %v, want 0xef", got)
+	}
+	// An X index loses the write (simulator semantics).
+	es.Step(map[string]bv.XBV{"i": bv.X(3), "b": bv.KU(1, 0)}, nil)
+	if got := es.Value("q"); got.Val.Uint64() != 0xef {
+		t.Fatalf("q after X-index write = %v, want unchanged", got)
+	}
+}
+
+func TestEventExprDynamicIndexReadWithXIndex(t *testing.T) {
+	src := `
+module x(input [7:0] a, input [2:0] i, output y);
+assign y = a[i];
+endmodule`
+	got := evalIn(t, src, map[string]bv.XBV{"a": bv.KU(8, 0xff), "i": bv.X(3)}, "y")
+	if !got.HasUnknown() {
+		t.Fatalf("a[x] = %v, want X", got)
+	}
+}
+
+func TestEventExprShiftWithXAmount(t *testing.T) {
+	src := `
+module sx(input [7:0] a, input [2:0] n, output [7:0] y);
+assign y = a >> n;
+endmodule`
+	got := evalIn(t, src, map[string]bv.XBV{"a": bv.KU(8, 0x80), "n": bv.X(3)}, "y")
+	if !got.HasUnknown() {
+		t.Fatalf("a >> x = %v, want X", got)
+	}
+	// Known shift of a partially-known value keeps the shifted-in zeros
+	// known.
+	half, _ := bv.ParseX("xxxx1111")
+	got = evalIn(t, src, map[string]bv.XBV{"a": half, "n": bv.KU(3, 4)}, "y")
+	if got.String() != "8'b0000xxxx" {
+		t.Fatalf("shift known-mask = %v", got)
+	}
+}
+
+func TestEventExprRepeatAndConcat(t *testing.T) {
+	src := `
+module rc(input [1:0] a, output [7:0] y, output [3:0] z);
+assign y = {2{a, ~a}};
+assign z = {a, a};
+endmodule`
+	got := evalIn(t, src, map[string]bv.XBV{"a": bv.KU(2, 0b01)}, "y")
+	if got.Val.Uint64() != 0b01100110 {
+		t.Fatalf("y = %v", got)
+	}
+	got = evalIn(t, src, map[string]bv.XBV{"a": bv.KU(2, 0b01)}, "z")
+	if got.Val.Uint64() != 0b0101 {
+		t.Fatalf("z = %v", got)
+	}
+}
+
+func TestEventExprTernaryXMerge(t *testing.T) {
+	src := `
+module tm(input c, input [3:0] a, output [3:0] y);
+assign y = c ? a : a;
+endmodule`
+	got := evalIn(t, src, map[string]bv.XBV{"c": bv.X(1), "a": bv.KU(4, 9)}, "y")
+	if got.HasUnknown() || got.Val.Uint64() != 9 {
+		t.Fatalf("x ? a : a = %v, want 9 (branch merge)", got)
+	}
+}
+
+func TestEventExprMemoryThroughScalarization(t *testing.T) {
+	// EventSim receives the scalarized design via Flatten.
+	src := `
+module mrf(input clk, input we, input [1:0] wa, input [3:0] wd,
+           input [1:0] ra, output [3:0] rd);
+reg [3:0] m [0:3];
+assign rd = m[ra];
+always @(posedge clk) if (we) m[wa] <= wd;
+endmodule`
+	m, err := verilog.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := NewEventSim(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.Step(map[string]bv.XBV{"we": bv.KU(1, 1), "wa": bv.KU(2, 2), "wd": bv.KU(4, 0xb), "ra": bv.KU(2, 0)}, nil)
+	out := es.Step(map[string]bv.XBV{"we": bv.KU(1, 0), "wa": bv.KU(2, 0), "wd": bv.KU(4, 0), "ra": bv.KU(2, 2)}, []string{"rd"})
+	_ = out
+	es.settle()
+	if got := es.Value("rd"); got.Val.Uint64() != 0xb || !got.IsFullyKnown() {
+		t.Fatalf("rd = %v, want 0xb", got)
+	}
+}

@@ -1,0 +1,172 @@
+package smt
+
+import (
+	"fmt"
+
+	"rtlrepair/internal/bv"
+)
+
+// EvalX computes the 4-state value of t, propagating X (unknown) bits the
+// way a two-state-accurate simulator must: logic operations are bit-precise
+// (0 & X = 0), arithmetic and comparisons poison, and an ITE with an
+// unknown condition merges both branches, keeping only bits on which the
+// branches agree. This models the synthesized circuit's behaviour under
+// unknown register power-on values, which is what the repair synthesizer
+// and the OSDD analysis need (and is deliberately *different* from
+// Verilog event-simulation X-optimism, implemented in internal/sim's
+// event simulator).
+func EvalX(t *Term, env func(*Term) bv.XBV) bv.XBV {
+	memo := map[*Term]bv.XBV{}
+	var rec func(*Term) bv.XBV
+	rec = func(t *Term) bv.XBV {
+		if v, ok := memo[t]; ok {
+			return v
+		}
+		var v bv.XBV
+		switch t.Op {
+		case OpConst:
+			v = bv.K(t.Val)
+		case OpVar:
+			v = env(t)
+			if v.Width() != t.Width {
+				panic(fmt.Sprintf("smt: envx value width %d for %q (want %d)", v.Width(), t.Name, t.Width))
+			}
+		case OpNot:
+			v = rec(t.Args[0]).Not()
+		case OpAnd:
+			v = rec(t.Args[0]).And(rec(t.Args[1]))
+		case OpOr:
+			v = rec(t.Args[0]).Or(rec(t.Args[1]))
+		case OpXor:
+			v = rec(t.Args[0]).Xor(rec(t.Args[1]))
+		case OpNeg:
+			a := rec(t.Args[0])
+			if a.HasUnknown() {
+				v = bv.X(t.Width)
+			} else {
+				v = bv.K(a.Val.Neg())
+			}
+		case OpAdd:
+			v = rec(t.Args[0]).Add(rec(t.Args[1]))
+		case OpSub:
+			v = rec(t.Args[0]).Sub(rec(t.Args[1]))
+		case OpMul:
+			v = rec(t.Args[0]).Mul(rec(t.Args[1]))
+		case OpUdiv:
+			v = rec(t.Args[0]).Udiv(rec(t.Args[1]))
+		case OpUrem:
+			v = rec(t.Args[0]).Urem(rec(t.Args[1]))
+		case OpEq:
+			v = rec(t.Args[0]).EqX(rec(t.Args[1]))
+		case OpUlt:
+			v = rec(t.Args[0]).UltX(rec(t.Args[1]))
+		case OpSlt:
+			a, b := rec(t.Args[0]), rec(t.Args[1])
+			if a.HasUnknown() || b.HasUnknown() {
+				v = bv.X(1)
+			} else {
+				v = bv.K(bv.FromBool(a.Val.Slt(b.Val)))
+			}
+		case OpShl, OpLshr, OpAshr:
+			a, b := rec(t.Args[0]), rec(t.Args[1])
+			if b.HasUnknown() || (t.Op == OpAshr && a.HasUnknown()) {
+				v = bv.X(t.Width)
+			} else {
+				switch t.Op {
+				case OpShl:
+					v = bv.XBV{Val: a.Val.ShlBV(b.Val), Known: a.Known.ShlBV(b.Val).Or(lowKnown(t.Width, b.Val))}
+				case OpLshr:
+					v = bv.XBV{Val: a.Val.LshrBV(b.Val), Known: a.Known.LshrBV(b.Val).Or(highKnown(t.Width, b.Val))}
+				default:
+					v = bv.K(a.Val.AshrBV(b.Val))
+				}
+			}
+		case OpConcat:
+			v = rec(t.Args[0]).Concat(rec(t.Args[1]))
+		case OpExtract:
+			v = rec(t.Args[0]).Extract(t.Hi, t.Lo)
+		case OpZeroExt:
+			v = rec(t.Args[0]).ZeroExt(t.Width)
+		case OpSignExt:
+			a := rec(t.Args[0])
+			ext := bv.X(t.Width - a.Width())
+			if a.Known.Bit(a.Width() - 1) {
+				if a.Val.Bit(a.Width() - 1) {
+					ext = bv.K(bv.Ones(t.Width - a.Width()))
+				} else {
+					ext = bv.K(bv.Zero(t.Width - a.Width()))
+				}
+			}
+			v = ext.Concat(a)
+		case OpIte:
+			cond := rec(t.Args[0])
+			switch {
+			case cond.IsFullyKnown() && cond.Val.Bit(0):
+				v = rec(t.Args[1])
+			case cond.IsFullyKnown():
+				v = rec(t.Args[2])
+			default:
+				v = mergeX(rec(t.Args[1]), rec(t.Args[2]))
+			}
+		case OpRedOr:
+			v = rec(t.Args[0]).ReduceOr()
+		case OpRedAnd:
+			a := rec(t.Args[0])
+			if a.IsFullyKnown() {
+				v = bv.K(a.Val.ReduceAnd())
+			} else if !a.Val.Or(a.Known.Not()).Not().IsZero() {
+				// some bit is a known zero
+				v = bv.KU(1, 0)
+			} else {
+				v = bv.X(1)
+			}
+		case OpRedXor:
+			a := rec(t.Args[0])
+			if a.IsFullyKnown() {
+				v = bv.K(a.Val.ReduceXor())
+			} else {
+				v = bv.X(1)
+			}
+		default:
+			panic(fmt.Sprintf("smt: evalx of %v", t.Op))
+		}
+		memo[t] = v
+		return v
+	}
+	return rec(t)
+}
+
+// mergeX keeps bits on which both branches agree and are known.
+func mergeX(a, b bv.XBV) bv.XBV {
+	agree := a.Val.Xor(b.Val).Not()
+	known := a.Known.And(b.Known).And(agree)
+	return bv.XBV{Val: a.Val.And(known), Known: known}
+}
+
+// lowKnown returns a mask of the low bits that a left shift by amt makes
+// known (they are shifted-in zeros).
+func lowKnown(width int, amt bv.BV) bv.BV {
+	n := int(amt.Uint64())
+	if n > width {
+		n = width
+	}
+	m := bv.Zero(width)
+	for i := 0; i < n; i++ {
+		m = m.WithBit(i, true)
+	}
+	return m
+}
+
+// highKnown returns a mask of the high bits a logical right shift makes
+// known.
+func highKnown(width int, amt bv.BV) bv.BV {
+	n := int(amt.Uint64())
+	if n > width {
+		n = width
+	}
+	m := bv.Zero(width)
+	for i := width - n; i < width; i++ {
+		m = m.WithBit(i, true)
+	}
+	return m
+}

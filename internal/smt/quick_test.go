@@ -1,0 +1,84 @@
+package smt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtlrepair/internal/bv"
+)
+
+// Property: term-level constant folding agrees with bit-vector
+// arithmetic for every binary operator.
+func TestQuickFoldingMatchesBV(t *testing.T) {
+	type binCase struct {
+		name string
+		term func(*Context, *Term, *Term) *Term
+		val  func(bv.BV, bv.BV) bv.BV
+	}
+	cases := []binCase{
+		{"add", (*Context).Add, bv.BV.Add},
+		{"sub", (*Context).Sub, bv.BV.Sub},
+		{"mul", (*Context).Mul, bv.BV.Mul},
+		{"and", (*Context).And, bv.BV.And},
+		{"or", (*Context).Or, bv.BV.Or},
+		{"xor", (*Context).Xor, bv.BV.Xor},
+		{"udiv", (*Context).Udiv, bv.BV.Udiv},
+		{"urem", (*Context).Urem, bv.BV.Urem},
+	}
+	for _, c := range cases {
+		c := c
+		f := func(a, b uint64) bool {
+			ctx := NewContext()
+			x, y := ctx.ConstU(32, a), ctx.ConstU(32, b)
+			folded := c.term(ctx, x, y)
+			want := c.val(bv.New(32, a), bv.New(32, b))
+			return folded.IsConst() && folded.Val.Eq(want)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+// Property: substitution with the identity map returns the same term
+// (hash-consing pointer equality).
+func TestQuickSubstituteIdentity(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ctx := NewContext()
+		x := ctx.Var("x", 16)
+		y := ctx.Var("y", 16)
+		e := ctx.Ite(ctx.Ult(x, y), ctx.Add(x, ctx.ConstU(16, a)), ctx.Xor(y, ctx.ConstU(16, b)))
+		return ctx.Substitute(e, nil) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eval of zext(x)+zext(y) at double width never wraps.
+func TestQuickWideAddNoOverflow(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ctx := NewContext()
+		x := ctx.ZeroExt(ctx.ConstU(32, uint64(a)), 64)
+		y := ctx.ZeroExt(ctx.ConstU(32, uint64(b)), 64)
+		sum := ctx.Add(x, y)
+		return sum.IsConst() && sum.Val.Uint64() == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan holds for the term constructors under evaluation.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ctx := NewContext()
+		x, y := ctx.ConstU(16, uint64(a)), ctx.ConstU(16, uint64(b))
+		lhs := ctx.Not(ctx.And(x, y))
+		rhs := ctx.Or(ctx.Not(x), ctx.Not(y))
+		return lhs.IsConst() && rhs.IsConst() && lhs.Val.Eq(rhs.Val)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

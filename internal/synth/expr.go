@@ -1,0 +1,602 @@
+package synth
+
+import (
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/verilog"
+)
+
+// reader resolves a signal name to its current term during expression
+// conversion. It is provided by process execution (local shadows) or by
+// the top-level wire resolver.
+type reader func(name string, pos verilog.Pos) (*smt.Term, error)
+
+// exprConv converts Verilog expressions to SMT terms with simplified
+// Verilog-2001 sizing rules: context-determined operands are extended to
+// the widest involved width, comparisons are self-determined, and
+// assignment resizes to the target.
+type exprConv struct {
+	e    *elab
+	read reader
+}
+
+// selfWidth computes the self-determined width of an expression.
+func (c *exprConv) selfWidth(x verilog.Expr) (int, error) {
+	switch x := x.(type) {
+	case *verilog.Ident:
+		if v, ok := c.e.params[x.Name]; ok {
+			return v.Width(), nil
+		}
+		si, ok := c.e.sigs[x.Name]
+		if !ok {
+			return 0, errf("unsupported", "%v: unknown identifier %q", x.Pos, x.Name)
+		}
+		return si.width, nil
+	case *verilog.Number:
+		return x.Width, nil
+	case *verilog.Unary:
+		switch x.Op {
+		case "!", "&", "|", "^", "~&", "~|", "~^":
+			return 1, nil
+		default:
+			return c.selfWidth(x.X)
+		}
+	case *verilog.Binary:
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return 1, nil
+		case "<<", ">>", "<<<", ">>>":
+			return c.selfWidth(x.X)
+		default:
+			wx, err := c.selfWidth(x.X)
+			if err != nil {
+				return 0, err
+			}
+			wy, err := c.selfWidth(x.Y)
+			if err != nil {
+				return 0, err
+			}
+			return max(wx, wy), nil
+		}
+	case *verilog.Ternary:
+		wt, err := c.selfWidth(x.Then)
+		if err != nil {
+			return 0, err
+		}
+		we, err := c.selfWidth(x.Else)
+		if err != nil {
+			return 0, err
+		}
+		return max(wt, we), nil
+	case *verilog.Concat:
+		total := 0
+		for _, p := range x.Parts {
+			w, err := c.selfWidth(p)
+			if err != nil {
+				return 0, err
+			}
+			total += w
+		}
+		return total, nil
+	case *verilog.Repeat:
+		n, err := c.e.constEvalInt(x.Count)
+		if err != nil {
+			return 0, err
+		}
+		total := 0
+		for _, p := range x.Parts {
+			w, err := c.selfWidth(p)
+			if err != nil {
+				return 0, err
+			}
+			total += w
+		}
+		return int(n) * total, nil
+	case *verilog.Index:
+		return 1, nil
+	case *verilog.PartSelect:
+		hi, err := c.e.constEvalInt(x.MSB)
+		if err != nil {
+			return 0, err
+		}
+		lo, err := c.e.constEvalInt(x.LSB)
+		if err != nil {
+			return 0, err
+		}
+		if hi < lo {
+			return 0, errf("unsupported", "%v: descending part select", x.Pos)
+		}
+		return int(hi - lo + 1), nil
+	case *verilog.SynthHole:
+		return x.Width, nil
+	}
+	return 0, errf("unsupported", "%v: cannot size expression %T", x.NodePos(), x)
+}
+
+// isSigned reports whether an expression is treated as signed.
+func (c *exprConv) isSigned(x verilog.Expr) bool {
+	switch x := x.(type) {
+	case *verilog.Ident:
+		if si, ok := c.e.sigs[x.Name]; ok {
+			return si.signed
+		}
+		return false
+	case *verilog.Number:
+		return x.Signed
+	case *verilog.Unary:
+		if x.Op == "-" || x.Op == "~" {
+			return c.isSigned(x.X)
+		}
+		return false
+	case *verilog.Binary:
+		switch x.Op {
+		case "+", "-", "*", "/", "%", "&", "|", "^", "~^":
+			return c.isSigned(x.X) && c.isSigned(x.Y)
+		case "<<<", ">>>":
+			return c.isSigned(x.X)
+		}
+		return false
+	case *verilog.Ternary:
+		return c.isSigned(x.Then) && c.isSigned(x.Else)
+	}
+	return false
+}
+
+// extend widens t to width w using the expression's signedness.
+func (c *exprConv) extend(t *smt.Term, w int, signed bool) *smt.Term {
+	if t.Width >= w {
+		return c.e.ctx.Resize(t, w)
+	}
+	if signed {
+		return c.e.ctx.SignExt(t, w)
+	}
+	return c.e.ctx.ZeroExt(t, w)
+}
+
+// term converts x at the given context width (0 = self-determined).
+func (c *exprConv) term(x verilog.Expr, ctxWidth int) (*smt.Term, error) {
+	sw, err := c.selfWidth(x)
+	if err != nil {
+		return nil, err
+	}
+	w := sw
+	if ctxWidth > w {
+		w = ctxWidth
+	}
+	ctx := c.e.ctx
+	switch x := x.(type) {
+	case *verilog.Ident:
+		if v, ok := c.e.params[x.Name]; ok {
+			return c.extend(ctx.Const(v), w, c.isSigned(x)), nil
+		}
+		t, err := c.read(x.Name, x.Pos)
+		if err != nil {
+			return nil, err
+		}
+		return c.extend(t, w, c.isSigned(x)), nil
+	case *verilog.Number:
+		// 2-state synthesis: x/z bits become 0.
+		val := x.Bits.Val.And(x.Bits.Known)
+		return c.extend(ctx.Const(val), w, x.Signed), nil
+	case *verilog.Unary:
+		switch x.Op {
+		case "~", "-":
+			t, err := c.term(x.X, w)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == "~" {
+				return ctx.Not(t), nil
+			}
+			return ctx.Neg(t), nil
+		case "!":
+			t, err := c.term(x.X, 0)
+			if err != nil {
+				return nil, err
+			}
+			return c.extend(ctx.Not(ctx.RedOr(t)), w, false), nil
+		case "&", "|", "^", "~&", "~|", "~^":
+			t, err := c.term(x.X, 0)
+			if err != nil {
+				return nil, err
+			}
+			var r *smt.Term
+			switch x.Op {
+			case "&":
+				r = ctx.RedAnd(t)
+			case "|":
+				r = ctx.RedOr(t)
+			case "^":
+				r = ctx.RedXor(t)
+			case "~&":
+				r = ctx.Not(ctx.RedAnd(t))
+			case "~|":
+				r = ctx.Not(ctx.RedOr(t))
+			default:
+				r = ctx.Not(ctx.RedXor(t))
+			}
+			return c.extend(r, w, false), nil
+		}
+		return nil, errf("unsupported", "%v: unary operator %q", x.Pos, x.Op)
+	case *verilog.Binary:
+		switch x.Op {
+		case "+", "-", "*", "/", "%", "&", "|", "^", "~^":
+			a, err := c.term(x.X, w)
+			if err != nil {
+				return nil, err
+			}
+			b, err := c.term(x.Y, w)
+			if err != nil {
+				return nil, err
+			}
+			switch x.Op {
+			case "+":
+				return ctx.Add(a, b), nil
+			case "-":
+				return ctx.Sub(a, b), nil
+			case "*":
+				return ctx.Mul(a, b), nil
+			case "/":
+				return ctx.Udiv(a, b), nil
+			case "%":
+				return ctx.Urem(a, b), nil
+			case "&":
+				return ctx.And(a, b), nil
+			case "|":
+				return ctx.Or(a, b), nil
+			case "^":
+				return ctx.Xor(a, b), nil
+			default:
+				return ctx.Not(ctx.Xor(a, b)), nil
+			}
+		case "==", "!=", "<", "<=", ">", ">=":
+			wx, err := c.selfWidth(x.X)
+			if err != nil {
+				return nil, err
+			}
+			wy, err := c.selfWidth(x.Y)
+			if err != nil {
+				return nil, err
+			}
+			cw := max(wx, wy)
+			a, err := c.term(x.X, cw)
+			if err != nil {
+				return nil, err
+			}
+			b, err := c.term(x.Y, cw)
+			if err != nil {
+				return nil, err
+			}
+			signed := c.isSigned(x.X) && c.isSigned(x.Y)
+			var r *smt.Term
+			switch x.Op {
+			case "==":
+				r = ctx.Eq(a, b)
+			case "!=":
+				r = ctx.Ne(a, b)
+			case "<":
+				if signed {
+					r = ctx.Slt(a, b)
+				} else {
+					r = ctx.Ult(a, b)
+				}
+			case "<=":
+				if signed {
+					r = ctx.Not(ctx.Slt(b, a))
+				} else {
+					r = ctx.Ule(a, b)
+				}
+			case ">":
+				if signed {
+					r = ctx.Slt(b, a)
+				} else {
+					r = ctx.Ugt(a, b)
+				}
+			default:
+				if signed {
+					r = ctx.Not(ctx.Slt(a, b))
+				} else {
+					r = ctx.Uge(a, b)
+				}
+			}
+			return c.extend(r, w, false), nil
+		case "&&", "||":
+			a, err := c.term(x.X, 0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := c.term(x.Y, 0)
+			if err != nil {
+				return nil, err
+			}
+			var r *smt.Term
+			if x.Op == "&&" {
+				r = ctx.And(ctx.RedOr(a), ctx.RedOr(b))
+			} else {
+				r = ctx.Or(ctx.RedOr(a), ctx.RedOr(b))
+			}
+			return c.extend(r, w, false), nil
+		case "<<", ">>", "<<<", ">>>":
+			a, err := c.term(x.X, w)
+			if err != nil {
+				return nil, err
+			}
+			b, err := c.term(x.Y, 0)
+			if err != nil {
+				return nil, err
+			}
+			amt := c.e.ctx.Resize(b, w)
+			switch x.Op {
+			case "<<", "<<<":
+				return ctx.Shl(a, amt), nil
+			case ">>":
+				return ctx.Lshr(a, amt), nil
+			default:
+				if c.isSigned(x.X) {
+					return ctx.Ashr(a, amt), nil
+				}
+				return ctx.Lshr(a, amt), nil
+			}
+		}
+		return nil, errf("unsupported", "%v: binary operator %q", x.Pos, x.Op)
+	case *verilog.Ternary:
+		cond, err := c.term(x.Cond, 0)
+		if err != nil {
+			return nil, err
+		}
+		a, err := c.term(x.Then, w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.term(x.Else, w)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.Ite(ctx.RedOr(cond), a, b), nil
+	case *verilog.Concat:
+		var t *smt.Term
+		for _, p := range x.Parts {
+			pt, err := c.term(p, 0)
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				t = pt
+			} else {
+				t = ctx.Concat(t, pt)
+			}
+		}
+		return c.extend(t, w, false), nil
+	case *verilog.Repeat:
+		n, err := c.e.constEvalInt(x.Count)
+		if err != nil {
+			return nil, err
+		}
+		var inner *smt.Term
+		for _, p := range x.Parts {
+			pt, err := c.term(p, 0)
+			if err != nil {
+				return nil, err
+			}
+			if inner == nil {
+				inner = pt
+			} else {
+				inner = ctx.Concat(inner, pt)
+			}
+		}
+		var t *smt.Term
+		for i := int64(0); i < n; i++ {
+			if t == nil {
+				t = inner
+			} else {
+				t = ctx.Concat(t, inner)
+			}
+		}
+		if t == nil {
+			return nil, errf("unsupported", "%v: zero replication", x.Pos)
+		}
+		return c.extend(t, w, false), nil
+	case *verilog.Index:
+		base, err := c.term(x.X, 0)
+		if err != nil {
+			return nil, err
+		}
+		lo, baseW := c.e.rangeBase(x.X)
+		if baseW == 0 {
+			baseW = base.Width // select on a non-signal expression
+		}
+		if idx, err2 := c.e.constEvalInt(x.Idx); err2 == nil {
+			bit := int(idx) - lo
+			if bit < 0 || bit >= baseW {
+				// Out-of-range select reads as 0 in 2-state synthesis.
+				return c.extend(ctx.ConstU(1, 0), w, false), nil
+			}
+			return c.extend(ctx.Extract(base, bit, bit), w, false), nil
+		}
+		idxT, err := c.term(x.Idx, 0)
+		if err != nil {
+			return nil, err
+		}
+		shiftW := max(base.Width, idxT.Width)
+		shifted := ctx.Lshr(ctx.Resize(base, shiftW), c.adjustIndex(idxT, lo, shiftW))
+		return c.extend(ctx.Extract(shifted, 0, 0), w, false), nil
+	case *verilog.PartSelect:
+		base, err := c.term(x.X, 0)
+		if err != nil {
+			return nil, err
+		}
+		lo, baseW := c.e.rangeBase(x.X)
+		if baseW == 0 {
+			baseW = base.Width // select on a non-signal expression
+		}
+		hi64, err := c.e.constEvalInt(x.MSB)
+		if err != nil {
+			return nil, err
+		}
+		lo64, err := c.e.constEvalInt(x.LSB)
+		if err != nil {
+			return nil, err
+		}
+		hiB, loB := int(hi64)-lo, int(lo64)-lo
+		if loB < 0 || hiB >= baseW || hiB < loB {
+			return nil, errf("unsupported", "%v: part select [%d:%d] out of range", x.Pos, hi64, lo64)
+		}
+		return c.extend(ctx.Extract(base, hiB, loB), w, false), nil
+	case *verilog.SynthHole:
+		t := c.e.synthVar(x.Name, x.Width)
+		return c.extend(t, w, false), nil
+	}
+	return nil, errf("unsupported", "%v: expression %T", x.NodePos(), x)
+}
+
+// adjustIndex subtracts a non-zero range base from a dynamic index.
+func (c *exprConv) adjustIndex(idx *smt.Term, lo int, w int) *smt.Term {
+	t := c.e.ctx.Resize(idx, w)
+	if lo == 0 {
+		return t
+	}
+	return c.e.ctx.Sub(t, c.e.ctx.ConstU(w, uint64(lo)))
+}
+
+// cond converts an expression into a width-1 condition (truthiness).
+func (c *exprConv) cond(x verilog.Expr) (*smt.Term, error) {
+	t, err := c.term(x, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.e.ctx.RedOr(t), nil
+}
+
+// rangeBase returns the declared LSB offset and width for identifier
+// expressions (for selects on declared vectors). Non-identifiers use 0.
+func (e *elab) rangeBase(x verilog.Expr) (lo, width int) {
+	if id, ok := x.(*verilog.Ident); ok {
+		if si, ok := e.sigs[id.Name]; ok {
+			return si.lsb, si.width
+		}
+		if v, ok := e.params[id.Name]; ok {
+			return 0, v.Width()
+		}
+	}
+	return 0, 0
+}
+
+// constEvalInt evaluates a compile-time constant expression (parameters
+// and literals) to an integer.
+func (e *elab) constEvalInt(x verilog.Expr) (int64, error) {
+	v, err := e.constEval(x)
+	if err != nil {
+		return 0, err
+	}
+	return int64(v.Resize(64).Uint64()), nil
+}
+
+// constEval evaluates a compile-time constant expression to a value.
+func (e *elab) constEval(x verilog.Expr) (bv.BV, error) {
+	switch x := x.(type) {
+	case *verilog.Number:
+		return x.Bits.Val.And(x.Bits.Known), nil
+	case *verilog.Ident:
+		if v, ok := e.params[x.Name]; ok {
+			return v, nil
+		}
+		return bv.BV{}, errf("unsupported", "%v: %q is not a constant", x.Pos, x.Name)
+	case *verilog.Unary:
+		v, err := e.constEval(x.X)
+		if err != nil {
+			return bv.BV{}, err
+		}
+		switch x.Op {
+		case "-":
+			return v.Neg(), nil
+		case "~":
+			return v.Not(), nil
+		case "!":
+			return bv.FromBool(v.IsZero()), nil
+		}
+		return bv.BV{}, errf("unsupported", "%v: constant unary %q", x.Pos, x.Op)
+	case *verilog.Binary:
+		a, err := e.constEval(x.X)
+		if err != nil {
+			return bv.BV{}, err
+		}
+		b, err := e.constEval(x.Y)
+		if err != nil {
+			return bv.BV{}, err
+		}
+		w := max(a.Width(), b.Width())
+		a, b = a.Resize(w), b.Resize(w)
+		switch x.Op {
+		case "+":
+			return a.Add(b), nil
+		case "-":
+			return a.Sub(b), nil
+		case "*":
+			return a.Mul(b), nil
+		case "/":
+			return a.Udiv(b), nil
+		case "%":
+			return a.Urem(b), nil
+		case "<<", "<<<":
+			return a.ShlBV(b), nil
+		case ">>":
+			return a.LshrBV(b), nil
+		case ">>>":
+			return a.AshrBV(b), nil
+		case "&":
+			return a.And(b), nil
+		case "|":
+			return a.Or(b), nil
+		case "^":
+			return a.Xor(b), nil
+		case "==":
+			return bv.FromBool(a.Eq(b)), nil
+		case "!=":
+			return bv.FromBool(!a.Eq(b)), nil
+		case "<":
+			return bv.FromBool(a.Ult(b)), nil
+		case "<=":
+			return bv.FromBool(!b.Ult(a)), nil
+		case ">":
+			return bv.FromBool(b.Ult(a)), nil
+		case ">=":
+			return bv.FromBool(!a.Ult(b)), nil
+		}
+		return bv.BV{}, errf("unsupported", "%v: constant binary %q", x.Pos, x.Op)
+	case *verilog.Ternary:
+		cv, err := e.constEval(x.Cond)
+		if err != nil {
+			return bv.BV{}, err
+		}
+		if !cv.IsZero() {
+			return e.constEval(x.Then)
+		}
+		return e.constEval(x.Else)
+	case *verilog.Concat:
+		var out *bv.BV
+		for _, p := range x.Parts {
+			v, err := e.constEval(p)
+			if err != nil {
+				return bv.BV{}, err
+			}
+			if out == nil {
+				out = &v
+			} else {
+				nv := out.Concat(v)
+				out = &nv
+			}
+		}
+		if out == nil {
+			return bv.BV{}, errf("unsupported", "%v: empty concat", x.Pos)
+		}
+		return *out, nil
+	}
+	return bv.BV{}, errf("unsupported", "%v: not a constant expression (%T)", x.NodePos(), x)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,288 @@
+// Package synth elaborates the Verilog AST into the word-level transition
+// system of package tsys. It implements the synthesizable-subset
+// semantics the paper relies on yosys for: blocking/non-blocking
+// assignment elaboration, combinational vs. sequential processes, case
+// statements, latch detection, combinational-loop detection, parameter
+// evaluation and module flattening.
+package synth
+
+import (
+	"fmt"
+
+	"rtlrepair/internal/verilog"
+)
+
+// ErrSynth is the error type for synthesis failures; it carries the kind
+// of failure so the repair engine can report "cannot repair" reasons.
+type ErrSynth struct {
+	Kind string // "latch", "comb-loop", "multi-driver", "unsupported", ...
+	Msg  string
+	// Signals carries the affected signal names for "latch" errors.
+	Signals []string
+}
+
+func (e *ErrSynth) Error() string { return fmt.Sprintf("synth: %s: %s", e.Kind, e.Msg) }
+
+func errf(kind, format string, args ...any) error {
+	return &ErrSynth{Kind: kind, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Flatten inlines every module instance in top, recursively, producing a
+// single flat module with all for loops unrolled. Submodule signals are
+// prefixed with "<instname>__". lib maps module names to definitions.
+func Flatten(top *verilog.Module, lib map[string]*verilog.Module) (*verilog.Module, error) {
+	flat, err := flatten(top, lib, 0)
+	if err != nil {
+		return nil, err
+	}
+	flat, err = UnrollLoops(flat)
+	if err != nil {
+		return nil, err
+	}
+	return ScalarizeMemories(flat)
+}
+
+func flatten(top *verilog.Module, lib map[string]*verilog.Module, depth int) (*verilog.Module, error) {
+	if depth > 16 {
+		return nil, errf("unsupported", "instance nesting deeper than 16 (recursive instantiation?)")
+	}
+	out := &verilog.Module{Pos: top.Pos, Name: top.Name, Ports: append([]string{}, top.Ports...)}
+	for _, it := range top.Items {
+		inst, ok := it.(*verilog.Instance)
+		if !ok {
+			out.Items = append(out.Items, it)
+			continue
+		}
+		def, ok := lib[inst.ModName]
+		if !ok {
+			return nil, errf("unsupported", "instance %s of unknown module %s", inst.Name, inst.ModName)
+		}
+		sub, err := flatten(def, lib, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		items, err := inline(inst, sub)
+		if err != nil {
+			return nil, err
+		}
+		out.Items = append(out.Items, items...)
+	}
+	return out, nil
+}
+
+// inline expands one instance of sub into items for the parent module.
+func inline(inst *verilog.Instance, sub *verilog.Module) ([]verilog.Item, error) {
+	prefix := inst.Name + "__"
+	clone := verilog.CloneModule(sub)
+
+	// Gather declarations to know port dirs and internal names.
+	dirs := map[string]verilog.Dir{}
+	declared := map[string]bool{}
+	for _, it := range clone.Items {
+		switch it := it.(type) {
+		case *verilog.Decl:
+			dirs[it.Name] = it.Dir
+			declared[it.Name] = true
+		case *verilog.Param:
+			declared[it.Name] = true
+		}
+	}
+
+	rename := func(name string) string {
+		if declared[name] {
+			return prefix + name
+		}
+		return name
+	}
+
+	// Rename all identifiers and declarations.
+	for _, it := range clone.Items {
+		switch it := it.(type) {
+		case *verilog.Decl:
+			it.Name = prefix + it.Name
+			it.Dir = verilog.DirNone // ports become internal wires
+		case *verilog.Param:
+			it.Name = prefix + it.Name
+			it.Local = true
+		}
+	}
+	renameExpr := func(e verilog.Expr) verilog.Expr {
+		if id, ok := e.(*verilog.Ident); ok {
+			id.Name = rename(id.Name)
+		}
+		return e
+	}
+	verilog.RewriteExprs(clone, renameExpr)
+	// RewriteExprs skips decl ranges, param values, LHSs and instance
+	// connections; handle those explicitly.
+	for _, it := range clone.Items {
+		switch it := it.(type) {
+		case *verilog.Decl:
+			it.MSB = rewriteIdents(it.MSB, rename)
+			it.LSB = rewriteIdents(it.LSB, rename)
+			it.Init = rewriteIdents(it.Init, rename)
+		case *verilog.Param:
+			it.MSB = rewriteIdents(it.MSB, rename)
+			it.LSB = rewriteIdents(it.LSB, rename)
+			it.Value = rewriteIdents(it.Value, rename)
+		case *verilog.ContAssign:
+			it.LHS = rewriteIdents(it.LHS, rename)
+		case *verilog.Always:
+			renameLHS(it.Body, rename)
+			for i := range it.Senses {
+				it.Senses[i].Signal = rename(it.Senses[i].Signal)
+			}
+		case *verilog.Initial:
+			renameLHS(it.Body, rename)
+		}
+	}
+
+	// Apply parameter overrides (#(.P(expr)) or ordered).
+	if len(inst.Params) > 0 {
+		var paramOrder []*verilog.Param
+		byName := map[string]*verilog.Param{}
+		for _, it := range clone.Items {
+			if p, ok := it.(*verilog.Param); ok && !strippedLocal(sub, p.Name, prefix) {
+				paramOrder = append(paramOrder, p)
+				byName[p.Name] = p
+			}
+		}
+		for i, ov := range inst.Params {
+			var target *verilog.Param
+			if ov.Name != "" {
+				target = byName[prefix+ov.Name]
+			} else if i < len(paramOrder) {
+				target = paramOrder[i]
+			}
+			if target == nil {
+				return nil, errf("unsupported", "instance %s: cannot resolve parameter override %q", inst.Name, ov.Name)
+			}
+			target.Value = verilog.CloneExpr(ov.Expr)
+		}
+	}
+
+	// Port connections.
+	var items []verilog.Item
+	items = append(items, clone.Items...)
+	conns := inst.Conns
+	for i, conn := range conns {
+		var portName string
+		if conn.Name != "" {
+			portName = conn.Name
+		} else {
+			if i >= len(sub.Ports) {
+				return nil, errf("unsupported", "instance %s: too many ordered connections", inst.Name)
+			}
+			portName = sub.Ports[i]
+		}
+		dir, ok := dirs[portName]
+		if !ok {
+			return nil, errf("unsupported", "instance %s: unknown port %q", inst.Name, portName)
+		}
+		if conn.Expr == nil {
+			continue // explicitly unconnected
+		}
+		internal := &verilog.Ident{Pos: inst.Pos, Name: prefix + portName}
+		switch dir {
+		case verilog.DirInput:
+			items = append(items, &verilog.ContAssign{Pos: inst.Pos, LHS: internal, RHS: verilog.CloneExpr(conn.Expr)})
+		case verilog.DirOutput:
+			if !isLValue(conn.Expr) {
+				return nil, errf("unsupported", "instance %s: output port %q connected to non-lvalue", inst.Name, portName)
+			}
+			items = append(items, &verilog.ContAssign{Pos: inst.Pos, LHS: verilog.CloneExpr(conn.Expr), RHS: internal})
+		default:
+			return nil, errf("unsupported", "instance %s: inout port %q", inst.Name, portName)
+		}
+	}
+	return items, nil
+}
+
+// strippedLocal reports whether the (pre-rename) parameter was a
+// localparam in the original module, which cannot be overridden.
+func strippedLocal(orig *verilog.Module, renamed, prefix string) bool {
+	name := renamed[len(prefix):]
+	for _, it := range orig.Items {
+		if p, ok := it.(*verilog.Param); ok && p.Name == name {
+			return p.Local
+		}
+	}
+	return false
+}
+
+func isLValue(e verilog.Expr) bool {
+	switch e := e.(type) {
+	case *verilog.Ident:
+		return true
+	case *verilog.Index:
+		return isLValue(e.X)
+	case *verilog.PartSelect:
+		return isLValue(e.X)
+	case *verilog.Concat:
+		for _, p := range e.Parts {
+			if !isLValue(p) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// rewriteIdents renames identifiers in an expression tree, descending
+// into all children (including LHS-ish positions RewriteExprs skips).
+func rewriteIdents(e verilog.Expr, rename func(string) string) verilog.Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *verilog.Ident:
+		e.Name = rename(e.Name)
+	case *verilog.Unary:
+		rewriteIdents(e.X, rename)
+	case *verilog.Binary:
+		rewriteIdents(e.X, rename)
+		rewriteIdents(e.Y, rename)
+	case *verilog.Ternary:
+		rewriteIdents(e.Cond, rename)
+		rewriteIdents(e.Then, rename)
+		rewriteIdents(e.Else, rename)
+	case *verilog.Concat:
+		for _, p := range e.Parts {
+			rewriteIdents(p, rename)
+		}
+	case *verilog.Repeat:
+		rewriteIdents(e.Count, rename)
+		for _, p := range e.Parts {
+			rewriteIdents(p, rename)
+		}
+	case *verilog.Index:
+		rewriteIdents(e.X, rename)
+		rewriteIdents(e.Idx, rename)
+	case *verilog.PartSelect:
+		rewriteIdents(e.X, rename)
+		rewriteIdents(e.MSB, rename)
+		rewriteIdents(e.LSB, rename)
+	}
+	return e
+}
+
+// renameLHS renames assignment targets inside a statement tree (RHS
+// expressions are handled by RewriteExprs).
+func renameLHS(s verilog.Stmt, rename func(string) string) {
+	switch s := s.(type) {
+	case *verilog.Block:
+		for _, inner := range s.Stmts {
+			renameLHS(inner, rename)
+		}
+	case *verilog.If:
+		renameLHS(s.Then, rename)
+		renameLHS(s.Else, rename)
+	case *verilog.Case:
+		for _, item := range s.Items {
+			renameLHS(item.Body, rename)
+		}
+	case *verilog.Assign:
+		rewriteIdents(s.LHS, rename)
+	}
+}

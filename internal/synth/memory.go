@@ -1,0 +1,239 @@
+package synth
+
+import (
+	"fmt"
+
+	"rtlrepair/internal/verilog"
+)
+
+// maxMemoryWords bounds scalarization; larger memories would explode the
+// transition system (the paper's tool has the same word-level limits via
+// yosys memory lowering).
+const maxMemoryWords = 256
+
+// ScalarizeMemories rewrites every 2-D register array into one register
+// per word: reads mem[i] become index-selected muxes, writes mem[i]
+// become per-word conditional assignments. Constant indices (common
+// after loop unrolling) access their word directly.
+func ScalarizeMemories(m *verilog.Module) (*verilog.Module, error) {
+	static, err := Static(m)
+	if err != nil {
+		return nil, err
+	}
+	ev := &elab{m: m, params: static.Params, sigs: map[string]*sigInfo{}}
+	out := verilog.CloneModule(m)
+
+	type memInfo struct {
+		words int
+		base  int // lowest index
+		decl  *verilog.Decl
+	}
+	mems := map[string]*memInfo{}
+	var items []verilog.Item
+	for _, it := range out.Items {
+		d, ok := it.(*verilog.Decl)
+		if !ok || !d.IsMemory() {
+			items = append(items, it)
+			continue
+		}
+		hi, err1 := ev.constEvalInt(d.ArrMSB)
+		lo, err2 := ev.constEvalInt(d.ArrLSB)
+		if err1 != nil || err2 != nil {
+			return nil, errf("unsupported", "%v: memory %q bounds are not constant", d.Pos, d.Name)
+		}
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		words := int(hi-lo) + 1
+		if words <= 0 || words > maxMemoryWords {
+			return nil, errf("unsupported", "%v: memory %q has %d words (max %d)", d.Pos, d.Name, words, maxMemoryWords)
+		}
+		mems[d.Name] = &memInfo{words: words, base: int(lo), decl: d}
+		for w := 0; w < words; w++ {
+			nd := *d
+			nd.Name = memWordName(d.Name, w)
+			nd.ArrMSB, nd.ArrLSB = nil, nil
+			nd.MSB, nd.LSB = verilog.CloneExpr(d.MSB), verilog.CloneExpr(d.LSB)
+			nd.Dir = verilog.DirNone
+			cp := nd
+			items = append(items, &cp)
+		}
+	}
+	if len(mems) == 0 {
+		return out, nil
+	}
+	out.Items = items
+
+	// Rewrite reads everywhere and writes in processes.
+	readRewrite := func(e verilog.Expr) verilog.Expr {
+		idx, ok := e.(*verilog.Index)
+		if !ok {
+			return e
+		}
+		id, ok := idx.X.(*verilog.Ident)
+		if !ok {
+			return e
+		}
+		mi, ok := mems[id.Name]
+		if !ok {
+			return e
+		}
+		if c, err := ev.constEval(idx.Idx); err == nil {
+			w := int(c.Resize(64).Uint64()) - mi.base
+			if w < 0 || w >= mi.words {
+				return zeroWordExpr(mi.decl, idx.Pos)
+			}
+			return &verilog.Ident{Pos: idx.Pos, Name: memWordName(id.Name, w)}
+		}
+		// Dynamic read: nested mux over all words.
+		var expr verilog.Expr = zeroWordExpr(mi.decl, idx.Pos)
+		for w := mi.words - 1; w >= 0; w-- {
+			expr = &verilog.Ternary{
+				Pos:  idx.Pos,
+				Cond: indexEquals(idx.Idx, mi.base+w, idx.Pos),
+				Then: &verilog.Ident{Pos: idx.Pos, Name: memWordName(id.Name, w)},
+				Else: expr,
+			}
+		}
+		return expr
+	}
+
+	var rewriteStmt func(s verilog.Stmt) (verilog.Stmt, error)
+	rewriteStmt = func(s verilog.Stmt) (verilog.Stmt, error) {
+		switch s := s.(type) {
+		case *verilog.Block:
+			for i := range s.Stmts {
+				ns, err := rewriteStmt(s.Stmts[i])
+				if err != nil {
+					return nil, err
+				}
+				s.Stmts[i] = ns
+			}
+			return s, nil
+		case *verilog.If:
+			s.Cond = rewriteFull(s.Cond, readRewrite)
+			var err error
+			if s.Then, err = rewriteStmt(s.Then); err != nil {
+				return nil, err
+			}
+			if s.Else != nil {
+				if s.Else, err = rewriteStmt(s.Else); err != nil {
+					return nil, err
+				}
+			}
+			return s, nil
+		case *verilog.Case:
+			s.Subject = rewriteFull(s.Subject, readRewrite)
+			for i := range s.Items {
+				for j := range s.Items[i].Exprs {
+					s.Items[i].Exprs[j] = rewriteFull(s.Items[i].Exprs[j], readRewrite)
+				}
+				ns, err := rewriteStmt(s.Items[i].Body)
+				if err != nil {
+					return nil, err
+				}
+				s.Items[i].Body = ns
+			}
+			return s, nil
+		case *verilog.Assign:
+			s.RHS = rewriteFull(s.RHS, readRewrite)
+			idx, ok := s.LHS.(*verilog.Index)
+			if !ok {
+				// Non-memory LHS: still rewrite reads in index positions.
+				s.LHS = rewriteLHSIndexReads(s.LHS, readRewrite)
+				return s, nil
+			}
+			id, isIdent := idx.X.(*verilog.Ident)
+			if !isIdent {
+				return s, nil
+			}
+			mi, isMem := mems[id.Name]
+			if !isMem {
+				s.LHS = rewriteLHSIndexReads(s.LHS, readRewrite)
+				return s, nil
+			}
+			idxExpr := rewriteFull(verilog.CloneExpr(idx.Idx), readRewrite)
+			if c, err := ev.constEval(idxExpr); err == nil {
+				w := int(c.Resize(64).Uint64()) - mi.base
+				if w < 0 || w >= mi.words {
+					return &verilog.NullStmt{Pos: s.Pos}, nil
+				}
+				s.LHS = &verilog.Ident{Pos: idx.Pos, Name: memWordName(id.Name, w)}
+				return s, nil
+			}
+			// Dynamic write: expand into per-word guarded assignments.
+			blk := &verilog.Block{Pos: s.Pos}
+			for w := 0; w < mi.words; w++ {
+				blk.Stmts = append(blk.Stmts, &verilog.If{
+					Pos:  s.Pos,
+					Cond: indexEquals(verilog.CloneExpr(idxExpr), mi.base+w, s.Pos),
+					Then: &verilog.Assign{
+						Pos:      s.Pos,
+						LHS:      &verilog.Ident{Pos: s.Pos, Name: memWordName(id.Name, w)},
+						RHS:      verilog.CloneExpr(s.RHS),
+						Blocking: s.Blocking,
+					},
+				})
+			}
+			return blk, nil
+		default:
+			return s, nil
+		}
+	}
+
+	for _, it := range out.Items {
+		switch it := it.(type) {
+		case *verilog.ContAssign:
+			it.RHS = rewriteFull(it.RHS, readRewrite)
+			it.LHS = rewriteLHSIndexReads(it.LHS, readRewrite)
+		case *verilog.Always:
+			body, err := rewriteStmt(it.Body)
+			if err != nil {
+				return nil, err
+			}
+			it.Body = body
+		case *verilog.Initial:
+			body, err := rewriteStmt(it.Body)
+			if err != nil {
+				return nil, err
+			}
+			it.Body = body
+		}
+	}
+	return out, nil
+}
+
+func memWordName(name string, w int) string { return fmt.Sprintf("%s__%d", name, w) }
+
+// zeroWordExpr returns a zero constant of the memory's word width.
+func zeroWordExpr(d *verilog.Decl, pos verilog.Pos) verilog.Expr {
+	// Width resolved lazily by elaboration: print a 1-bit 0 widened by
+	// context is wrong for comparisons, so build an explicitly-sized 0
+	// when the range is a plain number; fall back to unsized 0.
+	n := verilog.MkNumber(32, 0)
+	n.Pos = pos
+	return n
+}
+
+// indexEquals builds (idx == k).
+func indexEquals(idx verilog.Expr, k int, pos verilog.Pos) verilog.Expr {
+	return &verilog.Binary{Pos: pos, Op: "==",
+		X: idx, Y: verilog.MkNumber(32, uint64(k))}
+}
+
+// rewriteLHSIndexReads rewrites expressions in index positions of an
+// lvalue (reads), leaving the target itself alone.
+func rewriteLHSIndexReads(lhs verilog.Expr, f func(verilog.Expr) verilog.Expr) verilog.Expr {
+	switch l := lhs.(type) {
+	case *verilog.Index:
+		l.Idx = rewriteFull(l.Idx, f)
+	case *verilog.PartSelect:
+		l.MSB = rewriteFull(l.MSB, f)
+		l.LSB = rewriteFull(l.LSB, f)
+	case *verilog.Concat:
+		for i := range l.Parts {
+			l.Parts[i] = rewriteLHSIndexReads(l.Parts[i], f)
+		}
+	}
+	return lhs
+}

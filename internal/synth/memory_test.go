@@ -1,0 +1,150 @@
+package synth
+
+import (
+	"testing"
+
+	"rtlrepair/internal/bv"
+)
+
+func TestMemoryRegisterFile(t *testing.T) {
+	_, sys, _ := elaborate(t, `
+module regfile(input clk, input we, input [1:0] waddr, input [7:0] wdata,
+               input [1:0] raddr, output [7:0] rdata);
+reg [7:0] mem [0:3];
+assign rdata = mem[raddr];
+always @(posedge clk) begin
+  if (we) mem[waddr] <= wdata;
+end
+endmodule`)
+	if len(sys.States) != 4 {
+		t.Fatalf("states = %d, want 4 scalarized words", len(sys.States))
+	}
+	state := map[string]bv.BV{}
+	for _, st := range sys.States {
+		state[st.Var.Name] = bv.Zero(8)
+	}
+	write := func(addr, data uint64) {
+		_, state = step(sys, state, map[string]bv.BV{
+			"we": bv.New(1, 1), "waddr": bv.New(2, addr), "wdata": bv.New(8, data),
+			"raddr": bv.Zero(2),
+		})
+	}
+	read := func(addr uint64) uint64 {
+		outs, _ := step(sys, state, map[string]bv.BV{
+			"we": bv.Zero(1), "waddr": bv.Zero(2), "wdata": bv.Zero(8),
+			"raddr": bv.New(2, addr),
+		})
+		return outs["rdata"].Uint64()
+	}
+	write(0, 0x11)
+	write(2, 0x33)
+	write(3, 0x77)
+	if got := read(0); got != 0x11 {
+		t.Fatalf("mem[0] = %#x", got)
+	}
+	if got := read(2); got != 0x33 {
+		t.Fatalf("mem[2] = %#x", got)
+	}
+	if got := read(1); got != 0 {
+		t.Fatalf("mem[1] = %#x, want 0", got)
+	}
+	// Overwrite.
+	write(2, 0x44)
+	if got := read(2); got != 0x44 {
+		t.Fatalf("mem[2] = %#x after overwrite", got)
+	}
+}
+
+func TestMemoryConstantIndexAccess(t *testing.T) {
+	_, sys, _ := elaborate(t, `
+module cidx(input clk, input [7:0] d, output [7:0] q);
+reg [7:0] buf2 [0:2];
+assign q = buf2[1];
+always @(posedge clk) begin
+  buf2[0] <= d;
+  buf2[1] <= buf2[0];
+  buf2[2] <= buf2[1];
+end
+endmodule`)
+	state := map[string]bv.BV{
+		"buf2__0": bv.Zero(8), "buf2__1": bv.Zero(8), "buf2__2": bv.Zero(8),
+	}
+	_, state = step(sys, state, map[string]bv.BV{"d": bv.New(8, 0xaa)})
+	_, state = step(sys, state, map[string]bv.BV{"d": bv.New(8, 0xbb)})
+	outs, _ := step(sys, state, map[string]bv.BV{"d": bv.Zero(8)})
+	if outs["q"].Uint64() != 0xaa {
+		t.Fatalf("q = %#x, want first write after two shifts", outs["q"].Uint64())
+	}
+}
+
+func TestMemoryWithLoopInitialization(t *testing.T) {
+	// Loops + memories combine: the unrolled loop leaves constant
+	// indices for the scalarizer.
+	_, sys, _ := elaborate(t, `
+module lm(input clk, input rst, input [1:0] sel, output [3:0] v);
+reg [3:0] tbl [0:3];
+integer i;
+assign v = tbl[sel];
+always @(posedge clk) begin
+  if (rst) begin
+    for (i = 0; i < 4; i = i + 1) tbl[i] <= i[3:0] * 4'd3;
+  end
+end
+endmodule`)
+	state := map[string]bv.BV{}
+	for _, st := range sys.States {
+		state[st.Var.Name] = bv.Zero(4)
+	}
+	_, state = step(sys, state, map[string]bv.BV{"rst": bv.New(1, 1), "sel": bv.Zero(2)})
+	for sel := uint64(0); sel < 4; sel++ {
+		outs, _ := step(sys, state, map[string]bv.BV{"rst": bv.Zero(1), "sel": bv.New(2, sel)})
+		if outs["v"].Uint64() != (sel*3)&0xf {
+			t.Fatalf("tbl[%d] = %d, want %d", sel, outs["v"].Uint64(), (sel*3)&0xf)
+		}
+	}
+}
+
+func TestMemoryOutOfRangeConstIndex(t *testing.T) {
+	_, sys, _ := elaborate(t, `
+module oob(input clk, output [7:0] q);
+reg [7:0] memx [0:1];
+assign q = memx[5];
+always @(posedge clk) memx[0] <= 8'd9;
+endmodule`)
+	outs, _ := step(sys, map[string]bv.BV{"memx__0": bv.New(8, 1), "memx__1": bv.New(8, 2)}, nil)
+	if outs["q"].Uint64() != 0 {
+		t.Fatalf("out-of-range read = %d, want 0", outs["q"].Uint64())
+	}
+}
+
+func TestMemoryTooLargeRejected(t *testing.T) {
+	se := elaborateErr(t, `
+module big(input clk, input [9:0] a, output [7:0] q);
+reg [7:0] huge [0:1023];
+assign q = huge[a];
+always @(posedge clk) huge[0] <= 8'd0;
+endmodule`)
+	if se.Kind != "unsupported" {
+		t.Fatalf("kind = %q", se.Kind)
+	}
+}
+
+func TestMemoryNonZeroBase(t *testing.T) {
+	_, sys, _ := elaborate(t, `
+module nzb(input clk, input [3:0] a, input [7:0] d, input we, output [7:0] q);
+reg [7:0] m [4:7];
+assign q = m[a];
+always @(posedge clk) if (we) m[a] <= d;
+endmodule`)
+	state := map[string]bv.BV{}
+	for _, st := range sys.States {
+		state[st.Var.Name] = bv.Zero(8)
+	}
+	_, state = step(sys, state, map[string]bv.BV{
+		"a": bv.New(4, 5), "d": bv.New(8, 0x5e), "we": bv.New(1, 1)})
+	outs, _ := step(sys, state, map[string]bv.BV{
+		"a": bv.New(4, 5), "d": bv.Zero(8), "we": bv.Zero(1)})
+	if outs["q"].Uint64() != 0x5e {
+		t.Fatalf("m[5] = %#x", outs["q"].Uint64())
+	}
+}

@@ -1,0 +1,123 @@
+package synth
+
+import (
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/verilog"
+)
+
+// SigDecl is the statically-known shape of one declared signal.
+type SigDecl struct {
+	Width  int
+	Lsb    int
+	Signed bool
+	Kind   verilog.NetKind
+	Dir    verilog.Dir
+}
+
+// StaticInfo is the declaration-level view of a (flattened) module:
+// evaluated parameters and signal shapes. It is shared by the event
+// simulator and the linter, which need widths without full elaboration.
+type StaticInfo struct {
+	Params  map[string]bv.BV
+	Signals map[string]SigDecl
+	Order   []string
+}
+
+// Static evaluates parameters and declarations of a module without
+// elaborating its behaviour.
+func Static(m *verilog.Module) (*StaticInfo, error) {
+	e := &elab{
+		ctx:    nil,
+		m:      m,
+		params: map[string]bv.BV{},
+		sigs:   map[string]*sigInfo{},
+	}
+	// Reuse the parameter/decl part of collect without driver analysis.
+	for _, it := range m.Items {
+		if p, ok := it.(*verilog.Param); ok {
+			v, err := e.constEval(p.Value)
+			if err != nil {
+				return nil, err
+			}
+			if p.MSB != nil {
+				hi, err := e.constEvalInt(p.MSB)
+				if err != nil {
+					return nil, err
+				}
+				lo, err := e.constEvalInt(p.LSB)
+				if err != nil {
+					return nil, err
+				}
+				v = v.Resize(int(hi-lo) + 1)
+			} else if v.Width() < 32 {
+				v = v.Resize(32)
+			}
+			e.params[p.Name] = v
+		}
+	}
+	info := &StaticInfo{Params: e.params, Signals: map[string]SigDecl{}}
+	for _, it := range m.Items {
+		d, ok := it.(*verilog.Decl)
+		if !ok {
+			continue
+		}
+		width, lsb := 1, 0
+		if d.MSB != nil {
+			hi, err := e.constEvalInt(d.MSB)
+			if err != nil {
+				return nil, err
+			}
+			lo, err := e.constEvalInt(d.LSB)
+			if err != nil {
+				return nil, err
+			}
+			width, lsb = int(hi-lo)+1, int(lo)
+		}
+		if prev, ok := info.Signals[d.Name]; ok {
+			if d.MSB != nil {
+				prev.Width, prev.Lsb = width, lsb
+			}
+			if d.Dir != verilog.DirNone {
+				prev.Dir = d.Dir
+			}
+			if d.Kind == verilog.KindReg {
+				prev.Kind = verilog.KindReg
+			}
+			prev.Signed = prev.Signed || d.Signed
+			info.Signals[d.Name] = prev
+			continue
+		}
+		info.Signals[d.Name] = SigDecl{Width: width, Lsb: lsb, Signed: d.Signed, Kind: d.Kind, Dir: d.Dir}
+		info.Order = append(info.Order, d.Name)
+	}
+	return info, nil
+}
+
+// FindClock returns the canonical clock signal of a module: the single
+// signal used with an edge trigger across all always blocks ("" if the
+// module is purely combinational). An error is returned for multiple
+// clocks or multiple edge triggers in one block.
+func FindClock(m *verilog.Module) (string, error) {
+	clock := ""
+	for _, it := range m.Items {
+		a, ok := it.(*verilog.Always)
+		if !ok || !a.IsClocked() {
+			continue
+		}
+		var edges []verilog.SenseItem
+		for _, s := range a.Senses {
+			if s.Edge != verilog.EdgeLevel {
+				edges = append(edges, s)
+			}
+		}
+		if len(edges) != 1 {
+			return "", errf("unsupported", "%v: multiple edge triggers", a.Pos)
+		}
+		if clock == "" {
+			clock = edges[0].Signal
+		} else if clock != edges[0].Signal {
+			return "", errf("unsupported", "multiple clocks %q and %q", clock, edges[0].Signal)
+		}
+	}
+	return clock, nil
+}

@@ -1,0 +1,215 @@
+package synth
+
+import (
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/verilog"
+)
+
+// maxLoopIterations bounds loop unrolling; a synthesizable for loop
+// beyond this is almost certainly a runaway bound.
+const maxLoopIterations = 1024
+
+// UnrollLoops replaces every for statement with its fully unrolled body.
+// Loop bounds must be compile-time constants (parameters and literals),
+// which is what the synthesizable subset requires. The loop variable is
+// substituted as a 32-bit constant in each iteration's body copy.
+func UnrollLoops(m *verilog.Module) (*verilog.Module, error) {
+	static, err := Static(m)
+	if err != nil {
+		return nil, err
+	}
+	ev := &elab{m: m, params: static.Params, sigs: map[string]*sigInfo{}}
+	out := verilog.CloneModule(m)
+	for _, it := range out.Items {
+		switch it := it.(type) {
+		case *verilog.Always:
+			body, err := unrollStmt(it.Body, ev)
+			if err != nil {
+				return nil, err
+			}
+			it.Body = body
+		case *verilog.Initial:
+			body, err := unrollStmt(it.Body, ev)
+			if err != nil {
+				return nil, err
+			}
+			it.Body = body
+		}
+	}
+	return out, nil
+}
+
+func unrollStmt(s verilog.Stmt, ev *elab) (verilog.Stmt, error) {
+	switch s := s.(type) {
+	case *verilog.Block:
+		var stmts []verilog.Stmt
+		for _, inner := range s.Stmts {
+			u, err := unrollStmt(inner, ev)
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, u)
+		}
+		s.Stmts = stmts
+		return s, nil
+	case *verilog.If:
+		var err error
+		if s.Then, err = unrollStmt(s.Then, ev); err != nil {
+			return nil, err
+		}
+		if s.Else != nil {
+			if s.Else, err = unrollStmt(s.Else, ev); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case *verilog.Case:
+		for i := range s.Items {
+			u, err := unrollStmt(s.Items[i].Body, ev)
+			if err != nil {
+				return nil, err
+			}
+			s.Items[i].Body = u
+		}
+		return s, nil
+	case *verilog.For:
+		return unrollFor(s, ev)
+	default:
+		return s, nil
+	}
+}
+
+func unrollFor(f *verilog.For, ev *elab) (verilog.Stmt, error) {
+	val, err := ev.constEval(f.Init)
+	if err != nil {
+		return nil, errf("unsupported", "%v: for-loop initial value is not constant: %v", f.Pos, err)
+	}
+	val = val.Resize(32)
+	block := &verilog.Block{Pos: f.Pos}
+	for iter := 0; ; iter++ {
+		if iter > maxLoopIterations {
+			return nil, errf("unsupported", "%v: for loop exceeds %d iterations", f.Pos, maxLoopIterations)
+		}
+		condVal, err := constEvalWith(ev, f.Cond, f.Var, val)
+		if err != nil {
+			return nil, errf("unsupported", "%v: for-loop condition is not constant: %v", f.Pos, err)
+		}
+		if condVal.IsZero() {
+			break
+		}
+		bodyCopy := verilog.CloneStmt(f.Body)
+		substLoopVar(bodyCopy, f.Var, val)
+		// Nested loops unroll with the outer variable already fixed.
+		unrolled, err := unrollStmt(bodyCopy, ev)
+		if err != nil {
+			return nil, err
+		}
+		block.Stmts = append(block.Stmts, unrolled)
+		val, err = constEvalWith(ev, f.Step, f.Var, val)
+		if err != nil {
+			return nil, errf("unsupported", "%v: for-loop step is not constant: %v", f.Pos, err)
+		}
+		val = val.Resize(32)
+	}
+	return block, nil
+}
+
+// constEvalWith evaluates an expression with the loop variable bound.
+func constEvalWith(ev *elab, e verilog.Expr, name string, val bv.BV) (bv.BV, error) {
+	prev, had := ev.params[name]
+	ev.params[name] = val
+	out, err := ev.constEval(e)
+	if had {
+		ev.params[name] = prev
+	} else {
+		delete(ev.params, name)
+	}
+	return out, err
+}
+
+// substLoopVar replaces every read of the loop variable with a constant,
+// including index expressions on assignment targets.
+func substLoopVar(s verilog.Stmt, name string, val bv.BV) {
+	num := verilog.MkNumberBV(val)
+	subst := func(e verilog.Expr) verilog.Expr {
+		if id, ok := e.(*verilog.Ident); ok && id.Name == name {
+			c := *num
+			c.Pos = id.Pos
+			return &c
+		}
+		return e
+	}
+	var rec func(verilog.Stmt)
+	rec = func(s verilog.Stmt) {
+		switch s := s.(type) {
+		case *verilog.Block:
+			for _, inner := range s.Stmts {
+				rec(inner)
+			}
+		case *verilog.If:
+			s.Cond = rewriteFull(s.Cond, subst)
+			rec(s.Then)
+			if s.Else != nil {
+				rec(s.Else)
+			}
+		case *verilog.Case:
+			s.Subject = rewriteFull(s.Subject, subst)
+			for i := range s.Items {
+				for j := range s.Items[i].Exprs {
+					s.Items[i].Exprs[j] = rewriteFull(s.Items[i].Exprs[j], subst)
+				}
+				rec(s.Items[i].Body)
+			}
+		case *verilog.Assign:
+			s.LHS = rewriteFull(s.LHS, subst)
+			s.RHS = rewriteFull(s.RHS, subst)
+		case *verilog.For:
+			// An inner loop shadowing the same variable keeps its own
+			// binding; otherwise substitute in its bounds and body.
+			if s.Var != name {
+				s.Init = rewriteFull(s.Init, subst)
+				s.Cond = rewriteFull(s.Cond, subst)
+				s.Step = rewriteFull(s.Step, subst)
+				rec(s.Body)
+			}
+		}
+	}
+	rec(s)
+}
+
+// rewriteFull rewrites every expression node bottom-up, including
+// positions the template rewriter deliberately skips (part-select
+// bounds, replication counts, case labels).
+func rewriteFull(e verilog.Expr, f func(verilog.Expr) verilog.Expr) verilog.Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *verilog.Unary:
+		e.X = rewriteFull(e.X, f)
+	case *verilog.Binary:
+		e.X = rewriteFull(e.X, f)
+		e.Y = rewriteFull(e.Y, f)
+	case *verilog.Ternary:
+		e.Cond = rewriteFull(e.Cond, f)
+		e.Then = rewriteFull(e.Then, f)
+		e.Else = rewriteFull(e.Else, f)
+	case *verilog.Concat:
+		for i := range e.Parts {
+			e.Parts[i] = rewriteFull(e.Parts[i], f)
+		}
+	case *verilog.Repeat:
+		e.Count = rewriteFull(e.Count, f)
+		for i := range e.Parts {
+			e.Parts[i] = rewriteFull(e.Parts[i], f)
+		}
+	case *verilog.Index:
+		e.X = rewriteFull(e.X, f)
+		e.Idx = rewriteFull(e.Idx, f)
+	case *verilog.PartSelect:
+		e.X = rewriteFull(e.X, f)
+		e.MSB = rewriteFull(e.MSB, f)
+		e.LSB = rewriteFull(e.LSB, f)
+	}
+	return f(e)
+}

@@ -1,0 +1,215 @@
+package synth
+
+import (
+	"testing"
+
+	"rtlrepair/internal/bv"
+)
+
+// one-shot combinational evaluation helper
+func evalComb(t *testing.T, src string, inputs map[string]bv.BV) map[string]bv.BV {
+	t.Helper()
+	_, sys, _ := elaborate(t, src)
+	outs, _ := step(sys, nil, inputs)
+	return outs
+}
+
+func TestWidenedAddTruncatesOnAssign(t *testing.T) {
+	// 4-bit + 4-bit computed at max(width, lhs) and truncated on assign.
+	outs := evalComb(t, `
+module w(input [3:0] a, b, output [3:0] y4, output [4:0] y5);
+assign y4 = a + b;
+assign y5 = a + b;
+endmodule`, map[string]bv.BV{"a": bv.New(4, 12), "b": bv.New(4, 9)})
+	if outs["y4"].Uint64() != (12+9)&0xf {
+		t.Fatalf("y4 = %d", outs["y4"].Uint64())
+	}
+	// Assignment context widens the computation: the carry is kept.
+	if outs["y5"].Uint64() != 21 {
+		t.Fatalf("y5 = %d, want 21 (context-determined width)", outs["y5"].Uint64())
+	}
+}
+
+func TestComparisonSelfDetermined(t *testing.T) {
+	// A comparison's operands size against each other, not the LHS.
+	outs := evalComb(t, `
+module c(input [3:0] a, input [7:0] b, output y);
+assign y = a < b;
+endmodule`, map[string]bv.BV{"a": bv.New(4, 15), "b": bv.New(8, 16)})
+	if outs["y"].Uint64() != 1 {
+		t.Fatalf("15 < 16 = %d", outs["y"].Uint64())
+	}
+}
+
+func TestSignedComparison(t *testing.T) {
+	outs := evalComb(t, `
+module s(input signed [7:0] a, input signed [7:0] b, output y, output u);
+assign y = a < b;
+assign u = {1'b0, a[6:0]} < {1'b0, b[6:0]};
+endmodule`, map[string]bv.BV{"a": bv.New(8, 0xff) /* -1 */, "b": bv.New(8, 1)})
+	if outs["y"].Uint64() != 1 {
+		t.Fatalf("signed -1 < 1 = %d, want 1", outs["y"].Uint64())
+	}
+}
+
+func TestUnsignedComparisonWhenMixed(t *testing.T) {
+	// One unsigned operand makes the comparison unsigned.
+	outs := evalComb(t, `
+module m(input signed [7:0] a, input [7:0] b, output y);
+assign y = a < b;
+endmodule`, map[string]bv.BV{"a": bv.New(8, 0xff), "b": bv.New(8, 1)})
+	if outs["y"].Uint64() != 0 {
+		t.Fatalf("mixed 255 < 1 = %d, want 0 (unsigned)", outs["y"].Uint64())
+	}
+}
+
+func TestConcatLHSProceduralSplit(t *testing.T) {
+	_, sys, _ := elaborate(t, `
+module cl(input clk, input [7:0] d, output reg [3:0] hi, output reg [3:0] lo);
+always @(posedge clk) {hi, lo} <= d + 8'd1;
+endmodule`)
+	state := map[string]bv.BV{"hi": bv.Zero(4), "lo": bv.Zero(4)}
+	_, state = step(sys, state, map[string]bv.BV{"d": bv.New(8, 0xa4)})
+	if state["hi"].Uint64() != 0xa || state["lo"].Uint64() != 0x5 {
+		t.Fatalf("hi=%x lo=%x", state["hi"].Uint64(), state["lo"].Uint64())
+	}
+}
+
+func TestDynamicIndexWrite(t *testing.T) {
+	_, sys, _ := elaborate(t, `
+module dw(input clk, input [2:0] i, input b, output reg [7:0] q);
+always @(posedge clk) q[i] <= b;
+endmodule`)
+	state := map[string]bv.BV{"q": bv.New(8, 0b0000_1111)}
+	_, state = step(sys, state, map[string]bv.BV{"i": bv.New(3, 6), "b": bv.New(1, 1)})
+	if state["q"].Uint64() != 0b0100_1111 {
+		t.Fatalf("q = %08b", state["q"].Uint64())
+	}
+	_, state = step(sys, state, map[string]bv.BV{"i": bv.New(3, 0), "b": bv.Zero(1)})
+	if state["q"].Uint64() != 0b0100_1110 {
+		t.Fatalf("q = %08b", state["q"].Uint64())
+	}
+}
+
+func TestPartSelectWrite(t *testing.T) {
+	_, sys, _ := elaborate(t, `
+module pw(input clk, input [3:0] n, output reg [11:4] q);
+always @(posedge clk) q[7:4] <= n;
+endmodule`)
+	state := map[string]bv.BV{"q": bv.New(8, 0xab)}
+	_, state = step(sys, state, map[string]bv.BV{"n": bv.New(4, 0x5)})
+	// q declared [11:4]: bits 7:4 are the LOW nibble of the storage.
+	if state["q"].Uint64() != 0xa5 {
+		t.Fatalf("q = %#x, want 0xa5 (non-zero LSB range)", state["q"].Uint64())
+	}
+}
+
+func TestShiftAmountWideRHS(t *testing.T) {
+	outs := evalComb(t, `
+module sh(input [7:0] a, input [7:0] n, output [7:0] y);
+assign y = a << n;
+endmodule`, map[string]bv.BV{"a": bv.New(8, 0x81), "n": bv.New(8, 200)})
+	if outs["y"].Uint64() != 0 {
+		t.Fatalf("overshift = %#x, want 0", outs["y"].Uint64())
+	}
+}
+
+func TestDivModByVariable(t *testing.T) {
+	outs := evalComb(t, `
+module dm(input [7:0] a, b, output [7:0] q, r);
+assign q = a / b;
+assign r = a % b;
+endmodule`, map[string]bv.BV{"a": bv.New(8, 250), "b": bv.New(8, 9)})
+	if outs["q"].Uint64() != 27 || outs["r"].Uint64() != 7 {
+		t.Fatalf("q=%d r=%d", outs["q"].Uint64(), outs["r"].Uint64())
+	}
+}
+
+func TestCaseMultipleLabelsPerArm(t *testing.T) {
+	_, sys, _ := elaborate(t, `
+module cm(input [2:0] s, output reg y);
+always @(*) begin
+  case (s)
+    3'd0, 3'd2, 3'd4, 3'd6: y = 1'b0;
+    default: y = 1'b1;
+  endcase
+end
+endmodule`)
+	for s := uint64(0); s < 8; s++ {
+		outs, _ := step(sys, nil, map[string]bv.BV{"s": bv.New(3, s)})
+		if outs["y"].Uint64() != s&1 {
+			t.Fatalf("s=%d: y=%d", s, outs["y"].Uint64())
+		}
+	}
+}
+
+func TestRepeatOperator(t *testing.T) {
+	outs := evalComb(t, `
+module rp(input [1:0] a, output [7:0] y);
+assign y = {4{a}};
+endmodule`, map[string]bv.BV{"a": bv.New(2, 0b10)})
+	if outs["y"].Uint64() != 0b10101010 {
+		t.Fatalf("y = %08b", outs["y"].Uint64())
+	}
+}
+
+func TestTernaryConditionTruthiness(t *testing.T) {
+	// A wide condition is truthy when any bit is set.
+	outs := evalComb(t, `
+module tc(input [3:0] c, input [3:0] a, b, output [3:0] y);
+assign y = c ? a : b;
+endmodule`, map[string]bv.BV{"c": bv.New(4, 0b0100), "a": bv.New(4, 1), "b": bv.New(4, 2)})
+	if outs["y"].Uint64() != 1 {
+		t.Fatalf("y = %d", outs["y"].Uint64())
+	}
+}
+
+func TestLogicalVsBitwiseAnd(t *testing.T) {
+	outs := evalComb(t, `
+module lb(input [3:0] a, b, output l, output [3:0] w);
+assign l = a && b;
+assign w = a & b;
+endmodule`, map[string]bv.BV{"a": bv.New(4, 0b1000), "b": bv.New(4, 0b0001)})
+	if outs["l"].Uint64() != 1 {
+		t.Fatalf("logical and = %d, want 1 (both non-zero)", outs["l"].Uint64())
+	}
+	if outs["w"].Uint64() != 0 {
+		t.Fatalf("bitwise and = %d, want 0", outs["w"].Uint64())
+	}
+}
+
+func TestOutOfRangeConstIndexReadsZero(t *testing.T) {
+	outs := evalComb(t, `
+module oor(input [3:0] a, output y);
+assign y = a[6];
+endmodule`, map[string]bv.BV{"a": bv.New(4, 0xf)})
+	if outs["y"].Uint64() != 0 {
+		t.Fatalf("out-of-range read = %d", outs["y"].Uint64())
+	}
+}
+
+func TestNonAnsiPortMerge(t *testing.T) {
+	// Port declared in header list, width given in body.
+	_, sys, _ := elaborate(t, `
+module na(clk, d, q);
+input clk;
+input [7:0] d;
+output [7:0] q;
+reg [7:0] q;
+always @(posedge clk) q <= d;
+endmodule`)
+	if sys.Output("q").Expr.Width != 8 {
+		t.Fatalf("q width = %d", sys.Output("q").Expr.Width)
+	}
+}
+
+func TestWireWithInitExpr(t *testing.T) {
+	outs := evalComb(t, `
+module wi(input [3:0] a, output [3:0] y);
+wire [3:0] t = a ^ 4'b1111;
+assign y = t;
+endmodule`, map[string]bv.BV{"a": bv.New(4, 0b1010)})
+	if outs["y"].Uint64() != 0b0101 {
+		t.Fatalf("y = %04b", outs["y"].Uint64())
+	}
+}

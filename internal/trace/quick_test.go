@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rtlrepair/internal/bv"
+)
+
+// Property: any trace of known cells survives a CSV round trip.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	f := func(cells []uint16, width8 bool) bool {
+		w := 4
+		if width8 {
+			w = 8
+		}
+		tr := New([]Signal{{Name: "a", Width: w}}, []Signal{{Name: "y", Width: w}})
+		for _, c := range cells {
+			v := bv.KU(w, uint64(c))
+			tr.AddRow([]bv.XBV{v}, []bv.XBV{v})
+		}
+		var sb strings.Builder
+		if err := tr.WriteCSV(&sb); err != nil {
+			return false
+		}
+		back, err := ReadCSV(strings.NewReader(sb.String()))
+		if err != nil || back.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.InputRows {
+			if !back.InputRows[i][0].SameAs(tr.InputRows[i][0]) ||
+				!back.OutputRows[i][0].SameAs(tr.OutputRows[i][0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package trace implements the I/O traces that RTL-Repair consumes
+// instead of testbenches: a table with one row per clock cycle and one
+// column per input and expected output. Unknown input cells mean "the
+// testbench did not drive this"; unknown output cells mean "the
+// testbench does not check this" (don't-care), exactly as in the paper's
+// Figure 2a.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rtlrepair/internal/bv"
+)
+
+// Signal names one trace column.
+type Signal struct {
+	Name  string
+	Width int
+}
+
+// Trace is an I/O trace. All rows have len(Inputs) input cells and
+// len(Outputs) output cells.
+type Trace struct {
+	Inputs     []Signal
+	Outputs    []Signal
+	InputRows  [][]bv.XBV
+	OutputRows [][]bv.XBV
+}
+
+// New returns an empty trace over the given columns.
+func New(inputs, outputs []Signal) *Trace {
+	return &Trace{Inputs: inputs, Outputs: outputs}
+}
+
+// Len reports the number of cycles.
+func (t *Trace) Len() int { return len(t.InputRows) }
+
+// AddRow appends one cycle. Cell widths must match the column widths.
+func (t *Trace) AddRow(in, out []bv.XBV) {
+	if len(in) != len(t.Inputs) || len(out) != len(t.Outputs) {
+		panic("trace: row arity mismatch")
+	}
+	for i, v := range in {
+		if v.Width() != t.Inputs[i].Width {
+			panic(fmt.Sprintf("trace: input %s width %d != %d", t.Inputs[i].Name, v.Width(), t.Inputs[i].Width))
+		}
+	}
+	for i, v := range out {
+		if v.Width() != t.Outputs[i].Width {
+			panic(fmt.Sprintf("trace: output %s width %d != %d", t.Outputs[i].Name, v.Width(), t.Outputs[i].Width))
+		}
+	}
+	t.InputRows = append(t.InputRows, in)
+	t.OutputRows = append(t.OutputRows, out)
+}
+
+// InputIndex returns the column index of the named input, or -1.
+func (t *Trace) InputIndex(name string) int {
+	for i, s := range t.Inputs {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// OutputIndex returns the column index of the named output, or -1.
+func (t *Trace) OutputIndex(name string) int {
+	for i, s := range t.Outputs {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Slice returns the sub-trace for cycles [from, to).
+func (t *Trace) Slice(from, to int) *Trace {
+	out := New(t.Inputs, t.Outputs)
+	out.InputRows = t.InputRows[from:to]
+	out.OutputRows = t.OutputRows[from:to]
+	return out
+}
+
+// Clone returns a deep copy.
+func (t *Trace) Clone() *Trace {
+	out := New(append([]Signal{}, t.Inputs...), append([]Signal{}, t.Outputs...))
+	for i := range t.InputRows {
+		out.AddRow(append([]bv.XBV{}, t.InputRows[i]...), append([]bv.XBV{}, t.OutputRows[i]...))
+	}
+	return out
+}
+
+// WriteCSV renders the trace with a self-describing header:
+// name:width:dir per column, cells as binary strings with x for unknown.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Inputs)+len(t.Outputs))
+	for _, s := range t.Inputs {
+		header = append(header, fmt.Sprintf("%s:%d:in", s.Name, s.Width))
+	}
+	for _, s := range t.Outputs {
+		header = append(header, fmt.Sprintf("%s:%d:out", s.Name, s.Width))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range t.InputRows {
+		row := make([]string, 0, len(header))
+		for _, v := range t.InputRows[i] {
+			row = append(row, cellString(v))
+		}
+		for _, v := range t.OutputRows[i] {
+			row = append(row, cellString(v))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func cellString(v bv.XBV) string {
+	if !v.IsFullyKnown() {
+		// all-x cells print as "x", mixed ones bit by bit
+		if v.Known.IsZero() {
+			return "x"
+		}
+		s := v.String()
+		return s[strings.IndexByte(s, 'b')+1:]
+	}
+	return strconv.FormatUint(v.Val.Resize(64).Uint64(), 10)
+}
+
+// ReadCSV parses a trace written by WriteCSV (or by hand). Cells may be
+// decimal, 0x-prefixed hex, 0b-prefixed binary, raw binary with x bits,
+// "x" (all unknown) or empty (all unknown).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty file")
+	}
+	header := records[0]
+	var t Trace
+	dirs := make([]bool, len(header)) // true = input
+	for i, h := range header {
+		parts := strings.Split(strings.TrimSpace(h), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("trace: header column %q must be name:width:dir", h)
+		}
+		w, err := strconv.Atoi(parts[1])
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("trace: bad width in %q", h)
+		}
+		sig := Signal{Name: parts[0], Width: w}
+		switch parts[2] {
+		case "in":
+			t.Inputs = append(t.Inputs, sig)
+			dirs[i] = true
+		case "out":
+			t.Outputs = append(t.Outputs, sig)
+		default:
+			return nil, fmt.Errorf("trace: bad direction in %q", h)
+		}
+	}
+	for rowIdx, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("trace: row %d has %d cells, want %d", rowIdx+1, len(rec), len(header))
+		}
+		var in, out []bv.XBV
+		ii, oi := 0, 0
+		for i, cell := range rec {
+			var width int
+			if dirs[i] {
+				width = t.Inputs[ii].Width
+			} else {
+				width = t.Outputs[oi].Width
+			}
+			v, err := ParseCell(cell, width)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d col %d: %v", rowIdx+1, i, err)
+			}
+			if dirs[i] {
+				in = append(in, v)
+				ii++
+			} else {
+				out = append(out, v)
+				oi++
+			}
+		}
+		t.InputRows = append(t.InputRows, in)
+		t.OutputRows = append(t.OutputRows, out)
+	}
+	return &t, nil
+}
+
+// ParseCell parses one trace cell at the given width.
+func ParseCell(cell string, width int) (bv.XBV, error) {
+	cell = strings.TrimSpace(cell)
+	switch {
+	case cell == "" || cell == "x" || cell == "X" || cell == "-":
+		return bv.X(width), nil
+	case strings.HasPrefix(cell, "0x") || strings.HasPrefix(cell, "0X"):
+		u, err := strconv.ParseUint(cell[2:], 16, 64)
+		if err != nil {
+			return bv.XBV{}, err
+		}
+		return bv.KU(width, u), nil
+	case strings.HasPrefix(cell, "0b") || strings.HasPrefix(cell, "0B"):
+		x, err := bv.ParseX(cell[2:])
+		if err != nil {
+			return bv.XBV{}, err
+		}
+		return x.Resize(width), nil
+	case strings.ContainsAny(cell, "xXzZ?"):
+		x, err := bv.ParseX(cell)
+		if err != nil {
+			return bv.XBV{}, err
+		}
+		if x.Width() < width {
+			// extend with x, matching Verilog literals
+			return bv.X(width - x.Width()).Concat(x), nil
+		}
+		return x.Resize(width), nil
+	default:
+		u, err := strconv.ParseUint(cell, 10, 64)
+		if err != nil {
+			return bv.XBV{}, err
+		}
+		return bv.KU(width, u), nil
+	}
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rtlrepair/internal/bv"
+)
+
+func sig(name string, w int) Signal { return Signal{Name: name, Width: w} }
+
+func TestAddRowValidation(t *testing.T) {
+	tr := New([]Signal{sig("a", 2)}, []Signal{sig("y", 4)})
+	tr.AddRow([]bv.XBV{bv.KU(2, 1)}, []bv.XBV{bv.KU(4, 9)})
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	assertPanics(t, func() { tr.AddRow([]bv.XBV{bv.KU(3, 1)}, []bv.XBV{bv.KU(4, 9)}) })
+	assertPanics(t, func() { tr.AddRow([]bv.XBV{bv.KU(2, 1)}, nil) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestIndexLookups(t *testing.T) {
+	tr := New([]Signal{sig("a", 1), sig("b", 2)}, []Signal{sig("y", 3)})
+	if tr.InputIndex("b") != 1 || tr.InputIndex("y") != -1 {
+		t.Fatal("InputIndex wrong")
+	}
+	if tr.OutputIndex("y") != 0 || tr.OutputIndex("a") != -1 {
+		t.Fatal("OutputIndex wrong")
+	}
+}
+
+func TestSliceSharesRows(t *testing.T) {
+	tr := New([]Signal{sig("a", 4)}, []Signal{sig("y", 4)})
+	for i := 0; i < 10; i++ {
+		tr.AddRow([]bv.XBV{bv.KU(4, uint64(i))}, []bv.XBV{bv.KU(4, uint64(i))})
+	}
+	s := tr.Slice(2, 5)
+	if s.Len() != 3 {
+		t.Fatalf("slice len = %d", s.Len())
+	}
+	if s.InputRows[0][0].Val.Uint64() != 2 {
+		t.Fatal("slice offset wrong")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr := New([]Signal{sig("a", 4)}, []Signal{sig("y", 4)})
+	tr.AddRow([]bv.XBV{bv.KU(4, 1)}, []bv.XBV{bv.KU(4, 2)})
+	c := tr.Clone()
+	c.InputRows[0][0] = bv.KU(4, 9)
+	if tr.InputRows[0][0].Val.Uint64() != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestParseCellFormats(t *testing.T) {
+	cases := []struct {
+		in    string
+		width int
+		want  string
+	}{
+		{"5", 4, "4'b0101"},
+		{"0x1f", 8, "8'b00011111"},
+		{"0b1x0", 3, "3'b1x0"},
+		{"x", 4, "4'bxxxx"},
+		{"", 2, "2'bxx"},
+		{"-", 2, "2'bxx"},
+		{"1x", 4, "4'bxx1x"},
+		{"0", 1, "1'b0"},
+	}
+	for _, c := range cases {
+		v, err := ParseCell(c.in, c.width)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if v.String() != c.want {
+			t.Fatalf("%q: got %s want %s", c.in, v.String(), c.want)
+		}
+	}
+	if _, err := ParseCell("notanumber", 4); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"a:4\n1\n",             // malformed header
+		"a:0:in\n1\n",          // zero width
+		"a:4:sideways\n1\n",    // bad direction
+		"a:4:in\n1,2\n",        // arity mismatch
+		"a:4:in,y:2:out\nz9,1", // bad cell
+	}
+	for _, src := range bad {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCSVHandWritten(t *testing.T) {
+	src := `reset:1:in,enable:1:in,count:4:out
+1,x,x
+0,1,0
+0,1,1
+`
+	tr, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 || len(tr.Inputs) != 2 || len(tr.Outputs) != 1 {
+		t.Fatalf("shape: %d rows", tr.Len())
+	}
+	if !tr.InputRows[0][1].HasUnknown() {
+		t.Fatal("x input cell should be unknown")
+	}
+	if tr.OutputRows[2][0].Val.Uint64() != 1 {
+		t.Fatal("count cell wrong")
+	}
+}
+
+func TestCSVMixedColumnOrder(t *testing.T) {
+	// Outputs interleaved with inputs must bind correctly.
+	src := `y:2:out,a:1:in,z:3:out,b:1:in
+1,0,5,1
+`
+	tr, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Inputs[0].Name != "a" || tr.Inputs[1].Name != "b" {
+		t.Fatalf("inputs: %v", tr.Inputs)
+	}
+	if tr.OutputRows[0][1].Val.Uint64() != 5 {
+		t.Fatalf("z = %v", tr.OutputRows[0][1])
+	}
+	if tr.InputRows[0][1].Val.Uint64() != 1 {
+		t.Fatalf("b = %v", tr.InputRows[0][1])
+	}
+}
+
+func TestWriteCSVPartialUnknown(t *testing.T) {
+	tr := New([]Signal{sig("a", 4)}, []Signal{sig("y", 4)})
+	mixed, _ := bv.ParseX("1x0x")
+	tr.AddRow([]bv.XBV{mixed}, []bv.XBV{bv.X(4)})
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.InputRows[0][0].SameAs(mixed) {
+		t.Fatalf("roundtrip lost x bits: %v", back.InputRows[0][0])
+	}
+}

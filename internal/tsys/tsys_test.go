@@ -1,0 +1,160 @@
+package tsys
+
+import (
+	"strings"
+	"testing"
+
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/sat"
+	"rtlrepair/internal/smt"
+)
+
+// counterSystem builds the paper's Figure 1 counter as a transition
+// system: count' = ite(reset, 0, ite(enable, count+1, count)),
+// overflow' = ite(count == 15, 1, ite(reset, 0, overflow)).
+func counterSystem(ctx *smt.Context) *System {
+	reset := ctx.Var("reset", 1)
+	enable := ctx.Var("enable", 1)
+	count := ctx.Var("count", 4)
+	overflow := ctx.Var("overflow", 1)
+
+	countNext := ctx.Ite(reset, ctx.ConstU(4, 0),
+		ctx.Ite(enable, ctx.Add(count, ctx.ConstU(4, 1)), count))
+	ovfNext := ctx.Ite(ctx.Eq(count, ctx.ConstU(4, 15)), ctx.True(),
+		ctx.Ite(reset, ctx.False(), overflow))
+
+	return &System{
+		Name:   "first_counter",
+		Inputs: []*smt.Term{reset, enable},
+		States: []State{
+			{Var: count, Next: countNext},
+			{Var: overflow, Next: ovfNext},
+		},
+		Outputs: []Output{
+			{Name: "count", Expr: count},
+			{Name: "overflow", Expr: overflow},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ctx := smt.NewContext()
+	sys := counterSystem(ctx)
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// Break it: undeclared var in next.
+	rogue := ctx.Var("rogue", 4)
+	sys.States[0].Next = rogue
+	if err := sys.Validate(); err == nil {
+		t.Fatal("expected validation error for undeclared variable")
+	}
+}
+
+func TestUnrollConcreteFolds(t *testing.T) {
+	ctx := smt.NewContext()
+	sys := counterSystem(ctx)
+	init := map[*smt.Term]*smt.Term{
+		sys.States[0].Var: ctx.ConstU(4, 0),
+		sys.States[1].Var: ctx.ConstU(1, 0),
+	}
+	u := Unroll(ctx, sys, 3, init)
+	s := smt.NewSolver(ctx)
+	// Drive enable=1, reset=0 for all steps.
+	for k := 0; k <= 3; k++ {
+		s.Assert(ctx.Eq(u.InputAt(k, sys.Inputs[0]), ctx.False()))
+		s.Assert(ctx.Eq(u.InputAt(k, sys.Inputs[1]), ctx.True()))
+	}
+	st, err := s.Check()
+	if err != nil || st != sat.Sat {
+		t.Fatalf("check: %v %v", st, err)
+	}
+	if got := s.Value(u.OutputAt(3, "count")); got.Uint64() != 3 {
+		t.Fatalf("count@3 = %v, want 3", got)
+	}
+	if got := s.Value(u.OutputAt(0, "count")); got.Uint64() != 0 {
+		t.Fatalf("count@0 = %v, want 0", got)
+	}
+}
+
+func TestUnrollSymbolicInitialState(t *testing.T) {
+	ctx := smt.NewContext()
+	sys := counterSystem(ctx)
+	u := Unroll(ctx, sys, 1, nil)
+	s := smt.NewSolver(ctx)
+	// After a reset cycle the count must be zero regardless of the start.
+	s.Assert(ctx.Eq(u.InputAt(0, sys.Inputs[0]), ctx.True()))
+	s.Assert(ctx.Ne(u.OutputAt(1, "count"), ctx.ConstU(4, 0)))
+	st, _ := s.Check()
+	if st != sat.Unsat {
+		t.Fatalf("count after reset must be 0; got %v", st)
+	}
+}
+
+func TestUnrollBMCFindsOverflow(t *testing.T) {
+	ctx := smt.NewContext()
+	sys := counterSystem(ctx)
+	init := map[*smt.Term]*smt.Term{
+		sys.States[0].Var: ctx.ConstU(4, 13),
+		sys.States[1].Var: ctx.ConstU(1, 0),
+	}
+	u := Unroll(ctx, sys, 4, init)
+	s := smt.NewSolver(ctx)
+	s.Assert(ctx.Eq(u.OutputAt(4, "overflow"), ctx.True()))
+	st, err := s.Check()
+	if err != nil || st != sat.Sat {
+		t.Fatalf("BMC should find an overflow path: %v %v", st, err)
+	}
+	// The model must actually raise the overflow: replay it concretely.
+	env := func(v *smt.Term) bv.BV { return s.Value(v) }
+	if got := smt.Eval(u.OutputAt(4, "overflow"), env); got.IsZero() {
+		t.Fatal("model does not satisfy overflow expression")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	ctx := smt.NewContext()
+	sys := counterSystem(ctx)
+	if sys.Input("reset") == nil || sys.Input("nope") != nil {
+		t.Fatal("Input lookup broken")
+	}
+	if sys.Output("count") == nil || sys.Output("nope") != nil {
+		t.Fatal("Output lookup broken")
+	}
+	if sys.StateByName("overflow") == nil || sys.StateByName("nope") != nil {
+		t.Fatal("StateByName lookup broken")
+	}
+}
+
+func TestWriteBtor(t *testing.T) {
+	ctx := smt.NewContext()
+	sys := counterSystem(ctx)
+	out := sys.WriteBtor()
+	for _, want := range []string{"system first_counter", "input (bitvec 1) reset", "state (bitvec 4) count", "next count", "output overflow"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("btor output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnrollTaggedNamespaces(t *testing.T) {
+	ctx := smt.NewContext()
+	sys := counterSystem(ctx)
+	u1 := UnrollTagged(ctx, sys, 2, nil, "t0")
+	u2 := UnrollTagged(ctx, sys, 2, nil, "t1")
+	// Same logical position, different variables.
+	if u1.InputAt(1, sys.Inputs[0]) == u2.InputAt(1, sys.Inputs[0]) {
+		t.Fatal("tagged unrollings share input instances")
+	}
+	if u1.InputAt(1, sys.Inputs[0]).Name != "reset@t0/1" {
+		t.Fatalf("name = %q", u1.InputAt(1, sys.Inputs[0]).Name)
+	}
+	// Constraining one unrolling must not constrain the other.
+	s := smt.NewSolver(ctx)
+	s.Assert(ctx.Eq(u1.InputAt(0, sys.Inputs[0]), ctx.True()))
+	s.Assert(ctx.Eq(u2.InputAt(0, sys.Inputs[0]), ctx.False()))
+	st, err := s.Check()
+	if err != nil || st != sat.Sat {
+		t.Fatalf("independent unrollings: %v %v", st, err)
+	}
+}

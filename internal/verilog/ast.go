@@ -1,0 +1,459 @@
+// Package verilog implements a frontend for the synthesizable Verilog
+// subset RTL-Repair operates on: a lexer, a recursive-descent parser, a
+// typed AST with source positions, a canonical source printer (used to
+// emit repaired designs), and deep-clone/rewrite utilities used by the
+// repair templates and the CirFix-style baseline.
+//
+// The subset covers what the paper's benchmarks need: modules with ANSI
+// or non-ANSI port declarations, parameters and localparams, wire/reg
+// declarations with ranges, continuous assignments, always blocks with
+// edge or level sensitivity (including @(*)), initial blocks with simple
+// register initialization, if/else, case/casez, begin/end blocks,
+// blocking and non-blocking assignments with optional (ignored) delays,
+// module instantiation, and the usual expression operators including
+// concatenation, replication, bit/part selects and 4-state literals.
+// Out of scope, as in the paper's own preparation of the benchmarks:
+// tri-state logic, asynchronous resets, for/while loops, functions/tasks,
+// memories (2-D regs) and generate blocks.
+package verilog
+
+import "fmt"
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Dir is a port direction.
+type Dir int
+
+// Port directions. DirNone marks internal signals.
+const (
+	DirNone Dir = iota
+	DirInput
+	DirOutput
+	DirInout
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirInput:
+		return "input"
+	case DirOutput:
+		return "output"
+	case DirInout:
+		return "inout"
+	}
+	return ""
+}
+
+// NetKind distinguishes wire and reg declarations.
+type NetKind int
+
+// Net kinds.
+const (
+	KindWire NetKind = iota
+	KindReg
+)
+
+func (k NetKind) String() string {
+	if k == KindReg {
+		return "reg"
+	}
+	return "wire"
+}
+
+// Node is implemented by every AST node.
+type Node interface{ NodePos() Pos }
+
+// Item is a module-level item.
+type Item interface {
+	Node
+	isItem()
+}
+
+// Stmt is a behavioural statement.
+type Stmt interface {
+	Node
+	isStmt()
+}
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	isExpr()
+}
+
+// Module is a Verilog module definition.
+type Module struct {
+	Pos   Pos
+	Name  string
+	Ports []string // port order as written in the header
+	Items []Item
+}
+
+// NodePos returns the module position.
+func (m *Module) NodePos() Pos { return m.Pos }
+
+// Decl declares a wire/reg, possibly a port, with an optional range.
+type Decl struct {
+	Pos  Pos
+	Dir  Dir
+	Kind NetKind
+	// MSB and LSB are the range bounds ("[MSB:LSB]"); both nil for 1-bit.
+	MSB, LSB Expr
+	Name     string
+	Signed   bool
+	Init     Expr // for "wire x = expr" shorthand; nil otherwise
+	// ArrMSB/ArrLSB are the memory dimension ("mem [ArrMSB:ArrLSB]");
+	// both nil for plain signals. Memories are scalarized into one
+	// register per word before elaboration (synth.ScalarizeMemories).
+	ArrMSB, ArrLSB Expr
+}
+
+// IsMemory reports whether the declaration is a 2-D register array.
+func (d *Decl) IsMemory() bool { return d.ArrMSB != nil }
+
+func (*Decl) isItem() {}
+
+// NodePos returns the declaration position.
+func (d *Decl) NodePos() Pos { return d.Pos }
+
+// Param declares a parameter or localparam.
+type Param struct {
+	Pos      Pos
+	Local    bool
+	Name     string
+	MSB, LSB Expr // optional range
+	Value    Expr
+}
+
+func (*Param) isItem() {}
+
+// NodePos returns the parameter position.
+func (p *Param) NodePos() Pos { return p.Pos }
+
+// ContAssign is a continuous assignment: assign LHS = RHS;
+type ContAssign struct {
+	Pos Pos
+	LHS Expr
+	RHS Expr
+}
+
+func (*ContAssign) isItem() {}
+
+// NodePos returns the assignment position.
+func (a *ContAssign) NodePos() Pos { return a.Pos }
+
+// EdgeKind is the kind of a sensitivity-list entry.
+type EdgeKind int
+
+// Sensitivity edges.
+const (
+	EdgeLevel EdgeKind = iota
+	EdgePos
+	EdgeNeg
+)
+
+// SenseItem is one entry of a sensitivity list.
+type SenseItem struct {
+	Edge   EdgeKind
+	Signal string
+}
+
+func (s SenseItem) String() string {
+	switch s.Edge {
+	case EdgePos:
+		return "posedge " + s.Signal
+	case EdgeNeg:
+		return "negedge " + s.Signal
+	}
+	return s.Signal
+}
+
+// Always is an always block. A nil Senses slice means always @(*).
+type Always struct {
+	Pos    Pos
+	Star   bool // @(*)
+	Senses []SenseItem
+	Body   Stmt
+}
+
+func (*Always) isItem() {}
+
+// NodePos returns the block position.
+func (a *Always) NodePos() Pos { return a.Pos }
+
+// IsClocked reports whether the block has any edge-triggered sense.
+func (a *Always) IsClocked() bool {
+	for _, s := range a.Senses {
+		if s.Edge != EdgeLevel {
+			return true
+		}
+	}
+	return false
+}
+
+// Initial is an initial block (used only for register initialization).
+type Initial struct {
+	Pos  Pos
+	Body Stmt
+}
+
+func (*Initial) isItem() {}
+
+// NodePos returns the block position.
+func (i *Initial) NodePos() Pos { return i.Pos }
+
+// PortConn connects an instance port. Name is empty for ordered
+// connections.
+type PortConn struct {
+	Name string
+	Expr Expr // nil for explicitly unconnected .name()
+}
+
+// Instance instantiates a module.
+type Instance struct {
+	Pos     Pos
+	ModName string
+	Name    string
+	Params  []PortConn // #(.P(v)) overrides
+	Conns   []PortConn
+}
+
+func (*Instance) isItem() {}
+
+// NodePos returns the instance position.
+func (i *Instance) NodePos() Pos { return i.Pos }
+
+// Block is a begin/end statement sequence.
+type Block struct {
+	Pos   Pos
+	Name  string // optional ": label"
+	Stmts []Stmt
+}
+
+func (*Block) isStmt() {}
+
+// NodePos returns the block position.
+func (b *Block) NodePos() Pos { return b.Pos }
+
+// If is an if/else statement; Else may be nil.
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+func (*If) isStmt() {}
+
+// NodePos returns the statement position.
+func (i *If) NodePos() Pos { return i.Pos }
+
+// CaseKind distinguishes case variants.
+type CaseKind int
+
+// Case kinds.
+const (
+	CaseExact CaseKind = iota
+	CaseZ
+	CaseX
+)
+
+func (k CaseKind) String() string {
+	switch k {
+	case CaseZ:
+		return "casez"
+	case CaseX:
+		return "casex"
+	}
+	return "case"
+}
+
+// CaseItem is one arm of a case statement. A nil Exprs slice is the
+// default arm.
+type CaseItem struct {
+	Exprs []Expr
+	Body  Stmt
+}
+
+// Case is a case/casez/casex statement.
+type Case struct {
+	Pos     Pos
+	Kind    CaseKind
+	Subject Expr
+	Items   []CaseItem
+}
+
+func (*Case) isStmt() {}
+
+// NodePos returns the statement position.
+func (c *Case) NodePos() Pos { return c.Pos }
+
+// Assign is a procedural assignment.
+type Assign struct {
+	Pos      Pos
+	LHS      Expr
+	RHS      Expr
+	Blocking bool
+	Delay    Expr // parsed and ignored ("<= #1 x")
+}
+
+func (*Assign) isStmt() {}
+
+// NodePos returns the statement position.
+func (a *Assign) NodePos() Pos { return a.Pos }
+
+// For is a for loop with a constant trip count; the synthesizable subset
+// requires it to be fully unrollable (synth.UnrollLoops does that before
+// elaboration and event simulation).
+type For struct {
+	Pos  Pos
+	Var  string // loop variable (assigned in Init and Update)
+	Init Expr   // initial value expression
+	Cond Expr   // loop condition over Var
+	Step Expr   // next value expression (RHS of Var = ...)
+	Body Stmt
+}
+
+func (*For) isStmt() {}
+
+// NodePos returns the statement position.
+func (f *For) NodePos() Pos { return f.Pos }
+
+// NullStmt is a lone semicolon.
+type NullStmt struct{ Pos Pos }
+
+func (*NullStmt) isStmt() {}
+
+// NodePos returns the statement position.
+func (n *NullStmt) NodePos() Pos { return n.Pos }
+
+// Ident is a name reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+func (*Ident) isExpr() {}
+
+// NodePos returns the expression position.
+func (i *Ident) NodePos() Pos { return i.Pos }
+
+// Number is an integer literal. Width 0 means unsized (32-bit in
+// contexts that need a width). Bits holds the 4-state value for sized
+// literals; for unsized decimals Bits has width 32.
+type Number struct {
+	Pos    Pos
+	Sized  bool
+	Width  int
+	Base   byte // 'b', 'o', 'd', 'h'; 'd' for plain decimals
+	Bits   XNum
+	Signed bool
+}
+
+func (*Number) isExpr() {}
+
+// NodePos returns the expression position.
+func (n *Number) NodePos() Pos { return n.Pos }
+
+// Unary is a unary operation: ~ ! - + & | ^ ~& ~| ~^.
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+func (*Unary) isExpr() {}
+
+// NodePos returns the expression position.
+func (u *Unary) NodePos() Pos { return u.Pos }
+
+// Binary is a binary operation.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+func (*Binary) isExpr() {}
+
+// NodePos returns the expression position.
+func (b *Binary) NodePos() Pos { return b.Pos }
+
+// Ternary is cond ? then : else.
+type Ternary struct {
+	Pos              Pos
+	Cond, Then, Else Expr
+}
+
+func (*Ternary) isExpr() {}
+
+// NodePos returns the expression position.
+func (t *Ternary) NodePos() Pos { return t.Pos }
+
+// Concat is {a, b, c}.
+type Concat struct {
+	Pos   Pos
+	Parts []Expr
+}
+
+func (*Concat) isExpr() {}
+
+// NodePos returns the expression position.
+func (c *Concat) NodePos() Pos { return c.Pos }
+
+// Repeat is {n{a, b}}.
+type Repeat struct {
+	Pos   Pos
+	Count Expr
+	Parts []Expr
+}
+
+func (*Repeat) isExpr() {}
+
+// NodePos returns the expression position.
+func (r *Repeat) NodePos() Pos { return r.Pos }
+
+// Index is a bit select x[i].
+type Index struct {
+	Pos Pos
+	X   Expr
+	Idx Expr
+}
+
+func (*Index) isExpr() {}
+
+// NodePos returns the expression position.
+func (i *Index) NodePos() Pos { return i.Pos }
+
+// PartSelect is a constant part select x[msb:lsb].
+type PartSelect struct {
+	Pos      Pos
+	X        Expr
+	MSB, LSB Expr
+}
+
+func (*PartSelect) isExpr() {}
+
+// NodePos returns the expression position.
+func (p *PartSelect) NodePos() Pos { return p.Pos }
+
+// SynthHole is an internal expression node inserted by repair templates:
+// it refers to a synthesis variable (φ or α) by name. It never appears
+// in parsed source and the printer refuses to print it; repairs must
+// substitute all holes before serialization.
+type SynthHole struct {
+	Pos   Pos
+	Name  string
+	Width int
+}
+
+func (*SynthHole) isExpr() {}
+
+// NodePos returns the expression position.
+func (s *SynthHole) NodePos() Pos { return s.Pos }

@@ -1,0 +1,328 @@
+package verilog
+
+import "fmt"
+
+// CloneModule returns a deep copy of a module. Repair templates and the
+// CirFix-style baseline mutate clones, never the parsed original.
+func CloneModule(m *Module) *Module {
+	out := &Module{Pos: m.Pos, Name: m.Name, Ports: append([]string{}, m.Ports...)}
+	for _, it := range m.Items {
+		out.Items = append(out.Items, cloneItem(it))
+	}
+	return out
+}
+
+func cloneItem(it Item) Item {
+	switch it := it.(type) {
+	case *Decl:
+		c := *it
+		c.MSB, c.LSB, c.Init = cloneExpr(it.MSB), cloneExpr(it.LSB), cloneExpr(it.Init)
+		c.ArrMSB, c.ArrLSB = cloneExpr(it.ArrMSB), cloneExpr(it.ArrLSB)
+		return &c
+	case *Param:
+		c := *it
+		c.MSB, c.LSB, c.Value = cloneExpr(it.MSB), cloneExpr(it.LSB), cloneExpr(it.Value)
+		return &c
+	case *ContAssign:
+		return &ContAssign{Pos: it.Pos, LHS: cloneExpr(it.LHS), RHS: cloneExpr(it.RHS)}
+	case *Always:
+		return &Always{Pos: it.Pos, Star: it.Star, Senses: append([]SenseItem{}, it.Senses...), Body: CloneStmt(it.Body)}
+	case *Initial:
+		return &Initial{Pos: it.Pos, Body: CloneStmt(it.Body)}
+	case *Instance:
+		c := &Instance{Pos: it.Pos, ModName: it.ModName, Name: it.Name}
+		for _, pc := range it.Params {
+			c.Params = append(c.Params, PortConn{Name: pc.Name, Expr: cloneExpr(pc.Expr)})
+		}
+		for _, pc := range it.Conns {
+			c.Conns = append(c.Conns, PortConn{Name: pc.Name, Expr: cloneExpr(pc.Expr)})
+		}
+		return c
+	}
+	panic(fmt.Sprintf("verilog: clone of unknown item %T", it))
+}
+
+// CloneStmt returns a deep copy of a statement.
+func CloneStmt(s Stmt) Stmt {
+	if s == nil {
+		return nil
+	}
+	switch s := s.(type) {
+	case *Block:
+		c := &Block{Pos: s.Pos, Name: s.Name}
+		for _, inner := range s.Stmts {
+			c.Stmts = append(c.Stmts, CloneStmt(inner))
+		}
+		return c
+	case *If:
+		return &If{Pos: s.Pos, Cond: cloneExpr(s.Cond), Then: CloneStmt(s.Then), Else: CloneStmt(s.Else)}
+	case *Case:
+		c := &Case{Pos: s.Pos, Kind: s.Kind, Subject: cloneExpr(s.Subject)}
+		for _, item := range s.Items {
+			ci := CaseItem{Body: CloneStmt(item.Body)}
+			for _, e := range item.Exprs {
+				ci.Exprs = append(ci.Exprs, cloneExpr(e))
+			}
+			c.Items = append(c.Items, ci)
+		}
+		return c
+	case *Assign:
+		return &Assign{Pos: s.Pos, LHS: cloneExpr(s.LHS), RHS: cloneExpr(s.RHS), Blocking: s.Blocking, Delay: cloneExpr(s.Delay)}
+	case *For:
+		return &For{Pos: s.Pos, Var: s.Var, Init: cloneExpr(s.Init),
+			Cond: cloneExpr(s.Cond), Step: cloneExpr(s.Step), Body: CloneStmt(s.Body)}
+	case *NullStmt:
+		return &NullStmt{Pos: s.Pos}
+	}
+	panic(fmt.Sprintf("verilog: clone of unknown stmt %T", s))
+}
+
+// CloneExpr returns a deep copy of an expression.
+func CloneExpr(e Expr) Expr { return cloneExpr(e) }
+
+func cloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *Ident:
+		c := *e
+		return &c
+	case *Number:
+		c := *e
+		return &c
+	case *Unary:
+		return &Unary{Pos: e.Pos, Op: e.Op, X: cloneExpr(e.X)}
+	case *Binary:
+		return &Binary{Pos: e.Pos, Op: e.Op, X: cloneExpr(e.X), Y: cloneExpr(e.Y)}
+	case *Ternary:
+		return &Ternary{Pos: e.Pos, Cond: cloneExpr(e.Cond), Then: cloneExpr(e.Then), Else: cloneExpr(e.Else)}
+	case *Concat:
+		c := &Concat{Pos: e.Pos}
+		for _, p := range e.Parts {
+			c.Parts = append(c.Parts, cloneExpr(p))
+		}
+		return c
+	case *Repeat:
+		c := &Repeat{Pos: e.Pos, Count: cloneExpr(e.Count)}
+		for _, p := range e.Parts {
+			c.Parts = append(c.Parts, cloneExpr(p))
+		}
+		return c
+	case *Index:
+		return &Index{Pos: e.Pos, X: cloneExpr(e.X), Idx: cloneExpr(e.Idx)}
+	case *PartSelect:
+		return &PartSelect{Pos: e.Pos, X: cloneExpr(e.X), MSB: cloneExpr(e.MSB), LSB: cloneExpr(e.LSB)}
+	case *SynthHole:
+		c := *e
+		return &c
+	}
+	panic(fmt.Sprintf("verilog: clone of unknown expr %T", e))
+}
+
+// WalkExprs calls f for every expression in the module, depth-first.
+// If f returns false, the walk does not descend into that expression.
+func WalkExprs(m *Module, f func(Expr) bool) {
+	for _, it := range m.Items {
+		switch it := it.(type) {
+		case *Decl:
+			walkExpr(it.Init, f)
+		case *Param:
+			walkExpr(it.Value, f)
+		case *ContAssign:
+			walkExpr(it.LHS, f)
+			walkExpr(it.RHS, f)
+		case *Always:
+			WalkStmtExprs(it.Body, f)
+		case *Initial:
+			WalkStmtExprs(it.Body, f)
+		case *Instance:
+			for _, c := range it.Conns {
+				walkExpr(c.Expr, f)
+			}
+		}
+	}
+}
+
+// WalkStmtExprs calls f for every expression under a statement.
+func WalkStmtExprs(s Stmt, f func(Expr) bool) {
+	if s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *Block:
+		for _, inner := range s.Stmts {
+			WalkStmtExprs(inner, f)
+		}
+	case *If:
+		walkExpr(s.Cond, f)
+		WalkStmtExprs(s.Then, f)
+		WalkStmtExprs(s.Else, f)
+	case *Case:
+		walkExpr(s.Subject, f)
+		for _, item := range s.Items {
+			for _, e := range item.Exprs {
+				walkExpr(e, f)
+			}
+			WalkStmtExprs(item.Body, f)
+		}
+	case *Assign:
+		walkExpr(s.LHS, f)
+		walkExpr(s.RHS, f)
+	case *For:
+		walkExpr(s.Init, f)
+		walkExpr(s.Cond, f)
+		walkExpr(s.Step, f)
+		WalkStmtExprs(s.Body, f)
+	}
+}
+
+func walkExpr(e Expr, f func(Expr) bool) {
+	if e == nil {
+		return
+	}
+	if !f(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *Unary:
+		walkExpr(e.X, f)
+	case *Binary:
+		walkExpr(e.X, f)
+		walkExpr(e.Y, f)
+	case *Ternary:
+		walkExpr(e.Cond, f)
+		walkExpr(e.Then, f)
+		walkExpr(e.Else, f)
+	case *Concat:
+		for _, p := range e.Parts {
+			walkExpr(p, f)
+		}
+	case *Repeat:
+		walkExpr(e.Count, f)
+		for _, p := range e.Parts {
+			walkExpr(p, f)
+		}
+	case *Index:
+		walkExpr(e.X, f)
+		walkExpr(e.Idx, f)
+	case *PartSelect:
+		walkExpr(e.X, f)
+		walkExpr(e.MSB, f)
+		walkExpr(e.LSB, f)
+	}
+}
+
+// WalkStmts calls f for every statement in the module, depth-first,
+// including nested ones. The enclosing Always (or Initial as nil) is
+// passed along for context.
+func WalkStmts(m *Module, f func(s Stmt, parent *Always)) {
+	for _, it := range m.Items {
+		switch it := it.(type) {
+		case *Always:
+			walkStmt(it.Body, it, f)
+		case *Initial:
+			walkStmt(it.Body, nil, f)
+		}
+	}
+}
+
+func walkStmt(s Stmt, parent *Always, f func(Stmt, *Always)) {
+	if s == nil {
+		return
+	}
+	f(s, parent)
+	switch s := s.(type) {
+	case *Block:
+		for _, inner := range s.Stmts {
+			walkStmt(inner, parent, f)
+		}
+	case *If:
+		walkStmt(s.Then, parent, f)
+		walkStmt(s.Else, parent, f)
+	case *Case:
+		for _, item := range s.Items {
+			walkStmt(item.Body, parent, f)
+		}
+	case *For:
+		walkStmt(s.Body, parent, f)
+	}
+}
+
+// RewriteExprs rewrites every expression in the module bottom-up using f.
+// f receives each node after its children were rewritten and returns the
+// replacement (usually the node itself).
+func RewriteExprs(m *Module, f func(Expr) Expr) {
+	for _, it := range m.Items {
+		switch it := it.(type) {
+		case *ContAssign:
+			it.RHS = rewriteExpr(it.RHS, f)
+		case *Always:
+			rewriteStmtExprs(it.Body, f)
+		case *Initial:
+			rewriteStmtExprs(it.Body, f)
+		}
+	}
+}
+
+// RewriteStmtExprs rewrites expressions under one statement bottom-up.
+// Left-hand sides of assignments are not rewritten (templates never
+// change assignment targets).
+func RewriteStmtExprs(s Stmt, f func(Expr) Expr) { rewriteStmtExprs(s, f) }
+
+func rewriteStmtExprs(s Stmt, f func(Expr) Expr) {
+	if s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *Block:
+		for _, inner := range s.Stmts {
+			rewriteStmtExprs(inner, f)
+		}
+	case *If:
+		s.Cond = rewriteExpr(s.Cond, f)
+		rewriteStmtExprs(s.Then, f)
+		rewriteStmtExprs(s.Else, f)
+	case *Case:
+		s.Subject = rewriteExpr(s.Subject, f)
+		for i := range s.Items {
+			rewriteStmtExprs(s.Items[i].Body, f)
+		}
+	case *Assign:
+		s.RHS = rewriteExpr(s.RHS, f)
+	case *For:
+		// Init/Cond/Step stay constant (they must remain unrollable).
+		rewriteStmtExprs(s.Body, f)
+	}
+}
+
+func rewriteExpr(e Expr, f func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *Unary:
+		e.X = rewriteExpr(e.X, f)
+	case *Binary:
+		e.X = rewriteExpr(e.X, f)
+		e.Y = rewriteExpr(e.Y, f)
+	case *Ternary:
+		e.Cond = rewriteExpr(e.Cond, f)
+		e.Then = rewriteExpr(e.Then, f)
+		e.Else = rewriteExpr(e.Else, f)
+	case *Concat:
+		for i := range e.Parts {
+			e.Parts[i] = rewriteExpr(e.Parts[i], f)
+		}
+	case *Repeat:
+		for i := range e.Parts {
+			e.Parts[i] = rewriteExpr(e.Parts[i], f)
+		}
+	case *Index:
+		e.X = rewriteExpr(e.X, f)
+		e.Idx = rewriteExpr(e.Idx, f)
+	case *PartSelect:
+		e.X = rewriteExpr(e.X, f)
+	}
+	return f(e)
+}

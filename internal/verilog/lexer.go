@@ -1,0 +1,260 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokPunct
+	tokSystem // $display etc.
+	tokString
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"inout": true, "wire": true, "reg": true, "parameter": true,
+	"localparam": true, "assign": true, "always": true, "initial": true,
+	"begin": true, "end": true, "if": true, "else": true, "case": true,
+	"casez": true, "casex": true, "endcase": true, "default": true,
+	"posedge": true, "negedge": true, "or": true, "signed": true,
+	"integer": true, "for": true, "while": true, "function": true,
+	"endfunction": true, "task": true, "endtask": true, "generate": true,
+	"endgenerate": true, "genvar": true,
+}
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	"<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&", "||",
+	"<<", ">>", "~&", "~|", "~^", "^~", "+:", "-:", "(", ")", "[", "]",
+	"{", "}", ",", ";", ":", "?", "=", "<", ">", "+", "-", "*", "/",
+	"%", "&", "|", "^", "~", "!", "@", "#", ".",
+}
+
+type lexer struct {
+	src    string
+	off    int
+	line   int
+	col    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		l.skipSpaceAndComments()
+		if l.off >= len(l.src) {
+			l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos()})
+			return l.tokens, nil
+		}
+		start := l.pos()
+		c := l.src[l.off]
+		switch {
+		case c == '"':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.tokens = append(l.tokens, token{kind: tokString, text: s, pos: start})
+		case c == '$':
+			l.advance(1)
+			name := l.lexIdentText()
+			l.tokens = append(l.tokens, token{kind: tokSystem, text: "$" + name, pos: start})
+		case isIdentStart(rune(c)):
+			name := l.lexIdentText()
+			kind := tokIdent
+			if keywords[name] {
+				kind = tokKeyword
+			}
+			// Sized literal whose width is given by a preceding ident? No:
+			// widths are digits, handled below. 'b101 with no width:
+			l.tokens = append(l.tokens, token{kind: kind, text: name, pos: start})
+		case c >= '0' && c <= '9':
+			text, err := l.lexNumber()
+			if err != nil {
+				return nil, err
+			}
+			l.tokens = append(l.tokens, token{kind: tokNumber, text: text, pos: start})
+		case c == '\'':
+			// Unsized based literal like 'b0 or '1.
+			text, err := l.lexBasedTail()
+			if err != nil {
+				return nil, err
+			}
+			l.tokens = append(l.tokens, token{kind: tokNumber, text: text, pos: start})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(l.src[l.off:], p) {
+					l.advance(len(p))
+					l.tokens = append(l.tokens, token{kind: tokPunct, text: p, pos: start})
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("verilog: %v: unexpected character %q", start, c)
+			}
+		}
+	}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.off < len(l.src); i++ {
+		if l.src[l.off] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.off++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case strings.HasPrefix(l.src[l.off:], "//"):
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance(1)
+			}
+		case strings.HasPrefix(l.src[l.off:], "/*"):
+			l.advance(2)
+			for l.off < len(l.src) && !strings.HasPrefix(l.src[l.off:], "*/") {
+				l.advance(1)
+			}
+			l.advance(2)
+		case c == '`':
+			// Skip compiler directives to end of line (`timescale etc.)
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '\\' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdentText() string {
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(rune(l.src[l.off])) {
+		l.advance(1)
+	}
+	return l.src[start:l.off]
+}
+
+// lexNumber lexes decimal digits optionally followed by a based tail
+// ('b1010 etc.), keeping underscores.
+func (l *lexer) lexNumber() (string, error) {
+	start := l.off
+	for l.off < len(l.src) && (l.src[l.off] >= '0' && l.src[l.off] <= '9' || l.src[l.off] == '_') {
+		l.advance(1)
+	}
+	// Possible based tail, allowing space between width and tick.
+	save := l.off
+	saveLine, saveCol := l.line, l.col
+	ws := 0
+	for l.off < len(l.src) && (l.src[l.off] == ' ' || l.src[l.off] == '\t') {
+		l.advance(1)
+		ws++
+	}
+	if l.off < len(l.src) && l.src[l.off] == '\'' {
+		tail, err := l.lexBasedTail()
+		if err != nil {
+			return "", err
+		}
+		return l.src[start:save] + tail, nil
+	}
+	l.off, l.line, l.col = save, saveLine, saveCol
+	return l.src[start:l.off], nil
+}
+
+// lexBasedTail lexes 'b1010, 'hff, 'd12 style tails including the tick.
+func (l *lexer) lexBasedTail() (string, error) {
+	start := l.off
+	l.advance(1) // tick
+	if l.off < len(l.src) && (l.src[l.off] == 's' || l.src[l.off] == 'S') {
+		l.advance(1)
+	}
+	if l.off >= len(l.src) {
+		return "", fmt.Errorf("verilog: %v: truncated literal", l.pos())
+	}
+	base := l.src[l.off]
+	switch base {
+	case 'b', 'B', 'o', 'O', 'd', 'D', 'h', 'H':
+		l.advance(1)
+	default:
+		return "", fmt.Errorf("verilog: %v: bad literal base %q", l.pos(), base)
+	}
+	for l.off < len(l.src) && (l.src[l.off] == ' ' || l.src[l.off] == '\t') {
+		l.advance(1)
+	}
+	digitStart := l.off
+	for l.off < len(l.src) && isBaseDigit(l.src[l.off]) {
+		l.advance(1)
+	}
+	if l.off == digitStart {
+		return "", fmt.Errorf("verilog: %v: literal with no digits", l.pos())
+	}
+	return strings.ReplaceAll(l.src[start:l.off], " ", ""), nil
+}
+
+func isBaseDigit(c byte) bool {
+	switch {
+	case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		return true
+	case c == '_', c == 'x', c == 'X', c == 'z', c == 'Z', c == '?':
+		return true
+	}
+	return false
+}
+
+func (l *lexer) lexString() (string, error) {
+	l.advance(1)
+	start := l.off
+	for l.off < len(l.src) && l.src[l.off] != '"' {
+		if l.src[l.off] == '\\' {
+			l.advance(1)
+		}
+		l.advance(1)
+	}
+	if l.off >= len(l.src) {
+		return "", fmt.Errorf("verilog: unterminated string at %v", l.pos())
+	}
+	s := l.src[start:l.off]
+	l.advance(1)
+	return s, nil
+}

@@ -1,0 +1,192 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+
+	"rtlrepair/internal/bv"
+)
+
+// XNum is the 4-state value carried by a Number literal.
+type XNum = bv.XBV
+
+// ParseNumber parses a Verilog integer literal such as 42, 4'b10x0,
+// 8'hff, 2'd1 or 16'sh7fff into a Number (without position).
+func ParseNumber(raw string) (*Number, error) {
+	s := strings.ReplaceAll(raw, "_", "")
+	tick := strings.IndexByte(s, '\'')
+	if tick < 0 {
+		// Unsized decimal: 32-bit.
+		v, err := parseUint(s, 10)
+		if err != nil {
+			return nil, fmt.Errorf("verilog: bad decimal literal %q", raw)
+		}
+		return &Number{Sized: false, Width: 32, Base: 'd', Bits: bv.K(bv.New(32, v))}, nil
+	}
+	widthStr := s[:tick]
+	rest := s[tick+1:]
+	if rest == "" {
+		return nil, fmt.Errorf("verilog: truncated literal %q", raw)
+	}
+	signed := false
+	if rest[0] == 's' || rest[0] == 'S' {
+		signed = true
+		rest = rest[1:]
+	}
+	if rest == "" {
+		return nil, fmt.Errorf("verilog: truncated literal %q", raw)
+	}
+	base := byte(strings.ToLower(string(rest[0]))[0])
+	digits := rest[1:]
+	width := 32
+	if widthStr != "" {
+		w, err := parseUint(widthStr, 10)
+		if err != nil || w == 0 || w > 4096 {
+			return nil, fmt.Errorf("verilog: bad literal width in %q", raw)
+		}
+		width = int(w)
+	}
+	var bits bv.XBV
+	switch base {
+	case 'b':
+		x, err := bv.ParseX(digits)
+		if err != nil {
+			return nil, fmt.Errorf("verilog: %q: %v", raw, err)
+		}
+		bits = resizeX(x, width)
+	case 'o':
+		x, err := parseBaseX(digits, 3, "01234567")
+		if err != nil {
+			return nil, fmt.Errorf("verilog: %q: %v", raw, err)
+		}
+		bits = resizeX(x, width)
+	case 'h':
+		x, err := parseBaseX(strings.ToLower(digits), 4, "0123456789abcdef")
+		if err != nil {
+			return nil, fmt.Errorf("verilog: %q: %v", raw, err)
+		}
+		bits = resizeX(x, width)
+	case 'd':
+		if strings.ContainsAny(digits, "xXzZ") {
+			// A lone x/z digit means the whole value is unknown.
+			bits = bv.X(width)
+		} else {
+			v, err := parseUint(digits, 10)
+			if err != nil {
+				return nil, fmt.Errorf("verilog: bad decimal digits in %q", raw)
+			}
+			bits = bv.K(bv.New(width, v))
+		}
+	default:
+		return nil, fmt.Errorf("verilog: unknown base %q in %q", base, raw)
+	}
+	return &Number{Sized: widthStr != "", Width: width, Base: base, Bits: bits, Signed: signed}, nil
+}
+
+// parseBaseX parses power-of-two-base digits with x/z support.
+func parseBaseX(digits string, bitsPer int, alphabet string) (bv.XBV, error) {
+	out := bv.K(bv.Zero(0))
+	for _, r := range digits {
+		var chunk bv.XBV
+		switch r {
+		case 'x', 'X', 'z', 'Z', '?':
+			chunk = bv.X(bitsPer)
+		default:
+			idx := strings.IndexRune(alphabet, r)
+			if idx < 0 {
+				return bv.XBV{}, fmt.Errorf("invalid digit %q", r)
+			}
+			chunk = bv.K(bv.New(bitsPer, uint64(idx)))
+		}
+		out = out.Concat(chunk)
+	}
+	return out, nil
+}
+
+// resizeX truncates or extends the parsed digits to the literal width.
+// Extension pads with known zeros unless the MSB digit was x/z, in which
+// case Verilog extends with x.
+func resizeX(x bv.XBV, width int) bv.XBV {
+	if x.Width() == width {
+		return x
+	}
+	if x.Width() > width {
+		return x.Extract(width-1, 0)
+	}
+	if x.Width() > 0 && !x.Known.Bit(x.Width()-1) {
+		pad := bv.X(width - x.Width())
+		return pad.Concat(x)
+	}
+	return x.ZeroExt(width)
+}
+
+func parseUint(s string, base uint64) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	var v uint64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("invalid digit %q", r)
+		}
+		v = v*base + uint64(r-'0')
+	}
+	return v, nil
+}
+
+// FormatNumber renders a Number back to Verilog source.
+func FormatNumber(n *Number) string {
+	if !n.Sized {
+		return fmt.Sprintf("%d", n.Bits.Val.Uint64())
+	}
+	sign := ""
+	if n.Signed {
+		sign = "s"
+	}
+	switch n.Base {
+	case 'd':
+		if n.Bits.IsFullyKnown() {
+			// Render via binary string to support >64-bit widths.
+			if n.Width <= 64 {
+				return fmt.Sprintf("%d'%sd%d", n.Width, sign, n.Bits.Val.Uint64())
+			}
+			return fmt.Sprintf("%d'%sh%s", n.Width, sign, n.Bits.Val.HexString())
+		}
+		return fmt.Sprintf("%d'%sdx", n.Width, sign)
+	case 'h':
+		if n.Bits.IsFullyKnown() {
+			return fmt.Sprintf("%d'%sh%s", n.Width, sign, n.Bits.Val.HexString())
+		}
+		return fmt.Sprintf("%d'%sb%s", n.Width, sign, xBits(n.Bits))
+	case 'o':
+		// Re-render octal as binary to keep x bits exact.
+		return fmt.Sprintf("%d'%sb%s", n.Width, sign, xBits(n.Bits))
+	default:
+		return fmt.Sprintf("%d'%sb%s", n.Width, sign, xBits(n.Bits))
+	}
+}
+
+func xBits(x bv.XBV) string {
+	var sb strings.Builder
+	for i := x.Width() - 1; i >= 0; i-- {
+		switch {
+		case !x.Known.Bit(i):
+			sb.WriteByte('x')
+		case x.Val.Bit(i):
+			sb.WriteByte('1')
+		default:
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// MkNumber builds a sized binary Number from a two-state value.
+func MkNumber(width int, val uint64) *Number {
+	return &Number{Sized: true, Width: width, Base: 'b', Bits: bv.KU(width, val)}
+}
+
+// MkNumberBV builds a sized Number from a bit-vector value.
+func MkNumberBV(v bv.BV) *Number {
+	return &Number{Sized: true, Width: v.Width(), Base: 'b', Bits: bv.K(v)}
+}

@@ -1,0 +1,1019 @@
+package verilog
+
+import "fmt"
+
+// ParseError is a parse failure with a source position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("verilog: %v: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses Verilog source containing one or more modules.
+func Parse(src string) ([]*Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var mods []*Module
+	for !p.atEOF() {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	if len(mods) == 0 {
+		return nil, &ParseError{Pos: Pos{1, 1}, Msg: "no module found"}
+	}
+	return mods, nil
+}
+
+// ParseModule parses a source file expected to contain exactly one module.
+func ParseModule(src string) (*Module, error) {
+	mods, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(mods) != 1 {
+		return nil, fmt.Errorf("verilog: expected one module, found %d", len(mods))
+	}
+	return mods[0], nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) peekIs(text string) bool {
+	t := p.cur()
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.peekIs(text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (token, error) {
+	if p.peekIs(text) {
+		return p.next(), nil
+	}
+	return token{}, &ParseError{Pos: p.cur().pos, Msg: fmt.Sprintf("expected %q, found %v", text, p.cur())}
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if p.cur().kind == tokIdent {
+		return p.next(), nil
+	}
+	return token{}, &ParseError{Pos: p.cur().pos, Msg: fmt.Sprintf("expected identifier, found %v", p.cur())}
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	start, err := p.expect("module")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Pos: start.pos, Name: name.text}
+
+	// Optional #(parameter ...) header.
+	if p.accept("#") {
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		for {
+			if p.accept("parameter") {
+			}
+			prm, err := p.parseParamBody(false)
+			if err != nil {
+				return nil, err
+			}
+			m.Items = append(m.Items, prm...)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.accept("(") {
+		if !p.peekIs(")") {
+			if err := p.parsePortList(m); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	for !p.peekIs("endmodule") {
+		if p.atEOF() {
+			return nil, p.errorf("unexpected end of file inside module %s", m.Name)
+		}
+		items, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		m.Items = append(m.Items, items...)
+	}
+	p.next() // endmodule
+	return m, nil
+}
+
+// parsePortList handles both ANSI (with directions/types inline) and
+// traditional (names only) port lists.
+func (p *parser) parsePortList(m *Module) error {
+	dir := DirNone
+	kind := KindWire
+	var msb, lsb Expr
+	signed := false
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokKeyword && (t.text == "input" || t.text == "output" || t.text == "inout"):
+			p.next()
+			switch t.text {
+			case "input":
+				dir = DirInput
+			case "output":
+				dir = DirOutput
+			default:
+				dir = DirInout
+			}
+			kind = KindWire
+			signed = false
+			msb, lsb = nil, nil
+			if p.accept("reg") {
+				kind = KindReg
+			} else {
+				p.accept("wire")
+			}
+			if p.accept("signed") {
+				signed = true
+			}
+			if p.peekIs("[") {
+				var err error
+				msb, lsb, err = p.parseRange()
+				if err != nil {
+					return err
+				}
+			}
+			continue
+		case t.kind == tokIdent:
+			p.next()
+			m.Ports = append(m.Ports, t.text)
+			if dir != DirNone {
+				m.Items = append(m.Items, &Decl{
+					Pos: t.pos, Dir: dir, Kind: kind, MSB: cloneExpr(msb), LSB: cloneExpr(lsb),
+					Name: t.text, Signed: signed,
+				})
+			}
+			if !p.accept(",") {
+				return nil
+			}
+		default:
+			return p.errorf("unexpected token %v in port list", t)
+		}
+	}
+}
+
+func (p *parser) parseRange() (msb, lsb Expr, err error) {
+	if _, err = p.expect("["); err != nil {
+		return nil, nil, err
+	}
+	msb, err = p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err = p.expect(":"); err != nil {
+		return nil, nil, err
+	}
+	lsb, err = p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err = p.expect("]"); err != nil {
+		return nil, nil, err
+	}
+	return msb, lsb, nil
+}
+
+func (p *parser) parseItem() ([]Item, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword:
+		switch t.text {
+		case "input", "output", "inout":
+			return p.parsePortDecl()
+		case "wire", "reg":
+			return p.parseNetDecl()
+		case "integer":
+			return p.parseIntegerDecl()
+		case "parameter":
+			p.next()
+			items, err := p.parseParamBody(false)
+			if err != nil {
+				return nil, err
+			}
+			_, err = p.expect(";")
+			return items, err
+		case "localparam":
+			p.next()
+			items, err := p.parseParamBody(true)
+			if err != nil {
+				return nil, err
+			}
+			_, err = p.expect(";")
+			return items, err
+		case "assign":
+			return p.parseContAssign()
+		case "always":
+			return p.parseAlways()
+		case "initial":
+			p.next()
+			body, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			return []Item{&Initial{Pos: t.pos, Body: body}}, nil
+		default:
+			return nil, p.errorf("unsupported module item %v", t)
+		}
+	case t.kind == tokIdent:
+		return p.parseInstance()
+	case t.kind == tokSystem:
+		// Tolerate stray system tasks at module level by skipping them.
+		p.skipToSemi()
+		return nil, nil
+	}
+	return nil, p.errorf("unexpected token %v at module level", t)
+}
+
+func (p *parser) skipToSemi() {
+	for !p.atEOF() && !p.accept(";") {
+		p.next()
+	}
+}
+
+func (p *parser) parsePortDecl() ([]Item, error) {
+	t := p.next()
+	dir := map[string]Dir{"input": DirInput, "output": DirOutput, "inout": DirInout}[t.text]
+	kind := KindWire
+	if p.accept("reg") {
+		kind = KindReg
+	} else {
+		p.accept("wire")
+	}
+	signed := p.accept("signed")
+	var msb, lsb Expr
+	var err error
+	if p.peekIs("[") {
+		msb, lsb, err = p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var items []Item
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, &Decl{Pos: name.pos, Dir: dir, Kind: kind,
+			MSB: cloneExpr(msb), LSB: cloneExpr(lsb), Name: name.text, Signed: signed})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+func (p *parser) parseNetDecl() ([]Item, error) {
+	t := p.next()
+	kind := KindWire
+	if t.text == "reg" {
+		kind = KindReg
+	}
+	signed := p.accept("signed")
+	var msb, lsb Expr
+	var err error
+	if p.peekIs("[") {
+		msb, lsb, err = p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var items []Item
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := &Decl{Pos: name.pos, Kind: kind, MSB: cloneExpr(msb), LSB: cloneExpr(lsb),
+			Name: name.text, Signed: signed}
+		if p.accept("=") {
+			d.Init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if p.peekIs("[") {
+			// Memory dimension: reg [7:0] mem [0:15];
+			if kind != KindReg {
+				return nil, p.errorf("array dimension on a wire")
+			}
+			d.ArrMSB, d.ArrLSB, err = p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+		}
+		items = append(items, d)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+func (p *parser) parseIntegerDecl() ([]Item, error) {
+	t := p.next()
+	var items []Item
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, &Decl{Pos: t.pos, Kind: KindReg, Signed: true,
+			MSB: MkNumber(32, 31), LSB: MkNumber(32, 0), Name: name.text})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+func (p *parser) parseParamBody(local bool) ([]Item, error) {
+	var msb, lsb Expr
+	var err error
+	if p.peekIs("[") {
+		msb, lsb, err = p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var items []Item
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, &Param{Pos: name.pos, Local: local, Name: name.text,
+			MSB: cloneExpr(msb), LSB: cloneExpr(lsb), Value: val})
+		// A comma may continue the same parameter statement; the caller
+		// handles header-style lists, so stop before a new keyword.
+		if p.peekIs(",") && p.i+2 < len(p.toks) &&
+			p.toks[p.i+1].kind == tokIdent && p.toks[p.i+2].kind == tokPunct && p.toks[p.i+2].text == "=" {
+			p.next()
+			continue
+		}
+		break
+	}
+	return items, nil
+}
+
+func (p *parser) parseContAssign() ([]Item, error) {
+	t := p.next()
+	var items []Item
+	for {
+		lhs, err := p.parseLValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		if p.accept("#") {
+			if _, err := p.parsePrimary(); err != nil {
+				return nil, err
+			}
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, &ContAssign{Pos: t.pos, LHS: lhs, RHS: rhs})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+func (p *parser) parseAlways() ([]Item, error) {
+	t := p.next()
+	a := &Always{Pos: t.pos}
+	if p.accept("@") {
+		if p.accept("*") {
+			a.Star = true
+		} else {
+			if _, err := p.expect("("); err != nil {
+				return nil, err
+			}
+			if p.accept("*") {
+				a.Star = true
+			} else {
+				for {
+					item := SenseItem{Edge: EdgeLevel}
+					if p.accept("posedge") {
+						item.Edge = EdgePos
+					} else if p.accept("negedge") {
+						item.Edge = EdgeNeg
+					}
+					sig, err := p.expectIdent()
+					if err != nil {
+						return nil, err
+					}
+					item.Signal = sig.text
+					a.Senses = append(a.Senses, item)
+					if !p.accept("or") && !p.accept(",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	a.Body = body
+	return []Item{a}, nil
+}
+
+func (p *parser) parseInstance() ([]Item, error) {
+	mod, _ := p.expectIdent()
+	inst := &Instance{Pos: mod.pos, ModName: mod.text}
+	if p.accept("#") {
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		conns, err := p.parseConnList()
+		if err != nil {
+			return nil, err
+		}
+		inst.Params = conns
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	inst.Name = name.text
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.peekIs(")") {
+		conns, err := p.parseConnList()
+		if err != nil {
+			return nil, err
+		}
+		inst.Conns = conns
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return []Item{inst}, nil
+}
+
+func (p *parser) parseConnList() ([]PortConn, error) {
+	var conns []PortConn
+	for {
+		if p.accept(".") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("("); err != nil {
+				return nil, err
+			}
+			var e Expr
+			if !p.peekIs(")") {
+				e, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			conns = append(conns, PortConn{Name: name.text, Expr: e})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			conns = append(conns, PortConn{Expr: e})
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	return conns, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.accept(";"):
+		return &NullStmt{Pos: t.pos}, nil
+	case p.accept("begin"):
+		b := &Block{Pos: t.pos}
+		if p.accept(":") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			b.Name = name.text
+		}
+		for !p.accept("end") {
+			if p.atEOF() {
+				return nil, p.errorf("unexpected end of file in block")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			b.Stmts = append(b.Stmts, s)
+		}
+		return b, nil
+	case p.accept("if"):
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &If{Pos: t.pos, Cond: cond, Then: then}
+		if p.accept("else") {
+			s.Else, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case p.peekIs("case") || p.peekIs("casez") || p.peekIs("casex"):
+		return p.parseCase()
+	case p.peekIs("for"):
+		return p.parseFor()
+	case t.kind == tokSystem:
+		p.skipToSemi()
+		return &NullStmt{Pos: t.pos}, nil
+	case p.accept("#"):
+		// Standalone delay before a statement: parse and ignore.
+		if _, err := p.parsePrimary(); err != nil {
+			return nil, err
+		}
+		return p.parseStmt()
+	case t.kind == tokIdent || (t.kind == tokPunct && t.text == "{"):
+		return p.parseAssignStmt()
+	}
+	return nil, p.errorf("unexpected token %v in statement", t)
+}
+
+func (p *parser) parseCase() (Stmt, error) {
+	t := p.next()
+	kind := CaseExact
+	switch t.text {
+	case "casez":
+		kind = CaseZ
+	case "casex":
+		kind = CaseX
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	subject, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	c := &Case{Pos: t.pos, Kind: kind, Subject: subject}
+	for !p.accept("endcase") {
+		if p.atEOF() {
+			return nil, p.errorf("unexpected end of file in case")
+		}
+		var item CaseItem
+		if p.accept("default") {
+			p.accept(":")
+		} else {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item.Exprs = append(item.Exprs, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		item.Body = body
+		c.Items = append(c.Items, item)
+	}
+	return c, nil
+}
+
+// parseFor parses "for (v = init; cond; v = step) stmt".
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("="); err != nil {
+		return nil, err
+	}
+	init, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	name2, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if name2.text != name.text {
+		return nil, &ParseError{Pos: name2.pos, Msg: fmt.Sprintf("for update assigns %q, loop variable is %q", name2.text, name.text)}
+	}
+	if _, err := p.expect("="); err != nil {
+		return nil, err
+	}
+	step, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &For{Pos: t.pos, Var: name.text, Init: init, Cond: cond, Step: step, Body: body}, nil
+}
+
+func (p *parser) parseAssignStmt() (Stmt, error) {
+	t := p.cur()
+	lhs, err := p.parseLValue()
+	if err != nil {
+		return nil, err
+	}
+	blocking := true
+	if p.accept("<=") {
+		blocking = false
+	} else if _, err := p.expect("="); err != nil {
+		return nil, err
+	}
+	var delay Expr
+	if p.accept("#") {
+		delay, err = p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &Assign{Pos: t.pos, LHS: lhs, RHS: rhs, Blocking: blocking, Delay: delay}, nil
+}
+
+// parseLValue parses an assignment target: identifier, bit/part select
+// or concatenation of lvalues.
+func (p *parser) parseLValue() (Expr, error) {
+	t := p.cur()
+	if p.accept("{") {
+		c := &Concat{Pos: t.pos}
+		for {
+			e, err := p.parseLValue()
+			if err != nil {
+				return nil, err
+			}
+			c.Parts = append(c.Parts, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if _, err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var e Expr = &Ident{Pos: name.pos, Name: name.text}
+	for p.peekIs("[") {
+		open := p.next()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(":") {
+			lsb, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &PartSelect{Pos: open.pos, X: e, MSB: first, LSB: lsb}
+		} else {
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{Pos: open.pos, X: e, Idx: first}
+		}
+	}
+	return e, nil
+}
+
+// Expression parsing with precedence climbing.
+
+var binaryPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4, "~^": 4, "^~": 4,
+	"&":  5,
+	"==": 6, "!=": 6, "===": 6, "!==": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, "<<<": 8, ">>>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.peekIs("?") {
+		return cond, nil
+	}
+	q := p.next()
+	then, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &Ternary{Pos: q.pos, Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binaryPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		op := t.text
+		// Normalize SystemVerilog-isms our semantics treat identically.
+		switch op {
+		case "===":
+			op = "=="
+		case "!==":
+			op = "!="
+		case "^~":
+			op = "~^"
+		}
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: t.pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+var unaryOps = map[string]bool{
+	"~": true, "!": true, "-": true, "+": true,
+	"&": true, "|": true, "^": true, "~&": true, "~|": true, "~^": true,
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && unaryOps[t.text] {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "+" {
+			return x, nil
+		}
+		return &Unary{Pos: t.pos, Op: t.text, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIs("[") {
+		open := p.next()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(":") {
+			lsb, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &PartSelect{Pos: open.pos, X: e, MSB: first, LSB: lsb}
+		} else {
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{Pos: open.pos, X: e, Idx: first}
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		n, err := ParseNumber(t.text)
+		if err != nil {
+			return nil, &ParseError{Pos: t.pos, Msg: err.Error()}
+		}
+		n.Pos = t.pos
+		return n, nil
+	case t.kind == tokIdent:
+		p.next()
+		return &Ident{Pos: t.pos, Name: t.text}, nil
+	case p.accept("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.accept("{"):
+		// Either a concat {a, b} or a replication {n{a}}.
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peekIs("{") {
+			p.next()
+			r := &Repeat{Pos: t.pos, Count: first}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				r.Parts = append(r.Parts, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if _, err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			return r, nil
+		}
+		c := &Concat{Pos: t.pos, Parts: []Expr{first}}
+		for p.accept(",") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Parts = append(c.Parts, e)
+		}
+		if _, err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	return nil, p.errorf("unexpected token %v in expression", t)
+}

@@ -1,0 +1,323 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// counterSrc is the buggy counter from Figure 1 of the paper.
+const counterSrc = `
+module first_counter (
+   input clock, input reset, input enable,
+   output reg [3:0] count,
+   output reg overflow
+);
+always @(posedge clock) begin
+ if (reset == 1'b1) begin
+   // count reset is missing
+   overflow <= 1'b0;
+ end else if (enable == 1'b1) begin
+   count <= count + 1;
+ end
+ if (count == 4'b1111) begin
+   overflow <= 1'b1;
+ end
+end
+endmodule
+`
+
+func TestParseCounter(t *testing.T) {
+	m, err := ParseModule(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "first_counter" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	if len(m.Ports) != 5 {
+		t.Fatalf("ports = %v", m.Ports)
+	}
+	var decls, always int
+	for _, it := range m.Items {
+		switch it.(type) {
+		case *Decl:
+			decls++
+		case *Always:
+			always++
+		}
+	}
+	if decls != 5 || always != 1 {
+		t.Fatalf("decls=%d always=%d", decls, always)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := map[string]string{
+		"counter": counterSrc,
+		"decoder": `
+module decoder_3to8(input en, input a, input b, input c, output [7:0] y);
+  assign y = ({en,a,b,c} == 4'b1000) ? 8'b1111_1110 :
+             ({en,a,b,c} == 4'b1001) ? 8'b1111_1101 : 8'b1111_1111;
+endmodule`,
+		"nonansi": `
+module ff(clk, d, q);
+  input clk;
+  input d;
+  output q;
+  reg q;
+  always @(posedge clk) q <= d;
+endmodule`,
+		"case": `
+module mux4(input [1:0] sel, input [3:0] a, b, c, d, output reg [3:0] y);
+  localparam P = 2'd3;
+  always @(*) begin
+    case (sel)
+      2'b00: y = a;
+      2'b01: y = b;
+      2'b10: y = c;
+      P: y = d;
+      default: y = 4'bxxxx;
+    endcase
+  end
+endmodule`,
+		"instance": `
+module top(input clk, input d, output q);
+  wire mid;
+  ff u1(.clk(clk), .d(d), .q(mid));
+  ff u2(clk, mid, q);
+endmodule`,
+		"exprs": `
+module e(input [7:0] a, b, output [7:0] y, output z);
+  wire [7:0] t = (a & ~b) | (a ^ b);
+  assign y = {a[3:0], b[7:4]} + {2{a[1:0], b[1:0]}};
+  assign z = &a | ^b & (a < b) && !(a >= b) || a[0];
+endmodule`,
+		"params": `
+module p #(parameter WIDTH = 8, parameter DEPTH = 4) (input [WIDTH-1:0] d, output [WIDTH-1:0] q);
+  parameter X = 2;
+  localparam [3:0] Y = 4'd9, Z = 4'd2;
+  assign q = d + X[1:0] + {4'b0, Y};
+endmodule`,
+		"initial": `
+module i(input clk, output reg [3:0] q);
+  initial q = 4'd0;
+  always @(posedge clk) q <= q + 4'd1;
+endmodule`,
+		"delays": `
+module d(input clk, input x, output reg y);
+  always @(posedge clk) y <= #1 x;
+endmodule`,
+		"signed": `
+module s(input signed [7:0] a, output signed [7:0] y);
+  assign y = -a >>> 2;
+endmodule`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			m1, err := ParseModule(src)
+			if err != nil {
+				t.Fatalf("parse 1: %v", err)
+			}
+			out1 := Print(m1)
+			m2, err := ParseModule(out1)
+			if err != nil {
+				t.Fatalf("parse 2: %v\nprinted:\n%s", err, out1)
+			}
+			out2 := Print(m2)
+			if out1 != out2 {
+				t.Fatalf("print not stable:\n--- first\n%s\n--- second\n%s", out1, out2)
+			}
+		})
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	cases := []struct {
+		raw   string
+		width int
+		val   uint64
+		hasX  bool
+	}{
+		{"42", 32, 42, false},
+		{"4'b1010", 4, 10, false},
+		{"8'hff", 8, 255, false},
+		{"2'd1", 2, 1, false},
+		{"4'b10_10", 4, 10, false},
+		{"8'hZZ", 8, 0, true},
+		{"4'bxxxx", 4, 0, true},
+		{"16'sh7fff", 16, 0x7fff, false},
+		{"3'o7", 3, 7, false},
+		{"8'd300", 8, 300 & 0xff, false},
+	}
+	for _, c := range cases {
+		n, err := ParseNumber(c.raw)
+		if err != nil {
+			t.Fatalf("%s: %v", c.raw, err)
+		}
+		if n.Width != c.width {
+			t.Fatalf("%s: width %d want %d", c.raw, n.Width, c.width)
+		}
+		if n.Bits.HasUnknown() != c.hasX {
+			t.Fatalf("%s: hasX %v want %v", c.raw, n.Bits.HasUnknown(), c.hasX)
+		}
+		if !c.hasX && n.Bits.Val.Uint64() != c.val {
+			t.Fatalf("%s: val %d want %d", c.raw, n.Bits.Val.Uint64(), c.val)
+		}
+	}
+}
+
+func TestNumberXExtension(t *testing.T) {
+	n, err := ParseNumber("8'bx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verilog extends with x when the MSB digit is x.
+	if n.Bits.IsFullyKnown() || n.Bits.Known.Bit(7) {
+		t.Fatalf("8'bx1 should x-extend, got %v", n.Bits)
+	}
+	if !n.Bits.Known.Bit(0) || !n.Bits.Val.Bit(0) {
+		t.Fatalf("LSB should be known 1: %v", n.Bits)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	m, err := ParseModule(`module x(input [7:0] a, b, c, output [7:0] y); assign y = a + b * c; endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ca *ContAssign
+	for _, it := range m.Items {
+		if a, ok := it.(*ContAssign); ok {
+			ca = a
+		}
+	}
+	bin, ok := ca.RHS.(*Binary)
+	if !ok || bin.Op != "+" {
+		t.Fatalf("top op: %v", PrintExpr(ca.RHS))
+	}
+	if inner, ok := bin.Y.(*Binary); !ok || inner.Op != "*" {
+		t.Fatalf("rhs of + should be *: %v", PrintExpr(bin.Y))
+	}
+}
+
+func TestTernaryRightAssoc(t *testing.T) {
+	m, err := ParseModule(`module x(input a, b, output y); assign y = a ? 1'b0 : b ? 1'b1 : 1'b0; endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(m)
+	if _, err := ParseModule(out); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+}
+
+func TestSenseListVariants(t *testing.T) {
+	src := `
+module s(input clk, rst, a, b, output reg q1, q2, q3);
+  always @(posedge clk or negedge rst) q1 <= a;
+  always @(a or b) q2 = a & b;
+  always @* q3 = a | b;
+endmodule`
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []*Always
+	for _, it := range m.Items {
+		if a, ok := it.(*Always); ok {
+			blocks = append(blocks, a)
+		}
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	if !blocks[0].IsClocked() || blocks[0].Senses[1].Edge != EdgeNeg {
+		t.Fatal("clocked block misparsed")
+	}
+	if blocks[1].IsClocked() || len(blocks[1].Senses) != 2 {
+		t.Fatal("level block misparsed")
+	}
+	if !blocks[2].Star {
+		t.Fatal("star block misparsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"module",
+		"module m(; endmodule",
+		"module m(); assign = 1; endmodule",
+		"module m(); always @(posedge) x <= 1; endmodule",
+		"module m(); wire [3:0] mem [0:7]; endmodule",
+		"garbage",
+	}
+	for _, src := range bad {
+		if _, err := ParseModule(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m, err := ParseModule(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CloneModule(m)
+	// Mutate the clone's expressions; the original must not change.
+	RewriteExprs(c, func(e Expr) Expr {
+		if n, ok := e.(*Number); ok && n.Width == 4 {
+			return MkNumber(4, 7)
+		}
+		return e
+	})
+	if strings.Contains(Print(m), "4'b0111") {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if !strings.Contains(Print(c), "4'b0111") {
+		t.Fatal("clone was not mutated")
+	}
+}
+
+func TestWalkStmtsFindsAssignments(t *testing.T) {
+	m, err := ParseModule(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nbas int
+	WalkStmts(m, func(s Stmt, parent *Always) {
+		if a, ok := s.(*Assign); ok && !a.Blocking {
+			if parent == nil || !parent.IsClocked() {
+				t.Fatal("assignment context wrong")
+			}
+			nbas++
+		}
+	})
+	if nbas != 3 {
+		t.Fatalf("non-blocking assigns = %d, want 3", nbas)
+	}
+}
+
+func TestMultipleModules(t *testing.T) {
+	src := `
+module a(input x, output y); assign y = x; endmodule
+module b(input x, output y); a u(.x(x), .y(y)); endmodule`
+	mods, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 2 || mods[0].Name != "a" || mods[1].Name != "b" {
+		t.Fatalf("mods = %v", mods)
+	}
+}
+
+func TestCommentsAndDirectives(t *testing.T) {
+	src := "`timescale 1ns/1ps\n" + `
+// leading comment
+module m(input a, output y); /* block
+comment */ assign y = a; // trailing
+endmodule`
+	if _, err := ParseModule(src); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package verilog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randExpr builds a random expression over the given identifiers.
+func randExpr(rng *rand.Rand, idents []string, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return &Ident{Name: idents[rng.Intn(len(idents))]}
+		}
+		return MkNumber(1+rng.Intn(16), rng.Uint64())
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>", "==", "!=", "<", ">=", "&&", "||"}
+		return &Binary{Op: ops[rng.Intn(len(ops))],
+			X: randExpr(rng, idents, depth-1), Y: randExpr(rng, idents, depth-1)}
+	case 3:
+		ops := []string{"~", "!", "-", "&", "|", "^", "~&", "~|", "~^"}
+		return &Unary{Op: ops[rng.Intn(len(ops))], X: randExpr(rng, idents, depth-1)}
+	case 4:
+		return &Ternary{Cond: randExpr(rng, idents, depth-1),
+			Then: randExpr(rng, idents, depth-1), Else: randExpr(rng, idents, depth-1)}
+	case 5:
+		n := 1 + rng.Intn(3)
+		c := &Concat{}
+		for i := 0; i < n; i++ {
+			c.Parts = append(c.Parts, randExpr(rng, idents, depth-1))
+		}
+		return c
+	case 6:
+		return &Repeat{Count: MkNumber(32, uint64(1+rng.Intn(3))),
+			Parts: []Expr{randExpr(rng, idents, depth-1)}}
+	case 7:
+		return &Index{X: &Ident{Name: idents[rng.Intn(len(idents))]},
+			Idx: randExpr(rng, idents, depth-1)}
+	case 8:
+		hi := rng.Intn(8) + 4
+		lo := rng.Intn(4)
+		return &PartSelect{X: &Ident{Name: idents[rng.Intn(len(idents))]},
+			MSB: MkNumber(32, uint64(hi)), LSB: MkNumber(32, uint64(lo))}
+	default:
+		return &Ident{Name: idents[rng.Intn(len(idents))]}
+	}
+}
+
+// TestExprPrintParseRoundTrip checks that printing a random expression
+// and re-parsing it yields the identical printed form (operator
+// precedence and parenthesization are self-consistent).
+func TestExprPrintParseRoundTrip(t *testing.T) {
+	idents := []string{"a", "b", "c", "sig_x"}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		e := randExpr(rng, idents, 4)
+		printed := PrintExpr(e)
+		src := fmt.Sprintf("module t(input [15:0] a, b, c, sig_x, output [15:0] y); assign y = %s; endmodule", printed)
+		m, err := ParseModule(src)
+		if err != nil {
+			t.Fatalf("iter %d: printed expression does not parse: %v\n%s", i, err, printed)
+		}
+		var rhs Expr
+		for _, it := range m.Items {
+			if ca, ok := it.(*ContAssign); ok {
+				rhs = ca.RHS
+			}
+		}
+		if got := PrintExpr(rhs); got != printed {
+			t.Fatalf("iter %d: round trip differs:\n  printed: %s\n  reparsed: %s", i, printed, got)
+		}
+	}
+}
+
+// randStmt builds a random statement tree.
+func randStmt(rng *rand.Rand, idents []string, depth int, blocking bool) Stmt {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return &Assign{
+			LHS:      &Ident{Name: idents[rng.Intn(len(idents))]},
+			RHS:      randExpr(rng, idents, 2),
+			Blocking: blocking,
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		s := &If{Cond: randExpr(rng, idents, 2), Then: randStmt(rng, idents, depth-1, blocking)}
+		if rng.Intn(2) == 0 {
+			s.Else = randStmt(rng, idents, depth-1, blocking)
+		}
+		return s
+	case 1:
+		b := &Block{}
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			b.Stmts = append(b.Stmts, randStmt(rng, idents, depth-1, blocking))
+		}
+		return b
+	default:
+		c := &Case{Subject: randExpr(rng, idents, 1)}
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			c.Items = append(c.Items, CaseItem{
+				Exprs: []Expr{MkNumber(4, uint64(i))},
+				Body:  randStmt(rng, idents, depth-1, blocking),
+			})
+		}
+		c.Items = append(c.Items, CaseItem{Body: randStmt(rng, idents, depth-1, blocking)})
+		return c
+	}
+}
+
+func TestModulePrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	idents := []string{"r0", "r1", "r2"}
+	for i := 0; i < 200; i++ {
+		m := &Module{
+			Name:  "rt",
+			Ports: []string{"clk", "a", "b", "c", "sig_x", "r0", "r1", "r2"},
+			Items: []Item{
+				&Decl{Dir: DirInput, Name: "clk"},
+				&Decl{Dir: DirInput, MSB: MkNumber(32, 15), LSB: MkNumber(32, 0), Name: "a"},
+				&Decl{Dir: DirInput, MSB: MkNumber(32, 15), LSB: MkNumber(32, 0), Name: "b"},
+				&Decl{Dir: DirInput, MSB: MkNumber(32, 15), LSB: MkNumber(32, 0), Name: "c"},
+				&Decl{Dir: DirInput, MSB: MkNumber(32, 15), LSB: MkNumber(32, 0), Name: "sig_x"},
+				&Decl{Dir: DirOutput, Kind: KindReg, MSB: MkNumber(32, 15), LSB: MkNumber(32, 0), Name: "r0"},
+				&Decl{Dir: DirOutput, Kind: KindReg, MSB: MkNumber(32, 15), LSB: MkNumber(32, 0), Name: "r1"},
+				&Decl{Dir: DirOutput, Kind: KindReg, MSB: MkNumber(32, 15), LSB: MkNumber(32, 0), Name: "r2"},
+				&Always{Senses: []SenseItem{{Edge: EdgePos, Signal: "clk"}},
+					Body: randStmt(rng, append(idents, "a", "b"), 3, false)},
+			},
+		}
+		printed := Print(m)
+		m2, err := ParseModule(printed)
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", i, err, printed)
+		}
+		if got := Print(m2); got != printed {
+			t.Fatalf("iter %d: module round trip differs:\n--- first\n%s\n--- second\n%s", i, printed, got)
+		}
+	}
+}
+
+func TestPrinterParenthesization(t *testing.T) {
+	// Hand-picked precedence traps.
+	cases := []string{
+		"a + b * c",
+		"(a + b) * c",
+		"a << 1 + b",
+		"-(a + b)",
+		"!(a == b)",
+		"a & b | c ^ a",
+		"a ? b : c ? a : b",
+		"(a ? b : c) + a",
+		"{a, b} + {2{c}}",
+		"~a[3:1]",
+	}
+	for _, src := range cases {
+		full := fmt.Sprintf("module p(input [7:0] a, b, c, output [7:0] y); assign y = %s; endmodule", src)
+		m, err := ParseModule(full)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		printed := Print(m)
+		m2, err := ParseModule(printed)
+		if err != nil {
+			t.Fatalf("%q reparse: %v\n%s", src, err, printed)
+		}
+		if Print(m2) != printed {
+			t.Fatalf("%q: unstable print", src)
+		}
+	}
+}
+
+func TestFormatNumberRoundTrip(t *testing.T) {
+	raws := []string{"4'b1010", "8'hff", "12'hABC", "2'd3", "4'bx1x0", "32'd123456", "1'b0", "16'shff"}
+	for _, raw := range raws {
+		n, err := ParseNumber(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := FormatNumber(n)
+		n2, err := ParseNumber(printed)
+		if err != nil {
+			t.Fatalf("%s -> %s does not reparse: %v", raw, printed, err)
+		}
+		if n2.Width != n.Width || !n2.Bits.SameAs(n.Bits) {
+			t.Fatalf("%s -> %s: value changed (%v vs %v)", raw, printed, n.Bits, n2.Bits)
+		}
+	}
+}
