@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"rtlrepair/internal/verilog"
+)
+
+// maxCaseBits bounds the value-space enumeration for completeness
+// checking: a case over a subject wider than this cannot realistically
+// enumerate all values, so absence of a default arm is expected.
+const maxCaseBits = 20
+
+// casePass checks case statements for completeness (missing arms with
+// no default infer latches in combinational logic), overlapping labels
+// (the later arm can never fire — case picks the first match), dead
+// arms, and label/subject width mismatches. It also flags if/else
+// branches guarded by compile-time constants as dead.
+func (a *analyzer) casePass() {
+	for _, it := range a.m.Items {
+		alw, ok := it.(*verilog.Always)
+		if !ok {
+			continue
+		}
+		a.caseStmt(alw.Body)
+	}
+}
+
+func (a *analyzer) caseStmt(s verilog.Stmt) {
+	switch s := s.(type) {
+	case *verilog.Block:
+		for _, inner := range s.Stmts {
+			a.caseStmt(inner)
+		}
+	case *verilog.If:
+		a.checkConstCond(s)
+		a.caseStmt(s.Then)
+		if s.Else != nil {
+			a.caseStmt(s.Else)
+		}
+	case *verilog.Case:
+		a.checkCase(s)
+		for _, item := range s.Items {
+			a.caseStmt(item.Body)
+		}
+	case *verilog.For:
+		a.caseStmt(s.Body)
+	}
+}
+
+// checkConstCond reports if-branches that can never execute because the
+// condition folds to a compile-time constant (parameters and literals
+// only — signal values are not propagated).
+func (a *analyzer) checkConstCond(s *verilog.If) {
+	if isWildcardNumber(s.Cond) {
+		return
+	}
+	v, err := a.static.ConstEval(s.Cond)
+	if err != nil {
+		return
+	}
+	if v.IsZero() {
+		a.warnf(RuleDeadBranch, s.Then.NodePos(), "",
+			"condition is constant false: then-branch is dead")
+	} else if s.Else != nil {
+		a.warnf(RuleDeadBranch, s.Else.NodePos(), "",
+			"condition is constant true: else-branch is dead")
+	}
+}
+
+// checkCase analyzes one case statement. Wildcard labels (casez/casex
+// or 4-state literals) defeat constant enumeration, so those cases are
+// only scanned for width mismatches.
+func (a *analyzer) checkCase(c *verilog.Case) {
+	subjW := a.exprWidth(c.Subject)
+	subjName := baseIdent(c.Subject)
+
+	hasDefault := false
+	allConst := true
+	wildcards := c.Kind != verilog.CaseExact
+	seen := map[uint64]bool{}
+
+	for _, item := range c.Items {
+		if item.Exprs == nil {
+			hasDefault = true
+			continue
+		}
+		dupes := 0
+		consts := 0
+		for _, l := range item.Exprs {
+			if n, ok := l.(*verilog.Number); ok && n.Sized && subjW > 0 && n.Width != subjW {
+				a.warnf(RuleWidthMismatch, l.NodePos(), subjName,
+					"%d-bit case label for %d-bit subject", n.Width, subjW)
+			}
+			if isWildcardNumber(l) {
+				wildcards = true
+				continue
+			}
+			v, err := a.static.ConstEval(l)
+			if err != nil {
+				allConst = false
+				continue
+			}
+			consts++
+			if subjW <= 0 || subjW > maxCaseBits {
+				continue
+			}
+			key := v.Resize(subjW).Uint64()
+			if wildcards {
+				continue
+			}
+			if seen[key] {
+				dupes++
+				a.warnf(RuleCaseOverlap, l.NodePos(), subjName,
+					"case label duplicates an earlier arm (this label never matches)")
+			}
+			seen[key] = true
+		}
+		if consts > 0 && dupes == consts && !wildcards {
+			a.warnf(RuleDeadBranch, item.Body.NodePos(), subjName,
+				"case arm is unreachable (all labels already covered)")
+		}
+	}
+
+	if hasDefault || wildcards || !allConst || subjW <= 0 || subjW > maxCaseBits {
+		return
+	}
+	total := uint64(1) << uint(subjW)
+	if uint64(len(seen)) < total {
+		a.warnf(RuleCaseIncomplete, c.Pos, subjName,
+			"case covers %d of %d values of a %d-bit subject and has no default", len(seen), total, subjW)
+	}
+}
+
+// isWildcardNumber reports whether an expression is a literal with x/z
+// bits (a wildcard under casez/casex, an unmatchable value otherwise).
+func isWildcardNumber(e verilog.Expr) bool {
+	n, ok := e.(*verilog.Number)
+	return ok && n.Bits.HasUnknown()
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// combLoopPass detects combinational cycles with Tarjan's SCC algorithm
+// over the combinational slice of the dependency graph. Elaboration
+// discovers the same condition one signal at a time while resolving
+// values; running SCC over synth.Deps reports every loop at once, with
+// the full cycle membership in the message.
+func (a *analyzer) combLoopPass() {
+	// Only combinationally-driven signals participate: reading a
+	// register or an input breaks the cycle at that point.
+	nodes := sortedNames(a.deps.CombDriven)
+	index := map[string]int{}
+	lowlink := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range sortedNames(a.deps.Comb[v]) {
+			if !a.deps.CombDriven[w] {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	for _, scc := range sccs {
+		if len(scc) == 1 && !a.deps.Comb[scc[0]][scc[0]] {
+			continue // trivial SCC, no self-loop
+		}
+		names := append([]string(nil), scc...)
+		sort.Strings(names)
+		a.errf(RuleCombLoop, a.deps.Pos[names[0]], names[0],
+			"combinational loop through %s", strings.Join(names, " -> "))
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/verilog"
+)
+
+// Localization is the fault-localization result for a failing design:
+// the cone of influence of the trace-failing outputs, intersected with
+// the signals the diagnostics flagged. Repair templates consult it to
+// prune instrumentation sites — an assignment whose target cannot reach
+// any failing output cannot be part of a repair, so instrumenting it
+// only inflates the SMT problem.
+type Localization struct {
+	// Failing are the trace output columns that mismatched.
+	Failing []string
+	// Cone holds every signal that can influence a failing output
+	// (backward reachability over combinational and sequential edges).
+	Cone map[string]bool
+	// Flagged is the subset of Cone named by a diagnostic — the highest-
+	// suspicion signals.
+	Flagged map[string]bool
+	// Ranked lists the cone in suspicion order: flagged signals first,
+	// then the rest, each group sorted by name for determinism.
+	Ranked []string
+}
+
+// Localize computes the fault localization for a design whose simulation
+// mismatched the trace on the given output columns. The report may be
+// nil (no diagnostics available). It returns nil — meaning "no pruning"
+// — when the design cannot be flattened or no failing outputs are known.
+func Localize(m *verilog.Module, lib map[string]*verilog.Module, failing []string, report *Report) *Localization {
+	if len(failing) == 0 {
+		return nil
+	}
+	flat, err := synth.Flatten(m, lib)
+	if err != nil {
+		return nil
+	}
+	deps := synth.Deps(flat)
+
+	cone := map[string]bool{}
+	var visit func(string)
+	visit = func(s string) {
+		if cone[s] {
+			return
+		}
+		cone[s] = true
+		for r := range deps.Comb[s] {
+			visit(r)
+		}
+		for r := range deps.Seq[s] {
+			visit(r)
+		}
+	}
+	for _, f := range failing {
+		visit(f)
+	}
+
+	flagged := map[string]bool{}
+	if report != nil {
+		for s := range report.FlaggedSignals() {
+			if cone[s] {
+				flagged[s] = true
+			}
+		}
+	}
+
+	rest := map[string]bool{}
+	for s := range cone {
+		if !flagged[s] {
+			rest[s] = true
+		}
+	}
+	ranked := append(sortedNames(flagged), sortedNames(rest)...)
+
+	return &Localization{
+		Failing: append([]string(nil), failing...),
+		Cone:    cone,
+		Flagged: flagged,
+		Ranked:  ranked,
+	}
+}
+
+// InCone reports whether repairing logic that drives any of the given
+// signals could change a failing output. A nil localization prunes
+// nothing.
+func (l *Localization) InCone(names ...string) bool {
+	if l == nil {
+		return true
+	}
+	for _, n := range names {
+		if l.Cone[n] {
+			return true
+		}
+	}
+	return false
+}

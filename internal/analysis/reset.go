@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"strings"
+
+	"rtlrepair/internal/verilog"
+)
+
+// resetPass checks sensitivity-list consistency of clocked processes.
+// The synthesizable subset (like the paper's benchmark preparation) is
+// single-clock and synchronous-reset only: a second edge trigger is an
+// asynchronous reset and fails elaboration, as does a second clock
+// domain. Level entries mixed into an edge list are tolerated by
+// elaboration (the edge wins) but almost always a typo, so they warn.
+func (a *analyzer) resetPass() {
+	clocks := map[string]bool{}
+	clockPos := map[string]verilog.Pos{}
+	for _, it := range a.m.Items {
+		alw, ok := it.(*verilog.Always)
+		if !ok || !alw.IsClocked() {
+			continue
+		}
+		var edges, levels []verilog.SenseItem
+		for _, s := range alw.Senses {
+			if s.Edge == verilog.EdgeLevel {
+				levels = append(levels, s)
+			} else {
+				edges = append(edges, s)
+			}
+		}
+		if len(edges) > 1 {
+			var names []string
+			for _, e := range edges[1:] {
+				names = append(names, e.Signal)
+			}
+			a.errf(RuleAsyncReset, alw.Pos, edges[1].Signal,
+				"multiple edge triggers (asynchronous reset on %s is unsupported; use a synchronous reset)",
+				strings.Join(names, ", "))
+			continue
+		}
+		clocks[edges[0].Signal] = true
+		if _, ok := clockPos[edges[0].Signal]; !ok {
+			clockPos[edges[0].Signal] = alw.Pos
+		}
+		if len(levels) > 0 {
+			a.warnf(RuleMixedSensitivity, alw.Pos, levels[0].Signal,
+				"level-sensitive entry %q mixed into an edge-triggered list", levels[0].Signal)
+		}
+	}
+	if len(clocks) > 1 {
+		names := sortedNames(clocks)
+		a.errf(RuleNotSynthesizable, clockPos[names[1]], names[1],
+			"multiple clock domains (%s): single-clock designs only", strings.Join(names, ", "))
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"strings"
+
+	"rtlrepair/internal/verilog"
+)
+
+// MissingSenses returns the signals a level-sensitive always block reads
+// but does not list in its sensitivity list, sorted. For-loop induction
+// variables are block-local counters and parameters are compile-time
+// constants — neither can produce an event, so neither counts as
+// missing. This is the single implementation shared by the sensPass
+// diagnostic here and by internal/lint's automatic @(*) fix, so the fix
+// and the warning can never disagree.
+func MissingSenses(a *verilog.Always, isParam func(string) bool) []string {
+	if a.Star || a.IsClocked() || len(a.Senses) == 0 {
+		return nil
+	}
+	listed := map[string]bool{}
+	for _, s := range a.Senses {
+		listed[s.Signal] = true
+	}
+	reads, forVars := map[string]bool{}, map[string]bool{}
+	bodyReads(a.Body, reads, forVars)
+	missing := map[string]bool{}
+	for name := range reads {
+		if !listed[name] && !forVars[name] && !(isParam != nil && isParam(name)) {
+			missing[name] = true
+		}
+	}
+	return sortedNames(missing)
+}
+
+// ModuleParams returns the parameter and localparam names of a module,
+// for use as the isParam predicate of MissingSenses when no StaticInfo
+// is at hand (internal/lint runs before flattening).
+func ModuleParams(m *verilog.Module) map[string]bool {
+	params := map[string]bool{}
+	for _, it := range m.Items {
+		if p, ok := it.(*verilog.Param); ok {
+			params[p.Name] = true
+		}
+	}
+	return params
+}
+
+// sensPass warns about incomplete sensitivity lists. The event
+// simulator re-evaluates a level-sensitive block only on listed events,
+// so a missing signal means simulation/synthesis mismatch — exactly the
+// "incorrect sensitivity list" defect class of the CirFix benchmarks.
+func (a *analyzer) sensPass() {
+	for _, it := range a.m.Items {
+		alw, ok := it.(*verilog.Always)
+		if !ok {
+			continue
+		}
+		missing := MissingSenses(alw, a.isParam)
+		if len(missing) == 0 {
+			continue
+		}
+		sig := missing[0]
+		a.warnf(RuleSensIncomplete, alw.Pos, sig,
+			"sensitivity list misses %s (use @(*))", strings.Join(missing, ", "))
+	}
+}
+
+// bodyReads collects the names a statement reads (right-hand sides,
+// conditions, case subjects and labels, lvalue index expressions) into
+// reads, and for-loop induction variables into forVars. Unlike
+// synth.Deps it performs no shadowing analysis: any textual read counts,
+// which is what sensitivity-list completeness is about.
+func bodyReads(s verilog.Stmt, reads, forVars map[string]bool) {
+	switch s := s.(type) {
+	case *verilog.Block:
+		for _, inner := range s.Stmts {
+			bodyReads(inner, reads, forVars)
+		}
+	case *verilog.If:
+		verilog.ExprReads(s.Cond, reads)
+		bodyReads(s.Then, reads, forVars)
+		if s.Else != nil {
+			bodyReads(s.Else, reads, forVars)
+		}
+	case *verilog.Case:
+		verilog.ExprReads(s.Subject, reads)
+		for _, item := range s.Items {
+			for _, l := range item.Exprs {
+				verilog.ExprReads(l, reads)
+			}
+			bodyReads(item.Body, reads, forVars)
+		}
+	case *verilog.Assign:
+		verilog.ExprReads(s.RHS, reads)
+		verilog.LHSIndexReads(s.LHS, reads)
+	case *verilog.For:
+		forVars[s.Var] = true
+		verilog.ExprReads(s.Init, reads)
+		verilog.ExprReads(s.Cond, reads)
+		verilog.ExprReads(s.Step, reads)
+		bodyReads(s.Body, reads, forVars)
+	}
+}
+
+// stmtReadNames adds every name a statement reads to reads, counting
+// for-loop induction variables too (callers that care exclude them via
+// bodyReads directly).
+func stmtReadNames(s verilog.Stmt, reads map[string]bool) {
+	forVars := map[string]bool{}
+	bodyReads(s, reads, forVars)
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"rtlrepair/internal/verilog"
+)
+
+// widthPass flags silent truncation (an assignment whose right-hand
+// side is provably wider than its target) and comparisons of
+// mismatched sized operands — Verilator's WIDTH warning family. Widths
+// follow Verilog's self-determined sizing; an unsized literal adopts
+// its context width, so any sub-expression of unknown width makes the
+// whole expression flexible and suppresses the check (no false
+// positives from `count + 1` idioms).
+func (a *analyzer) widthPass() {
+	for _, it := range a.m.Items {
+		switch it := it.(type) {
+		case *verilog.ContAssign:
+			a.checkAssignWidth(it.LHS, it.RHS, it.Pos)
+			a.checkCompares(it.RHS)
+		case *verilog.Decl:
+			if it.Init != nil {
+				a.checkAssignWidth(&verilog.Ident{Pos: it.Pos, Name: it.Name}, it.Init, it.Pos)
+				a.checkCompares(it.Init)
+			}
+		case *verilog.Always:
+			a.widthStmt(it.Body)
+		case *verilog.Initial:
+			a.widthStmt(it.Body)
+		}
+	}
+}
+
+func (a *analyzer) widthStmt(s verilog.Stmt) {
+	switch s := s.(type) {
+	case *verilog.Block:
+		for _, inner := range s.Stmts {
+			a.widthStmt(inner)
+		}
+	case *verilog.If:
+		a.checkCompares(s.Cond)
+		a.widthStmt(s.Then)
+		if s.Else != nil {
+			a.widthStmt(s.Else)
+		}
+	case *verilog.Case:
+		a.checkCompares(s.Subject)
+		for _, item := range s.Items {
+			a.widthStmt(item.Body)
+		}
+	case *verilog.Assign:
+		a.checkAssignWidth(s.LHS, s.RHS, s.Pos)
+		a.checkCompares(s.RHS)
+	case *verilog.For:
+		a.widthStmt(s.Body)
+	}
+}
+
+// checkAssignWidth warns when the right-hand side is strictly wider than
+// the assignment target (extension is silent and safe; truncation drops
+// bits).
+func (a *analyzer) checkAssignWidth(lhs, rhs verilog.Expr, pos verilog.Pos) {
+	lw := a.lhsWidth(lhs)
+	rw := a.exprWidth(rhs)
+	if lw <= 0 || rw <= 0 || rw <= lw {
+		return
+	}
+	sig := ""
+	if names := verilog.LHSBaseNames(lhs); len(names) > 0 {
+		sig = names[0]
+	}
+	a.warnf(RuleWidthMismatch, pos, sig,
+		"%d-bit expression assigned to %d-bit target (upper %d bits truncated)", rw, lw, rw-lw)
+}
+
+// checkCompares warns about equality/relational operators whose two
+// operands have different known widths.
+func (a *analyzer) checkCompares(e verilog.Expr) {
+	verilog.WalkExpr(e, func(x verilog.Expr) bool {
+		b, ok := x.(*verilog.Binary)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case "==", "!=", "<", "<=", ">", ">=":
+		default:
+			return true
+		}
+		wx, wy := a.exprWidth(b.X), a.exprWidth(b.Y)
+		if wx > 0 && wy > 0 && wx != wy {
+			sig := baseIdent(b.X)
+			if sig == "" {
+				sig = baseIdent(b.Y)
+			}
+			a.warnf(RuleWidthMismatch, b.Pos, sig,
+				"comparison of %d-bit and %d-bit operands", wx, wy)
+		}
+		return true
+	})
+}
+
+// lhsWidth computes the width of an assignment target: declaration
+// width for identifiers, 1 for bit selects, the constant range for part
+// selects and the part sum for concatenations. 0 means unknown.
+func (a *analyzer) lhsWidth(lhs verilog.Expr) int {
+	switch l := lhs.(type) {
+	case *verilog.Ident:
+		if d, ok := a.declOf(l.Name); ok {
+			return d.Width
+		}
+		return 0
+	case *verilog.Index:
+		return 1
+	case *verilog.PartSelect:
+		hi, errH := a.static.ConstInt(l.MSB)
+		lo, errL := a.static.ConstInt(l.LSB)
+		if errH != nil || errL != nil || hi < lo {
+			return 0
+		}
+		return int(hi-lo) + 1
+	case *verilog.Concat:
+		total := 0
+		for _, p := range l.Parts {
+			w := a.lhsWidth(p)
+			if w <= 0 {
+				return 0
+			}
+			total += w
+		}
+		return total
+	}
+	return 0
+}
+
+// exprWidth computes the self-determined width of an expression,
+// mirroring the elaborator's sizing rules (synth.exprConv.selfWidth).
+// It returns 0 for "unknown": unsized literals, unresolvable selects,
+// and anything built from them — those adopt their context width, so no
+// width diagnostic should fire on them.
+func (a *analyzer) exprWidth(e verilog.Expr) int {
+	switch x := e.(type) {
+	case *verilog.Ident:
+		if a.isParam(x.Name) {
+			// Parameters behave like unsized literals in practice
+			// (`state <= IDLE`): they adopt the context width, so they
+			// never justify a width diagnostic.
+			return 0
+		}
+		if d, ok := a.declOf(x.Name); ok {
+			return d.Width
+		}
+		return 0
+	case *verilog.Number:
+		if !x.Sized {
+			return 0
+		}
+		return x.Width
+	case *verilog.Unary:
+		switch x.Op {
+		case "!", "&", "|", "^", "~&", "~|", "~^":
+			return 1
+		default:
+			return a.exprWidth(x.X)
+		}
+	case *verilog.Binary:
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return 1
+		case "<<", ">>", "<<<", ">>>":
+			return a.exprWidth(x.X)
+		default:
+			wx, wy := a.exprWidth(x.X), a.exprWidth(x.Y)
+			if wx <= 0 || wy <= 0 {
+				return 0
+			}
+			return max(wx, wy)
+		}
+	case *verilog.Ternary:
+		wt, we := a.exprWidth(x.Then), a.exprWidth(x.Else)
+		if wt <= 0 || we <= 0 {
+			return 0
+		}
+		return max(wt, we)
+	case *verilog.Concat:
+		total := 0
+		for _, p := range x.Parts {
+			w := a.exprWidth(p)
+			if w <= 0 {
+				return 0
+			}
+			total += w
+		}
+		return total
+	case *verilog.Repeat:
+		n, err := a.static.ConstInt(x.Count)
+		if err != nil || n < 0 {
+			return 0
+		}
+		total := 0
+		for _, p := range x.Parts {
+			w := a.exprWidth(p)
+			if w <= 0 {
+				return 0
+			}
+			total += w
+		}
+		return int(n) * total
+	case *verilog.Index:
+		return 1
+	case *verilog.PartSelect:
+		hi, errH := a.static.ConstInt(x.MSB)
+		lo, errL := a.static.ConstInt(x.LSB)
+		if errH != nil || errL != nil || hi < lo {
+			return 0
+		}
+		return int(hi-lo) + 1
+	}
+	return 0
+}

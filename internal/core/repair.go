@@ -2,8 +2,10 @@ package core
 
 import (
 	"errors"
+	"strconv"
 	"time"
 
+	"rtlrepair/internal/analysis"
 	"rtlrepair/internal/bv"
 	"rtlrepair/internal/lint"
 	"rtlrepair/internal/sim"
@@ -61,6 +63,9 @@ type Options struct {
 	Basic bool
 	// NoPreprocess disables static-analysis preprocessing (ablation).
 	NoPreprocess bool
+	// NoLocalize disables fault localization, so templates instrument
+	// every site (ablation).
+	NoLocalize bool
 	// NoMinimize disables the minimal-change search (ablation of §4.3).
 	NoMinimize bool
 	// Templates overrides the template sequence (default: all three).
@@ -98,9 +103,14 @@ type TemplateResult struct {
 	Template string
 	Found    bool
 	Changes  int
-	Duration time.Duration
-	Err      error
-	Stats    SynthStats
+	// Sites is the number of φ variables the template instrumented
+	// (after fault-localization pruning, when active).
+	Sites int
+	// Localized is true when the attempt ran with localization pruning.
+	Localized bool
+	Duration  time.Duration
+	Err       error
+	Stats     SynthStats
 }
 
 // Result is the outcome of a repair run.
@@ -121,6 +131,12 @@ type Result struct {
 	Duration time.Duration
 	// Reason explains CannotRepair (e.g. a synthesis error).
 	Reason string
+	// Diagnostics is the static-analysis report of the preprocessed
+	// design (nil when preprocessing was disabled).
+	Diagnostics *analysis.Report
+	// Localization is the fault localization used to prune template
+	// sites (nil when disabled or when the design passed).
+	Localization *analysis.Localization
 }
 
 // Repair runs the full RTL-Repair flow of Figure 3 on a buggy module and
@@ -147,7 +163,7 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 	fixed := m
 	if !opts.NoPreprocess {
 		var err error
-		fixed, res.Fixes, err = lint.Preprocess(m, opts.Lib)
+		fixed, res.Fixes, res.Diagnostics, err = lint.PreprocessWithReport(m, opts.Lib)
 		if err != nil {
 			res.Status = StatusCannotRepair
 			res.Reason = "preprocessing failed: " + err.Error()
@@ -155,12 +171,23 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 		}
 	}
 
-	// 2. Elaborate the preprocessed design.
+	// 2. Elaborate the preprocessed design. Elaboration stays the
+	// authority on synthesizability; the analysis report only explains
+	// the failure in more detail (it sees all problems at once where
+	// elaboration stops at the first).
 	ctx := smt.NewContext()
 	sys, _, err := synth.Elaborate(ctx, fixed, synth.Options{Lib: opts.Lib})
 	if err != nil {
 		res.Status = StatusCannotRepair
 		res.Reason = "not synthesizable: " + err.Error()
+		if res.Diagnostics != nil {
+			if errs := res.Diagnostics.Errors(); len(errs) > 0 {
+				res.Reason += "; static analysis: " + errs[0].String()
+				if len(errs) > 1 {
+					res.Reason += " (and " + strconv.Itoa(len(errs)-1) + " more)"
+				}
+			}
+		}
 		return finish()
 	}
 
@@ -186,27 +213,75 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 	}
 	res.FirstFailure = baseRun.FirstFailure
 
-	// 4. Template loop (Figure 3).
+	// 4. Fault localization: the cone of influence of the failing
+	// output columns, ranked by the static-analysis diagnostics.
+	// Templates prune instrumentation sites outside the cone. If the
+	// pruned search fails, a second unpruned pass runs, so localization
+	// can shrink the SMT problem but never lose a repair.
+	if !opts.NoLocalize {
+		res.Localization = analysis.Localize(fixed, opts.Lib,
+			failingOutputs(baseRun, ctr), res.Diagnostics)
+	}
+	passes := []*analysis.Localization{res.Localization}
+	if res.Localization != nil {
+		passes = append(passes, nil)
+	}
+
+	// 5. Template loop (Figure 3).
 	counter := 0
 	var fallback *Result
 	env := &Env{Info: elaborateInfo(ctx, fixed, opts.Lib), Lib: opts.Lib, Frozen: opts.frozenSet()}
+	for _, loc := range passes {
+		env.Loc = loc
+		if found := runTemplates(res, env, fixed, ctx, ctr, init, baseRun, deadline, opts, &counter, &fallback); found != nil {
+			*res = *found
+			return finish()
+		}
+		if res.Status == StatusTimeout {
+			return finish()
+		}
+		if fallback != nil {
+			// A (large) repair exists; the unpruned pass could only
+			// rediscover it with more φs.
+			break
+		}
+	}
+	if fallback != nil {
+		perTemplate := res.PerTemplate
+		*res = *fallback
+		res.PerTemplate = perTemplate
+		return finish()
+	}
+	res.Status = StatusCannotRepair
+	if res.Reason == "" {
+		res.Reason = "no template found a repair"
+	}
+	return finish()
+}
+
+// runTemplates tries every template once under the given localization
+// env. It returns a completed result when an acceptable repair is
+// found; large repairs land in *fallback. A timeout sets res.Status.
+func runTemplates(res *Result, env *Env, fixed *verilog.Module, ctx *smt.Context,
+	ctr *trace.Trace, init map[string]bv.XBV, baseRun *sim.RunResult,
+	deadline time.Time, opts Options, counter *int, fallback **Result) *Result {
 	for _, tmpl := range opts.Templates {
 		if time.Now().After(deadline) {
 			res.Status = StatusTimeout
 			res.Reason = "timeout before template " + tmpl.Name()
-			return finish()
+			return nil
 		}
-		tres := TemplateResult{Template: tmpl.Name()}
+		tres := TemplateResult{Template: tmpl.Name(), Localized: env.Loc != nil}
 		tStart := time.Now()
 
 		attempt := func() (*Solution, *VarTable, *verilog.Module, *Synthesizer, error) {
-			vars := NewVarTable(&counter)
+			vars := NewVarTable(counter)
 			instr, err := tmpl.Instrument(fixed, env, vars)
 			if err != nil {
 				return nil, nil, nil, nil, err
 			}
 			if vars.Empty() {
-				return nil, nil, nil, nil, nil
+				return nil, vars, nil, nil, nil
 			}
 			isys, _, err := synth.Elaborate(ctx, instr, synth.Options{Lib: opts.Lib})
 			if err != nil {
@@ -229,6 +304,9 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 
 		sol, vars, instr, synthz, err := attempt()
 		tres.Duration = time.Since(tStart)
+		if vars != nil {
+			tres.Sites = len(vars.Phis)
+		}
 		if synthz != nil {
 			tres.Stats = synthz.Stats
 		}
@@ -266,37 +344,46 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 			FirstFailure: res.FirstFailure,
 			PerTemplate:  res.PerTemplate,
 			Window:       synthz.Stats.FinalWindow,
+			Diagnostics:  res.Diagnostics,
+			Localization: res.Localization,
 		}
 		if sol.Changes <= opts.MaxAcceptableChanges {
-			*res = *candidate
-			return finish()
+			return candidate
 		}
 		// Large repair: keep as fallback and try other templates
 		// hoping for a smaller one (Figure 3).
-		if fallback == nil || candidate.Changes < fallback.Changes {
-			fallback = candidate
+		if *fallback == nil || candidate.Changes < (*fallback).Changes {
+			*fallback = candidate
 		}
 	}
-	if fallback != nil {
-		perTemplate := res.PerTemplate
-		*res = *fallback
-		res.PerTemplate = perTemplate
-		return finish()
-	}
-	res.Status = StatusCannotRepair
-	if res.Reason == "" {
-		res.Reason = "no template found a repair"
-	}
-	return finish()
+	return nil
 }
 
 // runConcrete executes a trace with a fixed concrete initial state.
+// RunAll records every cycle so fault localization can see all
+// mismatching output columns, not just the first.
 func runConcrete(sys *tsys.System, tr *trace.Trace, init map[string]bv.XBV) *sim.RunResult {
 	cs := sim.NewCycleSim(sys, sim.Zero, 0)
 	for name, v := range init {
 		cs.SetState(name, v)
 	}
-	return sim.RunTraceFrom(cs, tr, 0, sim.RunOptions{Policy: sim.Zero})
+	return sim.RunTraceFrom(cs, tr, 0, sim.RunOptions{Policy: sim.Zero, RunAll: true})
+}
+
+// failingOutputs lists the trace output columns that mismatch in any
+// cycle of a RunAll result — the starting points of the cone of
+// influence.
+func failingOutputs(run *sim.RunResult, tr *trace.Trace) []string {
+	var out []string
+	for i, sig := range tr.Outputs {
+		for c := 0; c < len(run.Outputs) && c < len(tr.OutputRows); c++ {
+			if !sim.OutputMatches(tr.OutputRows[c][i], run.Outputs[c][i]) {
+				out = append(out, sig.Name)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // verifyRepaired re-elaborates a patched module and checks the trace.

@@ -33,7 +33,8 @@ func (AddGuard) Instrument(m *verilog.Module, env *Env, vars *VarTable) (*verilo
 	for _, it := range out.Items {
 		switch it := it.(type) {
 		case *verilog.ContAssign:
-			if name, ok := identName(it.LHS); ok && env.Info.Widths[name] == 1 && !env.IsFrozen(name) {
+			if name, ok := identName(it.LHS); ok && env.Info.Widths[name] == 1 &&
+				!env.IsFrozen(name) && env.InCone(name) {
 				it.RHS = g.wrap(it.RHS, []string{name}, it.Pos)
 			}
 		case *verilog.Always:
@@ -103,7 +104,11 @@ func (g *guardInstr) walkStmt(s verilog.Stmt, parent *verilog.Always, targets []
 			g.walkStmt(inner, parent, targets)
 		}
 	case *verilog.If:
-		s.Cond = g.wrap(s.Cond, targets, s.Pos)
+		// Guarding the condition only helps if some assignment it
+		// controls can reach a failing output.
+		if g.env.InCone(stmtTargets(s)...) {
+			s.Cond = g.wrap(s.Cond, targets, s.Pos)
+		}
 		g.walkStmt(s.Then, parent, targets)
 		if s.Else != nil {
 			g.walkStmt(s.Else, parent, targets)
@@ -113,7 +118,8 @@ func (g *guardInstr) walkStmt(s verilog.Stmt, parent *verilog.Always, targets []
 			g.walkStmt(s.Items[i].Body, parent, targets)
 		}
 	case *verilog.Assign:
-		if name, ok := identName(s.LHS); ok && g.env.Info.Widths[name] == 1 && !g.env.IsFrozen(name) {
+		if name, ok := identName(s.LHS); ok && g.env.Info.Widths[name] == 1 &&
+			!g.env.IsFrozen(name) && g.env.InCone(name) {
 			s.RHS = g.wrap(s.RHS, targets, s.Pos)
 		}
 	}

@@ -40,7 +40,7 @@ func (ReplaceLiterals) Instrument(m *verilog.Module, env *Env, vars *VarTable) (
 	for _, it := range out.Items {
 		switch it := it.(type) {
 		case *verilog.ContAssign:
-			if anyFrozen(env, it.LHS) {
+			if anyFrozen(env, it.LHS) || !env.InCone(lhsBaseNames(it.LHS)...) {
 				continue
 			}
 			it.RHS = rewriteRValue(it.RHS, rewrite)
@@ -80,18 +80,24 @@ func rewriteStmtRValues(s verilog.Stmt, env *Env, f func(verilog.Expr) verilog.E
 			rewriteStmtRValues(inner, env, f)
 		}
 	case *verilog.If:
-		s.Cond = rewriteRValue(s.Cond, f)
+		// A literal in the condition can only matter if some assignment
+		// it controls reaches a failing output.
+		if env.InCone(stmtTargets(s)...) {
+			s.Cond = rewriteRValue(s.Cond, f)
+		}
 		rewriteStmtRValues(s.Then, env, f)
 		if s.Else != nil {
 			rewriteStmtRValues(s.Else, env, f)
 		}
 	case *verilog.Case:
-		s.Subject = rewriteRValue(s.Subject, f)
+		if env.InCone(stmtTargets(s)...) {
+			s.Subject = rewriteRValue(s.Subject, f)
+		}
 		for i := range s.Items {
 			rewriteStmtRValues(s.Items[i].Body, env, f)
 		}
 	case *verilog.Assign:
-		if anyFrozen(env, s.LHS) {
+		if anyFrozen(env, s.LHS) || !env.InCone(lhsBaseNames(s.LHS)...) {
 			return
 		}
 		s.RHS = rewriteRValue(s.RHS, f)

@@ -42,7 +42,7 @@ func (CondOverwrite) Instrument(m *verilog.Module, env *Env, vars *VarTable) (*v
 		var pre, post []verilog.Stmt
 		for _, tgt := range targets {
 			width, ok := env.Info.Widths[tgt]
-			if !ok || width <= 0 || width > 128 || env.IsFrozen(tgt) {
+			if !ok || width <= 0 || width > 128 || env.IsFrozen(tgt) || !env.InCone(tgt) {
 				continue
 			}
 			pre = append(pre, buildOverwrite(vars, tgt, width, blocking, conds, a.NodePos(), "start"))

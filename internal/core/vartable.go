@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"rtlrepair/internal/analysis"
 	"rtlrepair/internal/bv"
 	"rtlrepair/internal/synth"
 	"rtlrepair/internal/verilog"
@@ -97,10 +98,21 @@ type Env struct {
 	// used when repairing against a formal property so the property
 	// expression itself cannot be "repaired" away.
 	Frozen map[string]bool
+	// Loc is the fault localization of the current failure (nil means
+	// no pruning). Templates skip instrumentation sites whose targets
+	// lie outside the cone of influence of the failing outputs: a
+	// change there cannot alter any checked output, so the φ would only
+	// inflate the SMT problem.
+	Loc *analysis.Localization
 }
 
 // IsFrozen reports whether a signal's drivers are off-limits.
 func (e *Env) IsFrozen(name string) bool { return e.Frozen != nil && e.Frozen[name] }
+
+// InCone reports whether a change to logic driving any of the given
+// signals could influence a failing output. With no localization every
+// site is in scope.
+func (e *Env) InCone(names ...string) bool { return e.Loc.InCone(names...) }
 
 // Template is a repair template: a compiler pass that instruments a
 // module with a space of possible changes (§4.2). New templates can be

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rtlrepair/internal/analysis"
 	"rtlrepair/internal/smt"
 	"rtlrepair/internal/synth"
 	"rtlrepair/internal/verilog"
@@ -53,6 +54,16 @@ type Fix struct {
 // flattening inside elaboration; lint itself only touches the top
 // module, as in the paper's per-file operation).
 func Preprocess(m *verilog.Module, lib map[string]*verilog.Module) (*verilog.Module, []Fix, error) {
+	out, fixes, _, err := PreprocessWithReport(m, lib)
+	return out, fixes, err
+}
+
+// PreprocessWithReport is Preprocess plus the static-analysis report of
+// the *fixed* design. The report tells the caller what lint could not
+// fix: error-severity diagnostics predict elaboration failure (an early
+// cannot-repair classification), and the flagged signals feed fault
+// localization in the repair engine. The report is never nil.
+func PreprocessWithReport(m *verilog.Module, lib map[string]*verilog.Module) (*verilog.Module, []Fix, *analysis.Report, error) {
 	out := verilog.CloneModule(m)
 	var fixes []Fix
 
@@ -61,10 +72,10 @@ func Preprocess(m *verilog.Module, lib map[string]*verilog.Module) (*verilog.Mod
 
 	latchFixes, err := fixLatches(out, lib)
 	if err != nil {
-		return out, fixes, err
+		return out, fixes, analysis.Analyze(out, analysis.Options{Lib: lib}), err
 	}
 	fixes = append(fixes, latchFixes...)
-	return out, fixes, nil
+	return out, fixes, analysis.Analyze(out, analysis.Options{Lib: lib}), nil
 }
 
 // fixAssignKinds converts blocking assignments in clocked processes to
@@ -90,29 +101,20 @@ func fixAssignKinds(m *verilog.Module) []Fix {
 }
 
 // fixSensitivity replaces incomplete level-sensitive lists with @(*).
+// The missing-signal computation is shared with the analysis engine's
+// sens-incomplete diagnostic (analysis.MissingSenses), so the fix fires
+// exactly where rtllint warns. For-loop induction variables and
+// parameters cannot produce events and do not count as missing.
 func fixSensitivity(m *verilog.Module) []Fix {
 	var fixes []Fix
+	params := analysis.ModuleParams(m)
+	isParam := func(name string) bool { return params[name] }
 	for _, it := range m.Items {
 		a, ok := it.(*verilog.Always)
-		if !ok || a.Star || a.IsClocked() || len(a.Senses) == 0 {
+		if !ok {
 			continue
 		}
-		listed := map[string]bool{}
-		for _, s := range a.Senses {
-			listed[s.Signal] = true
-		}
-		reads := map[string]bool{}
-		collectReads(a.Body, reads)
-		// Assigned signals read back in the same block are not required
-		// in the list (they are the latch/feedback case handled later).
-		missing := false
-		for name := range reads {
-			if !listed[name] {
-				missing = true
-				break
-			}
-		}
-		if missing {
+		if len(analysis.MissingSenses(a, isParam)) > 0 {
 			a.Star = true
 			a.Senses = nil
 			fixes = append(fixes, Fix{Kind: FixSensitivity, Pos: a.Pos,
@@ -120,73 +122,6 @@ func fixSensitivity(m *verilog.Module) []Fix {
 		}
 	}
 	return fixes
-}
-
-// collectReads gathers identifiers *read* by a statement: right-hand
-// sides, conditions, case subjects and labels, and index expressions on
-// assignment targets — but not the targets themselves.
-func collectReads(s verilog.Stmt, reads map[string]bool) {
-	addExpr := func(e verilog.Expr) {
-		verilog.WalkStmtExprs(&verilog.Assign{RHS: e, LHS: &verilog.Ident{Name: "_"}}, func(x verilog.Expr) bool {
-			if id, ok := x.(*verilog.Ident); ok && id.Name != "_" {
-				reads[id.Name] = true
-			}
-			return true
-		})
-	}
-	switch s := s.(type) {
-	case *verilog.Block:
-		for _, inner := range s.Stmts {
-			collectReads(inner, reads)
-		}
-	case *verilog.If:
-		addExpr(s.Cond)
-		collectReads(s.Then, reads)
-		if s.Else != nil {
-			collectReads(s.Else, reads)
-		}
-	case *verilog.Case:
-		addExpr(s.Subject)
-		for _, item := range s.Items {
-			for _, e := range item.Exprs {
-				addExpr(e)
-			}
-			collectReads(item.Body, reads)
-		}
-	case *verilog.Assign:
-		addExpr(s.RHS)
-		collectLHSIndexReads(s.LHS, reads)
-	case *verilog.For:
-		addExpr(s.Init)
-		addExpr(s.Cond)
-		addExpr(s.Step)
-		collectReads(s.Body, reads)
-	}
-}
-
-func collectLHSIndexReads(lhs verilog.Expr, reads map[string]bool) {
-	addExpr := func(e verilog.Expr) {
-		if e == nil {
-			return
-		}
-		verilog.WalkStmtExprs(&verilog.Assign{RHS: e, LHS: &verilog.Ident{Name: "_"}}, func(x verilog.Expr) bool {
-			if id, ok := x.(*verilog.Ident); ok && id.Name != "_" {
-				reads[id.Name] = true
-			}
-			return true
-		})
-	}
-	switch l := lhs.(type) {
-	case *verilog.Index:
-		addExpr(l.Idx)
-	case *verilog.PartSelect:
-		addExpr(l.MSB)
-		addExpr(l.LSB)
-	case *verilog.Concat:
-		for _, p := range l.Parts {
-			collectLHSIndexReads(p, reads)
-		}
-	}
 }
 
 // fixLatches elaborates the design and, for every latch diagnostic,
@@ -240,7 +175,10 @@ func fixLatches(m *verilog.Module, lib map[string]*verilog.Module) ([]Fix, error
 }
 
 // findCombBlockAssigning locates the combinational always block that
-// assigns the given signal.
+// assigns the given signal, whatever the shape of the left-hand side
+// (plain identifier, bit/part select or concatenation part) — a latch
+// on a signal assigned only through x[i] or {hi, lo} must still get its
+// default inserted.
 func findCombBlockAssigning(m *verilog.Module, name string) *verilog.Always {
 	var found *verilog.Always
 	verilog.WalkStmts(m, func(s verilog.Stmt, parent *verilog.Always) {
@@ -248,8 +186,11 @@ func findCombBlockAssigning(m *verilog.Module, name string) *verilog.Always {
 			return
 		}
 		if a, ok := s.(*verilog.Assign); ok {
-			if id, ok := a.LHS.(*verilog.Ident); ok && id.Name == name {
-				found = parent
+			for _, base := range verilog.LHSBaseNames(a.LHS) {
+				if base == name {
+					found = parent
+					return
+				}
 			}
 		}
 	})

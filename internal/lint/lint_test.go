@@ -209,3 +209,132 @@ func TestFixKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestSenseListForLoopVarNotMissing(t *testing.T) {
+	// The induction variable is read by the loop condition and step but
+	// cannot produce an event; a list that covers the real inputs is
+	// complete and must stay untouched.
+	out, fixes := preprocess(t, `
+module m(input [3:0] a, output reg [3:0] y);
+integer i;
+always @(a) begin
+  for (i = 0; i < 4; i = i + 1)
+    y[i] = a[i];
+end
+endmodule`)
+	for _, f := range fixes {
+		if f.Kind == FixSensitivity {
+			t.Fatalf("loop variable treated as missing sense: %v\n%s", fixes, verilog.Print(out))
+		}
+	}
+}
+
+func TestSenseListParamNotMissing(t *testing.T) {
+	out, fixes := preprocess(t, `
+module m(input [1:0] a, output reg y);
+parameter MODE = 2'b10;
+always @(a) y = (a == MODE);
+endmodule`)
+	for _, f := range fixes {
+		if f.Kind == FixSensitivity {
+			t.Fatalf("parameter treated as missing sense: %v\n%s", fixes, verilog.Print(out))
+		}
+	}
+}
+
+func TestSenseListNestedCaseIfReadsFixed(t *testing.T) {
+	// A read buried in a nested case arm / if branch still triggers the
+	// @(*) fix when it is not listed.
+	out, fixes := preprocess(t, `
+module m(input [1:0] s, input a, input b, output reg y);
+always @(s or a) begin
+  y = 1'b0;
+  case (s)
+    2'b00: begin
+      if (a) y = b;
+    end
+    default: y = a;
+  endcase
+end
+endmodule`)
+	found := false
+	for _, f := range fixes {
+		if f.Kind == FixSensitivity {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("nested read of b not detected: %v", fixes)
+	}
+	if !strings.Contains(verilog.Print(out), "@(*)") {
+		t.Fatalf("sense list not replaced:\n%s", verilog.Print(out))
+	}
+}
+
+func TestFixLatchOnIndexedTarget(t *testing.T) {
+	// The latch default must be found and inserted even when the signal
+	// is only ever assigned through a bit select.
+	out, fixes := preprocess(t, `
+module m(input [1:0] a, input en, output reg [1:0] y);
+always @(*) begin
+  if (en) begin
+    y[0] = a[0];
+    y[1] = a[1];
+  end
+end
+endmodule`)
+	found := false
+	for _, f := range fixes {
+		if f.Kind == FixLatchDefault && f.Signal == "y" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no latch default for indexed target: %v\n%s", fixes, verilog.Print(out))
+	}
+	if _, _, err := synth.Elaborate(smt.NewContext(), out, synth.Options{}); err != nil {
+		t.Fatalf("fixed design still fails elaboration: %v\n%s", err, verilog.Print(out))
+	}
+}
+
+func TestFixLatchOnConcatTarget(t *testing.T) {
+	out, fixes := preprocess(t, `
+module m(input [1:0] a, input en, output reg hi, output reg lo);
+always @(*) begin
+  if (en) {hi, lo} = a;
+end
+endmodule`)
+	byName := map[string]bool{}
+	for _, f := range fixes {
+		if f.Kind == FixLatchDefault {
+			byName[f.Signal] = true
+		}
+	}
+	if !byName["hi"] || !byName["lo"] {
+		t.Fatalf("concat-part latches not fixed: %v\n%s", fixes, verilog.Print(out))
+	}
+	if _, _, err := synth.Elaborate(smt.NewContext(), out, synth.Options{}); err != nil {
+		t.Fatalf("fixed design still fails elaboration: %v\n%s", err, verilog.Print(out))
+	}
+}
+
+func TestPreprocessWithReportDiagnostics(t *testing.T) {
+	m, err := verilog.ParseModule(`
+module m(input a, output wire y);
+  assign y = a;
+  assign y = ~a;
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, report, err := PreprocessWithReport(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report == nil {
+		t.Fatal("report is nil")
+	}
+	if len(report.Errors()) == 0 {
+		t.Fatalf("multiply-driven design must produce an error diagnostic:\n%+v", report.Diagnostics)
+	}
+}

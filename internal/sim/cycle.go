@@ -269,3 +269,8 @@ func outputMatches(exp, got bv.XBV) bool {
 	}
 	return exp.Val.And(check).Eq(got.Val.And(check))
 }
+
+// OutputMatches is the exported form of the trace output check, used by
+// fault localization to find every mismatching output column of a
+// RunAll result, not just the first.
+func OutputMatches(exp, got bv.XBV) bool { return outputMatches(exp, got) }

@@ -446,23 +446,7 @@ func (e *elab) aliasOf(name string) string {
 }
 
 // lhsNames returns all base signal names assigned by an lvalue.
-func lhsNames(lhs verilog.Expr) []string {
-	switch l := lhs.(type) {
-	case *verilog.Ident:
-		return []string{l.Name}
-	case *verilog.Index:
-		return lhsNames(l.X)
-	case *verilog.PartSelect:
-		return lhsNames(l.X)
-	case *verilog.Concat:
-		var out []string
-		for _, p := range l.Parts {
-			out = append(out, lhsNames(p)...)
-		}
-		return out
-	}
-	return nil
-}
+func lhsNames(lhs verilog.Expr) []string { return verilog.LHSBaseNames(lhs) }
 
 // synthVar returns (creating on demand) the synthesis parameter variable
 // for a SynthHole.

@@ -93,6 +93,21 @@ func Static(m *verilog.Module) (*StaticInfo, error) {
 	return info, nil
 }
 
+// ConstEval evaluates a compile-time constant expression (literals and
+// parameters of this module) to a value. It lets declaration-level
+// consumers — the static-analysis passes in internal/analysis — size
+// part selects and case labels without elaborating.
+func (info *StaticInfo) ConstEval(x verilog.Expr) (bv.BV, error) {
+	e := &elab{params: info.Params, sigs: map[string]*sigInfo{}}
+	return e.constEval(x)
+}
+
+// ConstInt evaluates a compile-time constant expression to an integer.
+func (info *StaticInfo) ConstInt(x verilog.Expr) (int64, error) {
+	e := &elab{params: info.Params, sigs: map[string]*sigInfo{}}
+	return e.constEvalInt(x)
+}
+
 // FindClock returns the canonical clock signal of a module: the single
 // signal used with an edge trigger across all always blocks ("" if the
 // module is purely combinational). An error is returned for multiple

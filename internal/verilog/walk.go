@@ -1,0 +1,65 @@
+package verilog
+
+// LHSBaseNames returns the base signal names assigned by an lvalue of
+// any supported shape: plain identifiers, bit selects, part selects and
+// concatenations (possibly nested). Non-lvalue expressions yield nil.
+func LHSBaseNames(lhs Expr) []string {
+	switch l := lhs.(type) {
+	case *Ident:
+		return []string{l.Name}
+	case *Index:
+		return LHSBaseNames(l.X)
+	case *PartSelect:
+		return LHSBaseNames(l.X)
+	case *Concat:
+		var out []string
+		for _, p := range l.Parts {
+			out = append(out, LHSBaseNames(p)...)
+		}
+		return out
+	}
+	return nil
+}
+
+// AssignsWholeSignal reports whether an lvalue overwrites the named
+// signal completely: only a plain identifier target does. Bit and part
+// selects keep the other bits, so the previous value still matters.
+func AssignsWholeSignal(lhs Expr, name string) bool {
+	id, ok := lhs.(*Ident)
+	return ok && id.Name == name
+}
+
+// WalkExpr calls f for e and every sub-expression, depth-first. If f
+// returns false the walk does not descend into that expression.
+func WalkExpr(e Expr, f func(Expr) bool) { walkExpr(e, f) }
+
+// ExprReads adds the name of every identifier referenced by an
+// expression to reads. For lvalue contexts use LHSIndexReads instead,
+// which skips the assigned base signals.
+func ExprReads(e Expr, reads map[string]bool) {
+	walkExpr(e, func(x Expr) bool {
+		if id, ok := x.(*Ident); ok {
+			reads[id.Name] = true
+		}
+		return true
+	})
+}
+
+// LHSIndexReads adds the identifiers *read* by an lvalue — index and
+// part-select bound expressions — to reads, without the assigned base
+// signals themselves.
+func LHSIndexReads(lhs Expr, reads map[string]bool) {
+	switch l := lhs.(type) {
+	case *Index:
+		LHSIndexReads(l.X, reads)
+		ExprReads(l.Idx, reads)
+	case *PartSelect:
+		LHSIndexReads(l.X, reads)
+		ExprReads(l.MSB, reads)
+		ExprReads(l.LSB, reads)
+	case *Concat:
+		for _, p := range l.Parts {
+			LHSIndexReads(p, reads)
+		}
+	}
+}
