@@ -1,0 +1,191 @@
+// Command benchrepair tracks the repair engine's performance across PRs:
+//
+//	benchrepair [-designs counter_k1,sdram_w1] [-workers 4] [-reps 3] [-out BENCH_repair.json]
+//
+// For each design it runs the full repair flow sequentially (workers=1)
+// and with the parallel portfolio, and records wall-clock times plus a
+// modeled portfolio makespan derived from the sequential per-attempt
+// durations (greedy list scheduling onto the requested worker count).
+// The model matters on hosts with fewer cores than workers — there the
+// measured parallel time reflects time-slicing, not the overlap a
+// multi-core machine would get.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"rtlrepair/internal/bench"
+	"rtlrepair/internal/core"
+	"rtlrepair/internal/sim"
+)
+
+type designReport struct {
+	Name    string  `json:"name"`
+	Status  string  `json:"status"`
+	SeqMS   float64 `json:"sequential_ms"`
+	ParMS   float64 `json:"parallel_ms"`
+	Workers int     `json:"workers"`
+	// AttemptMS is the sequential duration of each (pass, template)
+	// attempt, in portfolio order.
+	AttemptMS []float64 `json:"attempt_ms"`
+	// ModeledParMS schedules the sequential attempt durations onto
+	// `workers` idealized cores (greedy, portfolio order).
+	ModeledParMS    float64 `json:"modeled_parallel_ms"`
+	MeasuredSpeedup float64 `json:"measured_speedup"`
+	ModeledSpeedup  float64 `json:"modeled_speedup"`
+}
+
+type report struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Workers    int            `json:"workers"`
+	Reps       int            `json:"reps"`
+	Designs    []designReport `json:"designs"`
+	// Summary speedups aggregate total sequential vs. parallel time.
+	TotalSeqMS             float64 `json:"total_sequential_ms"`
+	TotalParMS             float64 `json:"total_parallel_ms"`
+	TotalMeasuredSpeedup   float64 `json:"total_measured_speedup"`
+	TotalModeledSpeedup    float64 `json:"total_modeled_speedup"`
+	MeasurementLimitations string  `json:"measurement_limitations,omitempty"`
+}
+
+func main() {
+	var (
+		designs = flag.String("designs", "counter_k1,sdram_w1,fsm_w1,i2c_w2", "comma-separated benchmark names")
+		workers = flag.Int("workers", 4, "portfolio workers for the parallel runs")
+		reps    = flag.Int("reps", 3, "repetitions per configuration (median reported)")
+		out     = flag.String("out", "BENCH_repair.json", "output JSON path")
+	)
+	flag.Parse()
+
+	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: *workers, Reps: *reps}
+	if rep.GOMAXPROCS < *workers {
+		rep.MeasurementLimitations = fmt.Sprintf(
+			"host exposes %d CPU(s) for %d workers: measured parallel times reflect time-slicing; use modeled_speedup for the overlap win",
+			rep.GOMAXPROCS, *workers)
+	}
+
+	var modeledTotal float64
+	for _, name := range strings.Split(*designs, ",") {
+		name = strings.TrimSpace(name)
+		bm := bench.ByName(name)
+		if bm == nil {
+			fmt.Fprintf(os.Stderr, "benchrepair: unknown design %s\n", name)
+			os.Exit(1)
+		}
+		dr := measure(bm, *workers, *reps)
+		rep.Designs = append(rep.Designs, dr)
+		rep.TotalSeqMS += dr.SeqMS
+		rep.TotalParMS += dr.ParMS
+		modeledTotal += dr.ModeledParMS
+		fmt.Fprintf(os.Stderr, "%-12s seq %8.1fms  par %8.1fms  modeled %8.1fms  (measured %.2fx, modeled %.2fx)\n",
+			name, dr.SeqMS, dr.ParMS, dr.ModeledParMS, dr.MeasuredSpeedup, dr.ModeledSpeedup)
+	}
+	if rep.TotalParMS > 0 {
+		rep.TotalMeasuredSpeedup = rep.TotalSeqMS / rep.TotalParMS
+	}
+	if modeledTotal > 0 {
+		rep.TotalModeledSpeedup = rep.TotalSeqMS / modeledTotal
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrepair:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrepair:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func measure(bm *bench.Benchmark, workers, reps int) designReport {
+	tr, err := bm.Trace()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrepair: %s: %v\n", bm.Name, err)
+		os.Exit(1)
+	}
+	m, err := bm.BuggyModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrepair: %s: %v\n", bm.Name, err)
+		os.Exit(1)
+	}
+	lib, _ := bm.LibModules()
+	opts := core.Options{
+		Policy:  sim.Randomize,
+		Seed:    1,
+		Timeout: 120 * time.Second,
+		Lib:     lib,
+	}
+
+	run := func(w int) (float64, *core.Result) {
+		o := opts
+		o.Workers = w
+		var times []float64
+		var last *core.Result
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			last = core.Repair(m, tr, o)
+			times = append(times, float64(time.Since(start).Microseconds())/1000)
+		}
+		sort.Float64s(times)
+		return times[len(times)/2], last
+	}
+
+	seqMS, seqRes := run(1)
+	parMS, _ := run(workers)
+
+	dr := designReport{
+		Name:    bm.Name,
+		Status:  seqRes.Status.String(),
+		SeqMS:   seqMS,
+		ParMS:   parMS,
+		Workers: workers,
+	}
+	for _, at := range seqRes.PerTemplate {
+		dr.AttemptMS = append(dr.AttemptMS, float64(at.Duration.Microseconds())/1000)
+	}
+	dr.ModeledParMS = makespan(dr.AttemptMS, workers)
+	if parMS > 0 {
+		dr.MeasuredSpeedup = seqMS / parMS
+	}
+	if dr.ModeledParMS > 0 {
+		dr.ModeledSpeedup = seqMS / dr.ModeledParMS
+	}
+	return dr
+}
+
+// makespan greedily schedules attempt durations onto w idealized cores in
+// portfolio order: each attempt starts on the earliest-free core, and the
+// makespan is the latest completion. This is the wall-clock a w-core host
+// would see with perfect overlap and the sequential engine's work set.
+func makespan(durations []float64, w int) float64 {
+	if len(durations) == 0 || w < 1 {
+		return 0
+	}
+	cores := make([]float64, w)
+	for _, d := range durations {
+		min := 0
+		for i := 1; i < w; i++ {
+			if cores[i] < cores[min] {
+				min = i
+			}
+		}
+		cores[min] += d
+	}
+	max := cores[0]
+	for _, c := range cores[1:] {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

@@ -31,6 +31,7 @@ func main() {
 		cfTimeout  = flag.Duration("cirfix-timeout", 15*time.Second, "CirFix baseline budget per benchmark")
 		cfGens     = flag.Int("cirfix-generations", 40, "CirFix generations")
 		seed       = flag.Int64("seed", 1, "base seed")
+		workers    = flag.Int("workers", 0, "portfolio workers per repair (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 	opts.CirFixTimeout = *cfTimeout
 	opts.CirFixGenerations = *cfGens
 	opts.Seed = *seed
+	opts.Workers = *workers
 
 	if *diffs {
 		fmt.Print(eval.QualitativeDiffs([]string{

@@ -29,6 +29,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for randomized unknown values")
 		zeroInit   = flag.Bool("zero-init", false, "zero unknown values instead of randomizing (Verilator mode)")
 		basic      = flag.Bool("basic", false, "disable adaptive windowing (basic synthesizer)")
+		workers    = flag.Int("workers", 0, "portfolio workers (0 = one per CPU, 1 = sequential)")
 		verbose    = flag.Bool("v", false, "print per-template progress")
 	)
 	flag.Parse()
@@ -63,6 +64,7 @@ func main() {
 		Timeout: *timeout,
 		Basic:   *basic,
 		Lib:     lib,
+		Workers: *workers,
 	})
 
 	fmt.Fprintf(os.Stderr, "status:   %s (%.2fs)\n", res.Status, res.Duration.Seconds())
@@ -75,7 +77,12 @@ func main() {
 			if tr.Err != nil {
 				state = tr.Err.Error()
 			}
-			fmt.Fprintf(os.Stderr, "  %-22s %-12s %s\n", tr.Template, state, tr.Duration.Round(time.Millisecond))
+			pass := "pruned"
+			if !tr.Localized {
+				pass = "full"
+			}
+			fmt.Fprintf(os.Stderr, "  %-22s %-7s w%d  %-12s %s\n",
+				tr.Template, pass, tr.Worker, state, tr.Duration.Round(time.Millisecond))
 		}
 	}
 	switch res.Status {

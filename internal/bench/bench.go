@@ -251,6 +251,17 @@ func Registry() []*Benchmark {
 	return registry
 }
 
+// Names lists every benchmark name in registry order. Useful for
+// runners (benchmarks, golden tests) that iterate the corpus without
+// holding Benchmark pointers.
+func Names() []string {
+	var out []string
+	for _, b := range Registry() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
 // ByName finds a benchmark.
 func ByName(name string) *Benchmark {
 	for _, b := range Registry() {

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtlrepair/internal/analysis"
+	"rtlrepair/internal/bv"
+	"rtlrepair/internal/sim"
+	"rtlrepair/internal/smt"
+	"rtlrepair/internal/synth"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/verilog"
+)
+
+// The portfolio engine runs the template loop of Figure 3 as a set of
+// concurrent attempts, one per (localization pass, template) pair. Each
+// attempt owns a fresh smt.Context — the hash-consed term DAG is mutable
+// and must not be shared across goroutines — and a cooperative stop flag
+// that sibling attempts set once their result makes this one irrelevant:
+//
+//   - an acceptable repair (Σφ ≤ MaxAcceptableChanges) at (pass, i)
+//     cancels the same pass's templates after i and every later pass;
+//   - a large (fallback) repair cancels every later pass, because the
+//     sequential engine never starts the unpruned pass once any repair
+//     exists.
+//
+// Selection happens only after every attempt has finished (or been
+// cancelled), by the sequential engine's precedence: earliest acceptable
+// template of the earliest pass, else the smallest fallback of the
+// earliest pass that has one. The outcome is therefore deterministic —
+// independent of worker count and goroutine scheduling.
+
+// attempt is one (localization pass, template) portfolio entry.
+type attempt struct {
+	pass    int
+	tmplIdx int
+	tmpl    Template
+	loc     *analysis.Localization
+
+	// stop cancels the attempt cooperatively; the SAT search loop polls
+	// it. Siblings only ever set it to true.
+	stop atomic.Bool
+
+	tres      TemplateResult
+	candidate *Result // verified repair (acceptable or fallback), nil otherwise
+}
+
+type portfolio struct {
+	fixed    *verilog.Module
+	info     *synth.Info
+	ctr      *trace.Trace
+	init     map[string]bv.XBV
+	baseRun  *sim.RunResult
+	deadline time.Time
+	opts     Options
+	attempts []*attempt
+}
+
+// workerCount resolves the Workers knob: 0 picks one worker per
+// available CPU; 1 selects the exact sequential engine.
+func (o *Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPortfolio fills res with the outcome of running every
+// (pass, template) attempt concurrently on the given number of workers.
+// res already carries the preprocessing/localization results.
+func runPortfolio(res *Result, fixed *verilog.Module, ctx *smt.Context,
+	ctr *trace.Trace, init map[string]bv.XBV, baseRun *sim.RunResult,
+	deadline time.Time, opts Options, passes []*analysis.Localization, workers int) {
+
+	p := &portfolio{
+		fixed:    fixed,
+		info:     elaborateInfo(ctx, fixed, opts.Lib),
+		ctr:      ctr,
+		init:     init,
+		baseRun:  baseRun,
+		deadline: deadline,
+		opts:     opts,
+	}
+	for pi, loc := range passes {
+		for ti, tmpl := range opts.Templates {
+			p.attempts = append(p.attempts, &attempt{pass: pi, tmplIdx: ti, tmpl: tmpl, loc: loc})
+		}
+	}
+	if workers > len(p.attempts) {
+		workers = len(p.attempts)
+	}
+
+	if workers <= 1 {
+		// Sequential engine: attempts run in declaration order on this
+		// goroutine. Cancellation still applies — an acceptable repair
+		// marks every later same-pass template and every later pass, so
+		// those attempts return immediately, reproducing the sequential
+		// early exit.
+		for _, at := range p.attempts {
+			p.runAttempt(at, 0)
+		}
+	} else {
+		// A channel of worker ids doubles as the concurrency semaphore
+		// and records which worker ran each attempt (per-worker timing).
+		ids := make(chan int, workers)
+		for i := 0; i < workers; i++ {
+			ids <- i
+		}
+		var wg sync.WaitGroup
+		for _, at := range p.attempts {
+			wg.Add(1)
+			go func(at *attempt) {
+				defer wg.Done()
+				id := <-ids
+				defer func() { ids <- id }()
+				p.runAttempt(at, id)
+			}(at)
+		}
+		wg.Wait()
+	}
+
+	for _, at := range p.attempts {
+		res.PerTemplate = append(res.PerTemplate, at.tres)
+	}
+
+	// Deterministic selection, mirroring the sequential engine: within a
+	// pass an acceptable repair beats any fallback; across passes the
+	// earliest pass with any repair wins (the sequential engine breaks
+	// before the unpruned pass once a fallback exists).
+	for pi := range passes {
+		var acc, fb *attempt
+		for _, at := range p.attempts {
+			if at.pass != pi || at.candidate == nil {
+				continue
+			}
+			if at.candidate.Changes <= opts.MaxAcceptableChanges {
+				if acc == nil {
+					acc = at
+				}
+			} else if fb == nil || at.candidate.Changes < fb.candidate.Changes {
+				fb = at
+			}
+		}
+		pick := acc
+		if pick == nil {
+			pick = fb
+		}
+		if pick != nil {
+			c := pick.candidate
+			res.Status = StatusRepaired
+			res.Repaired = c.Repaired
+			res.Changes = c.Changes
+			res.Template = c.Template
+			res.ChangeDescs = c.ChangeDescs
+			res.Window = c.Window
+			return
+		}
+	}
+	if time.Now().After(deadline) {
+		res.Status = StatusTimeout
+		res.Reason = "timeout"
+		return
+	}
+	res.Status = StatusCannotRepair
+	res.Reason = "no template found a repair"
+}
+
+// runAttempt executes one attempt on its own smt.Context and synthesis
+// variable namespace. On success it stores a verified candidate and
+// cancels the siblings the sequential engine would never have run.
+func (p *portfolio) runAttempt(at *attempt, worker int) {
+	at.tres = TemplateResult{Template: at.tmpl.Name(), Localized: at.loc != nil, Worker: worker}
+	start := time.Now()
+	defer func() { at.tres.Duration = time.Since(start) }()
+
+	if at.stop.Load() {
+		at.tres.Cancelled = true
+		at.tres.Err = ErrCancelled
+		return
+	}
+	if time.Now().After(p.deadline) {
+		at.tres.Err = ErrTimeout
+		return
+	}
+
+	ctx := smt.NewContext()
+	counter := 0
+	vars := NewVarTable(&counter)
+	env := &Env{Info: p.info, Lib: p.opts.Lib, Frozen: p.opts.frozenSet(), Loc: at.loc}
+	instr, err := at.tmpl.Instrument(p.fixed, env, vars)
+	if err != nil {
+		at.tres.Err = err
+		return
+	}
+	at.tres.Sites = len(vars.Phis)
+	if vars.Empty() {
+		return
+	}
+	isys, _, err := synth.Elaborate(ctx, instr, synth.Options{Lib: p.opts.Lib})
+	if err != nil {
+		at.tres.Err = err
+		return
+	}
+	sopts := DefaultSynthOptions()
+	sopts.Policy = p.opts.Policy
+	sopts.Seed = p.opts.Seed
+	sopts.Deadline = p.deadline
+	sopts.NoMinimize = p.opts.NoMinimize
+	sopts.Interrupt = &at.stop
+	synthz := NewSynthesizer(ctx, isys, vars, p.ctr, p.init, sopts)
+	var sol *Solution
+	if p.opts.Basic {
+		sol, err = synthz.Basic()
+	} else {
+		sol, err = synthz.Windowed(p.baseRun.FirstFailure)
+	}
+	at.tres.Stats = synthz.Stats
+	if err != nil {
+		at.tres.Err = err
+		at.tres.Cancelled = errors.Is(err, ErrCancelled)
+		return
+	}
+	if sol == nil {
+		return
+	}
+	at.tres.Found = true
+	at.tres.Changes = sol.Changes
+
+	repaired, rerr := Resolve(instr, sol.Assign)
+	if rerr != nil {
+		return
+	}
+	// Final guard: the patched source must re-elaborate and pass.
+	if !verifyRepaired(repaired, p.ctr, p.init, p.opts.Lib) {
+		return
+	}
+	at.candidate = &Result{
+		Status:      StatusRepaired,
+		Repaired:    repaired,
+		Changes:     sol.Changes,
+		Template:    at.tmpl.Name(),
+		ChangeDescs: vars.EnabledDescs(sol.Assign),
+		Window:      synthz.Stats.FinalWindow,
+	}
+	p.cancelSiblings(at)
+}
+
+// cancelSiblings stops every attempt whose result provably cannot win
+// the selection once at's candidate exists. Attempts that might still
+// beat it — earlier templates of the same pass, or any template of an
+// earlier pass — keep running.
+func (p *portfolio) cancelSiblings(at *attempt) {
+	acceptable := at.candidate.Changes <= p.opts.MaxAcceptableChanges
+	for _, other := range p.attempts {
+		if other == at {
+			continue
+		}
+		if other.pass > at.pass ||
+			(acceptable && other.pass == at.pass && other.tmplIdx > at.tmplIdx) {
+			other.stop.Store(true)
+		}
+	}
+}

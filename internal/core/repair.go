@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"strconv"
 	"time"
 
@@ -79,6 +78,12 @@ type Options struct {
 	// Used with BMC counterexample traces so the property expression
 	// itself cannot be weakened (see internal/bmc).
 	Frozen []string
+	// Workers is the number of concurrent portfolio workers running the
+	// (localization pass, template) attempts. 0 picks one worker per
+	// available CPU; 1 runs the attempts on the exact sequential engine.
+	// The selected repair is identical either way — only wall-clock time
+	// changes.
+	Workers int
 }
 
 // frozenSet converts the Frozen option into the template Env form.
@@ -111,6 +116,12 @@ type TemplateResult struct {
 	Duration  time.Duration
 	Err       error
 	Stats     SynthStats
+	// Worker is the portfolio worker that ran the attempt (0 when
+	// sequential).
+	Worker int
+	// Cancelled is true when the portfolio stopped the attempt because a
+	// sibling's repair made its outcome irrelevant.
+	Cancelled bool
 }
 
 // Result is the outcome of a repair run.
@@ -227,136 +238,15 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 		passes = append(passes, nil)
 	}
 
-	// 5. Template loop (Figure 3).
-	counter := 0
-	var fallback *Result
-	env := &Env{Info: elaborateInfo(ctx, fixed, opts.Lib), Lib: opts.Lib, Frozen: opts.frozenSet()}
-	for _, loc := range passes {
-		env.Loc = loc
-		if found := runTemplates(res, env, fixed, ctx, ctr, init, baseRun, deadline, opts, &counter, &fallback); found != nil {
-			*res = *found
-			return finish()
-		}
-		if res.Status == StatusTimeout {
-			return finish()
-		}
-		if fallback != nil {
-			// A (large) repair exists; the unpruned pass could only
-			// rediscover it with more φs.
-			break
-		}
-	}
-	if fallback != nil {
-		perTemplate := res.PerTemplate
-		*res = *fallback
-		res.PerTemplate = perTemplate
-		return finish()
-	}
-	res.Status = StatusCannotRepair
-	if res.Reason == "" {
-		res.Reason = "no template found a repair"
-	}
+	// 5. Template loop (Figure 3): every (localization pass, template)
+	// pair is one portfolio attempt. With Workers=1 the attempts run in
+	// order on this goroutine — the sequential engine — and with more
+	// workers they run concurrently with shared cancellation; the
+	// selected repair is identical either way because every attempt is
+	// computed on its own context and the selection is a deterministic
+	// function of the attempt results.
+	runPortfolio(res, fixed, ctx, ctr, init, baseRun, deadline, opts, passes, opts.workerCount())
 	return finish()
-}
-
-// runTemplates tries every template once under the given localization
-// env. It returns a completed result when an acceptable repair is
-// found; large repairs land in *fallback. A timeout sets res.Status.
-func runTemplates(res *Result, env *Env, fixed *verilog.Module, ctx *smt.Context,
-	ctr *trace.Trace, init map[string]bv.XBV, baseRun *sim.RunResult,
-	deadline time.Time, opts Options, counter *int, fallback **Result) *Result {
-	for _, tmpl := range opts.Templates {
-		if time.Now().After(deadline) {
-			res.Status = StatusTimeout
-			res.Reason = "timeout before template " + tmpl.Name()
-			return nil
-		}
-		tres := TemplateResult{Template: tmpl.Name(), Localized: env.Loc != nil}
-		tStart := time.Now()
-
-		attempt := func() (*Solution, *VarTable, *verilog.Module, *Synthesizer, error) {
-			vars := NewVarTable(counter)
-			instr, err := tmpl.Instrument(fixed, env, vars)
-			if err != nil {
-				return nil, nil, nil, nil, err
-			}
-			if vars.Empty() {
-				return nil, vars, nil, nil, nil
-			}
-			isys, _, err := synth.Elaborate(ctx, instr, synth.Options{Lib: opts.Lib})
-			if err != nil {
-				return nil, nil, nil, nil, err
-			}
-			sopts := DefaultSynthOptions()
-			sopts.Policy = opts.Policy
-			sopts.Seed = opts.Seed
-			sopts.Deadline = deadline
-			sopts.NoMinimize = opts.NoMinimize
-			synthz := NewSynthesizer(ctx, isys, vars, ctr, init, sopts)
-			var sol *Solution
-			if opts.Basic {
-				sol, err = synthz.Basic()
-			} else {
-				sol, err = synthz.Windowed(baseRun.FirstFailure)
-			}
-			return sol, vars, instr, synthz, err
-		}
-
-		sol, vars, instr, synthz, err := attempt()
-		tres.Duration = time.Since(tStart)
-		if vars != nil {
-			tres.Sites = len(vars.Phis)
-		}
-		if synthz != nil {
-			tres.Stats = synthz.Stats
-		}
-		if err != nil {
-			tres.Err = err
-			res.PerTemplate = append(res.PerTemplate, tres)
-			if errors.Is(err, ErrTimeout) {
-				continue // try the next template with remaining budget
-			}
-			continue
-		}
-		if sol == nil {
-			res.PerTemplate = append(res.PerTemplate, tres)
-			continue
-		}
-		tres.Found = true
-		tres.Changes = sol.Changes
-		res.PerTemplate = append(res.PerTemplate, tres)
-
-		repaired, rerr := Resolve(instr, sol.Assign)
-		if rerr != nil {
-			continue
-		}
-		// Final guard: the patched source must re-elaborate and pass.
-		if !verifyRepaired(repaired, ctr, init, opts.Lib) {
-			continue
-		}
-		candidate := &Result{
-			Status:       StatusRepaired,
-			Repaired:     repaired,
-			Changes:      sol.Changes,
-			Template:     tmpl.Name(),
-			Fixes:        res.Fixes,
-			ChangeDescs:  vars.EnabledDescs(sol.Assign),
-			FirstFailure: res.FirstFailure,
-			PerTemplate:  res.PerTemplate,
-			Window:       synthz.Stats.FinalWindow,
-			Diagnostics:  res.Diagnostics,
-			Localization: res.Localization,
-		}
-		if sol.Changes <= opts.MaxAcceptableChanges {
-			return candidate
-		}
-		// Large repair: keep as fallback and try other templates
-		// hoping for a smaller one (Figure 3).
-		if *fallback == nil || candidate.Changes < (*fallback).Changes {
-			*fallback = candidate
-		}
-	}
-	return nil
 }
 
 // runConcrete executes a trace with a fixed concrete initial state.

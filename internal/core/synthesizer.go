@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"rtlrepair/internal/bv"
@@ -37,6 +39,10 @@ type SynthOptions struct {
 	// Max-SMT-style minimization): the first satisfying assignment is
 	// used, however many changes it makes.
 	NoMinimize bool
+	// Interrupt, when non-nil, cancels the synthesis cooperatively: the
+	// portfolio engine sets it once a sibling worker's repair makes this
+	// attempt irrelevant. A cancelled synthesis returns ErrCancelled.
+	Interrupt *atomic.Bool
 }
 
 // DefaultSynthOptions mirrors the paper's constants: window cap 32, past
@@ -64,10 +70,47 @@ type SynthStats struct {
 	Windows      int
 	FinalWindow  [2]int // k_past, k_future
 	Unrollings   int
+	// SolverBuilds counts windows encoded into a fresh solver. When only
+	// k_future grows, the live solver is extended instead of rebuilt, so
+	// SolverBuilds < Windows on designs that widen forward.
+	SolverBuilds int
+	// ExtendedCycles counts trace cycles appended incrementally to a live
+	// solver's clause database instead of being re-encoded.
+	ExtendedCycles int
+	// PrefixCycles counts concrete simulation steps spent computing
+	// window start states (cached, so it stays linear in the trace
+	// prefix instead of quadratic in the number of windows).
+	PrefixCycles int
 }
 
 // ErrTimeout is returned when the deadline expires mid-synthesis.
 var ErrTimeout = fmt.Errorf("core: synthesis timeout")
+
+// ErrCancelled is returned when a synthesis is cancelled through
+// SynthOptions.Interrupt (e.g. by the portfolio engine).
+var ErrCancelled = fmt.Errorf("core: synthesis cancelled")
+
+// winEnc is a live SMT encoding of the trace window [start, end): the
+// unrolled circuit plus the input/output constraints of those cycles,
+// asserted into an incremental solver. The encoding survives across
+// k_future growth — newly unrolled cycles are appended to the existing
+// clause database, as bitwuzla's assumption-based incremental interface
+// allows the paper's artifact to do.
+type winEnc struct {
+	solver *smt.Solver
+	u      *tsys.Unrolling
+	start  int
+	end    int // exclusive
+}
+
+// samplingState carries the live minimal-repair enumeration of the most
+// recently solved window, so Windowed can pull further samples out of
+// the same clause database when none of the first batch is robust.
+type samplingState struct {
+	ok    bool
+	bound *smt.Term // Σ cost·φ ≤ minimal
+	last  Assignment
+}
 
 // Synthesizer runs repair synthesis for one instrumented design against
 // one concretized trace.
@@ -79,6 +122,16 @@ type Synthesizer struct {
 	init  map[string]bv.XBV // concrete initial state (fully known)
 	opts  SynthOptions
 	Stats SynthStats
+
+	win      *winEnc       // live window encoding (nil before the first solve)
+	sampling samplingState // enumeration state of the last solved window
+
+	// Prefix snapshot cache: snaps[c] is the register state after c
+	// cycles of the unmodified (all φ = 0) circuit. The cache extends
+	// monotonically with one persistent simulator, so widening k_past
+	// re-simulates nothing.
+	snaps   []map[string]bv.XBV
+	snapSim *sim.CycleSim
 }
 
 // NewSynthesizer builds a synthesizer. tr must have concrete inputs and
@@ -123,6 +176,10 @@ func (s *Synthesizer) expired() bool {
 	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
 }
 
+func (s *Synthesizer) interrupted() bool {
+	return s.opts.Interrupt != nil && s.opts.Interrupt.Load()
+}
+
 // allVars returns every synthesis variable term.
 func (s *Synthesizer) allVars() []*smt.Term {
 	var out []*smt.Term
@@ -139,10 +196,12 @@ func (s *Synthesizer) allVars() []*smt.Term {
 	return out
 }
 
-// sumTerm builds Σ cost·φ as a 16-bit term.
+// sumTerm builds Σ cost·φ as a 16-bit term. The addends are combined as
+// a balanced tree so the bit-blasted adder depth stays logarithmic in
+// the number of φ sites.
 func (s *Synthesizer) sumTerm() *smt.Term {
 	const w = 16
-	sum := s.ctx.ConstU(w, 0)
+	var addends []*smt.Term
 	for _, p := range s.vars.Phis {
 		t := s.ctx.LookupVar(p.Name)
 		if t == nil {
@@ -152,26 +211,35 @@ func (s *Synthesizer) sumTerm() *smt.Term {
 		if p.Cost != 1 {
 			term = s.ctx.Mul(term, s.ctx.ConstU(w, uint64(p.Cost)))
 		}
-		sum = s.ctx.Add(sum, term)
+		addends = append(addends, term)
 	}
-	return sum
+	return s.ctx.AddN(w, addends...)
 }
 
-// prefixState concretely executes the unmodified circuit (all φ = 0) for
-// the first `cycles` trace rows and returns the reached state.
+// prefixState returns the register state the unmodified circuit (all
+// φ = 0) reaches after the first `cycles` trace rows. Snapshots are
+// cached per cycle and extended with one persistent simulator, so the
+// window search's repeated calls with shrinking `start` cost O(n) total
+// instead of O(n²). The returned map is shared with the cache and must
+// be treated as read-only.
 func (s *Synthesizer) prefixState(cycles int) map[string]bv.XBV {
-	zero := Assignment{}
-	for _, p := range s.vars.Phis {
-		zero[p.Name] = bv.Zero(1)
+	if s.snapSim == nil {
+		zero := Assignment{}
+		for _, p := range s.vars.Phis {
+			zero[p.Name] = bv.Zero(1)
+		}
+		for _, a := range s.vars.Alphas {
+			zero[a.Name] = bv.Zero(a.Width)
+		}
+		s.snapSim = s.newSim(zero)
+		s.snaps = append(s.snaps, s.snapSim.Snapshot())
 	}
-	for _, a := range s.vars.Alphas {
-		zero[a.Name] = bv.Zero(a.Width)
+	for len(s.snaps) <= cycles {
+		s.snapSim.Step(s.inputsAt(len(s.snaps) - 1))
+		s.snaps = append(s.snaps, s.snapSim.Snapshot())
+		s.Stats.PrefixCycles++
 	}
-	cs := s.newSim(zero)
-	for c := 0; c < cycles; c++ {
-		cs.Step(s.inputsAt(c))
-	}
-	return cs.Snapshot()
+	return s.snaps[cycles]
 }
 
 // newSim builds a cycle simulator seeded with the concrete initial state
@@ -203,11 +271,65 @@ func (s *Synthesizer) Validate(a Assignment) *sim.RunResult {
 	return sim.RunTraceFrom(cs, s.tr, 0, sim.RunOptions{Policy: sim.Zero})
 }
 
-// solveWindow unrolls cycles [start, end) from the given start state and
-// returns up to MaxSamples minimal solutions, or nil when the window is
-// unsatisfiable.
-func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) ([]*Solution, error) {
-	s.Stats.Unrollings++
+// robust re-runs the full trace under alternative concretizations of the
+// uninitialized state. A repair that only passes for one choice of the
+// X values is overfitted to the concretization (§4.3 discusses exactly
+// this hazard of randomized testing); when a window yields several
+// minimal repairs, the ones that survive every re-concretization are
+// preferred.
+func (s *Synthesizer) robust(a Assignment) bool {
+	// Two deterministic fills (all-zeros, all-ones) cover narrow states
+	// that a couple of random draws can miss; two seeded random fills
+	// cover wide ones.
+	fills := []func(width int) bv.BV{
+		func(width int) bv.BV { return bv.Zero(width) },
+		func(width int) bv.BV { return bv.Zero(width).Not() },
+	}
+	for extra := int64(1); extra <= 2; extra++ {
+		rng := rand.New(rand.NewSource(s.opts.Seed + extra))
+		fills = append(fills, func(width int) bv.BV {
+			return bv.FromWords(width,
+				[]uint64{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()})
+		})
+	}
+	for _, fill := range fills {
+		cs := sim.NewCycleSim(s.sys, sim.Zero, 0)
+		for _, st := range s.sys.States {
+			if st.Init != nil {
+				cs.SetState(st.Var.Name, bv.K(st.Init.Val))
+			} else {
+				cs.SetState(st.Var.Name, bv.K(fill(st.Var.Width)))
+			}
+		}
+		params := map[string]bv.BV{}
+		for name, v := range a {
+			params[name] = v
+		}
+		cs.SetParams(params)
+		if !sim.RunTraceFrom(cs, s.tr, 0, sim.RunOptions{Policy: sim.Zero}).Passed() {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeWindow returns a live encoding of cycles [start, end). When only
+// the future boundary moved since the previous window (k_future growth,
+// §4.4), the existing solver is kept alive and the newly unrolled cycles
+// are appended to its clause database; the blocking clauses asserted
+// while sampling the previous window stay in force, which is sound
+// because every blocked assignment already failed full-trace validation.
+// Any move of the past boundary rebuilds from scratch, since the start
+// state is folded into the unrolling as constants.
+func (s *Synthesizer) encodeWindow(start, end int, startState map[string]bv.XBV) (*winEnc, error) {
+	if w := s.win; w != nil && w.start == start && end >= w.end {
+		from := w.end
+		w.u.Extend(s.ctx, end-from)
+		s.assertCycles(w, from, end)
+		s.Stats.ExtendedCycles += end - from
+		w.end = end
+		return w, nil
+	}
 	steps := end - start
 	init := map[*smt.Term]*smt.Term{}
 	for _, st := range s.sys.States {
@@ -220,26 +342,36 @@ func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) 
 	u := tsys.Unroll(s.ctx, s.sys, steps, init)
 	solver := smt.NewSolver(s.ctx)
 	solver.SetDeadline(s.opts.Deadline)
+	solver.SetInterrupt(s.opts.Interrupt)
+	w := &winEnc{solver: solver, u: u, start: start, end: end}
+	s.assertCycles(w, start, end)
+	s.Stats.SolverBuilds++
+	s.win = w
+	return w, nil
+}
 
-	for k := 0; k < steps; k++ {
-		cycle := start + k
+// assertCycles pins the trace inputs and asserts the expected-output
+// constraints for cycles [from, to) of a window encoding.
+func (s *Synthesizer) assertCycles(w *winEnc, from, to int) {
+	for cycle := from; cycle < to; cycle++ {
+		k := cycle - w.start
 		for _, in := range s.sys.Inputs {
 			idx := s.tr.InputIndex(in.Name)
 			if idx < 0 {
 				// Inputs the testbench does not drive read as zero in the
 				// validation simulator; pin them for consistency.
-				solver.Assert(s.ctx.Eq(u.InputAt(k, in), s.ctx.Const(bv.Zero(in.Width))))
+				w.solver.Assert(s.ctx.Eq(w.u.InputAt(k, in), s.ctx.Const(bv.Zero(in.Width))))
 				continue
 			}
 			cell := s.tr.InputRows[cycle][idx]
-			solver.Assert(s.ctx.Eq(u.InputAt(k, in), s.ctx.Const(cell.Val)))
+			w.solver.Assert(s.ctx.Eq(w.u.InputAt(k, in), s.ctx.Const(cell.Val)))
 		}
 		for i, sig := range s.tr.Outputs {
 			exp := s.tr.OutputRows[cycle][i]
 			if exp.Known.IsZero() {
 				continue // fully don't-care
 			}
-			outExpr := u.OutputAt(k, sig.Name)
+			outExpr := w.u.OutputAt(k, sig.Name)
 			if outExpr == nil {
 				continue
 			}
@@ -247,25 +379,47 @@ func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) 
 				// The design's output width does not match the trace
 				// column (e.g. a declaration bug): no assignment can
 				// satisfy the checked bits.
-				solver.Assert(s.ctx.False())
+				w.solver.Assert(s.ctx.False())
 				continue
 			}
 			if exp.Known.IsOnes() {
-				solver.Assert(s.ctx.Eq(outExpr, s.ctx.Const(exp.Val)))
+				w.solver.Assert(s.ctx.Eq(outExpr, s.ctx.Const(exp.Val)))
 			} else {
 				mask := s.ctx.Const(exp.Known)
-				solver.Assert(s.ctx.Eq(s.ctx.And(outExpr, mask), s.ctx.Const(exp.Val.And(exp.Known))))
+				w.solver.Assert(s.ctx.Eq(s.ctx.And(outExpr, mask), s.ctx.Const(exp.Val.And(exp.Known))))
 			}
 		}
 	}
+}
+
+// check runs one solver query, mapping low-level errors to the
+// synthesizer's timeout/cancellation errors.
+func (s *Synthesizer) check(solver *smt.Solver, assumptions ...*smt.Term) (sat.Status, error) {
+	s.Stats.SolverChecks++
+	st, err := solver.Check(assumptions...)
+	if err != nil {
+		if errors.Is(err, sat.ErrInterrupted) {
+			return st, ErrCancelled
+		}
+		return st, ErrTimeout
+	}
+	return st, nil
+}
+
+// solveWindow encodes cycles [start, end) from the given start state
+// (incrementally when possible) and returns up to MaxSamples minimal
+// solutions, or nil when the window is unsatisfiable.
+func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) ([]*Solution, error) {
+	s.Stats.Unrollings++
+	s.sampling = samplingState{}
+	w, err := s.encodeWindow(start, end, startState)
+	if err != nil {
+		return nil, err
+	}
+	solver := w.solver
 
 	check := func(assumptions ...*smt.Term) (sat.Status, error) {
-		s.Stats.SolverChecks++
-		st, err := solver.Check(assumptions...)
-		if err != nil {
-			return st, ErrTimeout
-		}
-		return st, nil
+		return s.check(solver, assumptions...)
 	}
 
 	st, err := check()
@@ -320,19 +474,56 @@ func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) 
 		a := readModel()
 		sols = append(sols, &Solution{Assign: a, Changes: s.vars.Changes(a)})
 	}
+	if len(sols) == s.opts.MaxSamples {
+		// The enumeration stopped on the sample budget, not on UNSAT:
+		// remember where it left off so Windowed can ask for more.
+		s.sampling = samplingState{ok: true, bound: bound, last: sols[len(sols)-1].Assign}
+	}
+	return sols, nil
+}
+
+// moreSamples continues the minimal-repair enumeration of the current
+// window, returning the next batch of up to MaxSamples solutions. The
+// live incremental encoding makes this a matter of asserting one more
+// blocking clause per sample — no re-unrolling, no solver rebuild. An
+// empty batch means the window has no further minimal repairs.
+func (s *Synthesizer) moreSamples() ([]*Solution, error) {
+	if !s.sampling.ok || s.win == nil {
+		return nil, nil
+	}
+	solver := s.win.solver
+	vars := s.allVars()
+	var sols []*Solution
+	for len(sols) < s.opts.MaxSamples {
+		solver.Assert(s.blockingClause(s.sampling.last))
+		st, err := s.check(solver, s.sampling.bound)
+		if err != nil {
+			return nil, err
+		}
+		if st != sat.Sat {
+			s.sampling.ok = false
+			break
+		}
+		a := Assignment{}
+		for _, v := range vars {
+			a[v.Name] = solver.Value(v)
+		}
+		s.sampling.last = a
+		sols = append(sols, &Solution{Assign: a, Changes: s.vars.Changes(a)})
+	}
 	return sols, nil
 }
 
 // blockingClause forbids the exact repair: the same φ pattern with the
 // same α values on enabled changes.
 func (s *Synthesizer) blockingClause(a Assignment) *smt.Term {
-	conj := s.ctx.True()
+	var conj []*smt.Term
 	for _, p := range s.vars.Phis {
 		t := s.ctx.LookupVar(p.Name)
 		if t == nil {
 			continue
 		}
-		conj = s.ctx.And(conj, s.ctx.Eq(t, s.ctx.Const(a[p.Name].Resize(1))))
+		conj = append(conj, s.ctx.Eq(t, s.ctx.Const(a[p.Name].Resize(1))))
 	}
 	enabled := map[string]bool{}
 	for _, p := range s.vars.Phis {
@@ -348,16 +539,21 @@ func (s *Synthesizer) blockingClause(a Assignment) *smt.Term {
 			if t == nil {
 				continue
 			}
-			conj = s.ctx.And(conj, s.ctx.Eq(t, s.ctx.Const(a[al.Name].Resize(al.Width))))
+			conj = append(conj, s.ctx.Eq(t, s.ctx.Const(a[al.Name].Resize(al.Width))))
 		}
 	}
-	return s.ctx.Not(conj)
+	// Balanced conjunction keeps the Tseitin gate depth logarithmic in
+	// the number of synthesis variables.
+	return s.ctx.Not(s.ctx.AndN(conj...))
 }
 
 // Basic runs the basic synthesizer (§4.3): one unrolling over the whole
 // trace from the concrete initial state. The returned solution passes
 // the trace by construction; nil means the template cannot repair.
 func (s *Synthesizer) Basic() (*Solution, error) {
+	if s.interrupted() {
+		return nil, ErrCancelled
+	}
 	if s.expired() {
 		return nil, ErrTimeout
 	}
@@ -370,25 +566,47 @@ func (s *Synthesizer) Basic() (*Solution, error) {
 	}
 	// With a full-trace unrolling every minimal solution is already
 	// validated by construction; still validate to guard against
-	// concretization mismatches.
+	// concretization mismatches, and prefer repairs that survive
+	// re-concretization of the unknown initial state.
+	var passing *Solution
 	for _, sol := range sols {
 		if s.Validate(sol.Assign).Passed() {
-			return sol, nil
+			if s.robust(sol.Assign) {
+				return sol, nil
+			}
+			if passing == nil {
+				passing = sol
+			}
 		}
+	}
+	if passing != nil {
+		return passing, nil
 	}
 	return sols[0], nil
 }
 
 // Windowed runs the adaptive windowing synthesizer (§4.4) around the
-// given first output divergence.
+// given first output divergence. Among the minimal repairs of a window
+// it prefers one that also survives re-concretization of the unknown
+// initial state; a repair that only passes the trace as concretized is
+// remembered as a fragile fallback and returned when the search
+// exhausts its window or time budget without a robust alternative.
 func (s *Synthesizer) Windowed(firstFailure int) (*Solution, error) {
 	kPast, kFuture := 0, 0
+	var fragile *Solution // passes the trace, fails re-concretization
 	for {
+		if s.interrupted() {
+			return nil, ErrCancelled
+		}
 		if s.expired() {
+			if fragile != nil {
+				return fragile, nil
+			}
 			return nil, ErrTimeout
 		}
 		if kPast+kFuture > s.opts.MaxWindow {
-			return nil, nil // give up (§4.4: max window size 32)
+			// Give up growing (§4.4: max window size 32).
+			return fragile, nil
 		}
 		s.Stats.Windows++
 		s.Stats.FinalWindow = [2]int{kPast, kFuture}
@@ -403,6 +621,9 @@ func (s *Synthesizer) Windowed(firstFailure int) (*Solution, error) {
 		startState := s.prefixState(start)
 		sols, err := s.solveWindow(start, end, startState)
 		if err != nil {
+			if errors.Is(err, ErrTimeout) && fragile != nil {
+				return fragile, nil
+			}
 			return nil, err
 		}
 		if len(sols) == 0 {
@@ -412,13 +633,38 @@ func (s *Synthesizer) Windowed(firstFailure int) (*Solution, error) {
 			continue
 		}
 		latestFuture := -1
-		for _, sol := range sols {
-			res := s.Validate(sol.Assign)
-			if res.Passed() {
-				return sol, nil
+		// When every sample passes the trace but none is robust, the
+		// window is rich in trace-equivalent repairs; keep enumerating
+		// from the live encoding before growing the window.
+		extendBudget := 3 * s.opts.MaxSamples
+		for len(sols) > 0 {
+			allPassed := true
+			for _, sol := range sols {
+				res := s.Validate(sol.Assign)
+				if res.Passed() {
+					if s.robust(sol.Assign) {
+						return sol, nil
+					}
+					if fragile == nil {
+						fragile = sol
+					}
+					continue
+				}
+				allPassed = false
+				if res.FirstFailure > firstFailure && res.FirstFailure > latestFuture {
+					latestFuture = res.FirstFailure
+				}
 			}
-			if res.FirstFailure > firstFailure && res.FirstFailure > latestFuture {
-				latestFuture = res.FirstFailure
+			if !allPassed || len(sols) < s.opts.MaxSamples || extendBudget <= 0 {
+				break
+			}
+			extendBudget -= len(sols)
+			sols, err = s.moreSamples()
+			if err != nil {
+				if errors.Is(err, ErrTimeout) && fragile != nil {
+					return fragile, nil
+				}
+				return nil, err
 			}
 		}
 		if latestFuture > firstFailure && latestFuture-firstFailure > kFuture {

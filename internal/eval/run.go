@@ -138,6 +138,9 @@ type Options struct {
 	// MaxTraceForChecks truncates very long traces for the expensive
 	// secondary checks (gate-level, event sim); 0 = no truncation.
 	MaxTraceForChecks int
+	// Workers is the portfolio worker count handed to core.Repair
+	// (0 = one per CPU, 1 = sequential).
+	Workers int
 }
 
 // DefaultOptions returns the evaluation defaults used by the tables.
@@ -203,6 +206,7 @@ func RunRTLRepair(b *bench.Benchmark, opts Options) *ToolRun {
 		Timeout: opts.RTLTimeout,
 		Basic:   opts.Basic,
 		Lib:     lib,
+		Workers: opts.Workers,
 	})
 	run.Duration = res.Duration
 	run.Status = res.Status.String()

@@ -8,6 +8,7 @@ package sat
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 )
 
@@ -62,6 +63,11 @@ func (s Status) String() string {
 
 // ErrTimeout is returned by Solve when the configured deadline expires.
 var ErrTimeout = errors.New("sat: timeout")
+
+// ErrInterrupted is returned by Solve when the Interrupt flag is set by
+// another goroutine (e.g. a portfolio worker being cancelled because a
+// sibling already found an acceptable repair).
+var ErrInterrupted = errors.New("sat: interrupted")
 
 type lbool int8
 
@@ -119,6 +125,10 @@ type Solver struct {
 
 	ok       bool // false once an empty clause is derived at level 0
 	Deadline time.Time
+	// Interrupt, when non-nil, is polled during search; setting it true
+	// makes Solve return (Unknown, ErrInterrupted). It is the only field
+	// another goroutine may touch while Solve runs.
+	Interrupt *atomic.Bool
 }
 
 // New returns an empty solver.
@@ -508,6 +518,18 @@ func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
 	checkCounter := 0
 
 	for {
+		// Poll cancellation and the deadline on both the conflict and the
+		// decision path: a conflict-heavy search must still notice that a
+		// portfolio sibling won or that the budget expired.
+		checkCounter++
+		if checkCounter&1023 == 0 {
+			if s.Interrupt != nil && s.Interrupt.Load() {
+				return Unknown, ErrInterrupted
+			}
+			if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+				return Unknown, ErrTimeout
+			}
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.conflicts++
@@ -551,10 +573,6 @@ func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
 			continue
 		}
 
-		checkCounter++
-		if checkCounter&1023 == 0 && !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
-			return Unknown, ErrTimeout
-		}
 		if s.conflicts-conflictsAtRestart >= conflictBudget {
 			restarts++
 			conflictBudget = 100 * luby(restarts+1)

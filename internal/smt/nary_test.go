@@ -1,0 +1,135 @@
+package smt
+
+import (
+	"testing"
+
+	"rtlrepair/internal/bv"
+)
+
+// termDepth measures the DAG depth of t (constants and vars are depth 0).
+func termDepth(t *Term) int {
+	memo := map[*Term]int{}
+	var rec func(*Term) int
+	rec = func(t *Term) int {
+		if d, ok := memo[t]; ok {
+			return d
+		}
+		d := 0
+		for _, a := range t.Args {
+			if ad := rec(a); ad > d {
+				d = ad
+			}
+		}
+		d++
+		memo[t] = d
+		return d
+	}
+	if len(t.Args) == 0 {
+		return 0
+	}
+	return rec(t)
+}
+
+func TestAndNSemantics(t *testing.T) {
+	c := NewContext()
+	if got := c.AndN(); !got.IsTrue() {
+		t.Fatalf("AndN() = %v, want true", got)
+	}
+	x := c.Var("x", 1)
+	if got := c.AndN(x); got != x {
+		t.Fatalf("AndN(x) = %v, want x", got)
+	}
+	vars := make([]*Term, 9)
+	for i := range vars {
+		vars[i] = c.Var(varName("a", i), 1)
+	}
+	n := c.AndN(vars...)
+	// Linear fold must be semantically identical (hash-consing makes
+	// equality checks over the two shapes cheap via the solver).
+	lin := c.True()
+	for _, v := range vars {
+		lin = c.And(lin, v)
+	}
+	s := NewSolver(c)
+	s.Assert(c.Not(c.Eq(n, lin)))
+	if st, err := s.Check(); err != nil || st.String() != "unsat" {
+		t.Fatalf("AndN differs from linear fold: %v %v", st, err)
+	}
+}
+
+func TestOrNSemantics(t *testing.T) {
+	c := NewContext()
+	if got := c.OrN(); !got.IsConst() || !got.Val.IsZero() {
+		t.Fatalf("OrN() = %v, want false", got)
+	}
+	vars := make([]*Term, 7)
+	for i := range vars {
+		vars[i] = c.Var(varName("o", i), 1)
+	}
+	n := c.OrN(vars...)
+	lin := c.False()
+	for _, v := range vars {
+		lin = c.Or(lin, v)
+	}
+	s := NewSolver(c)
+	s.Assert(c.Not(c.Eq(n, lin)))
+	if st, err := s.Check(); err != nil || st.String() != "unsat" {
+		t.Fatalf("OrN differs from linear fold: %v %v", st, err)
+	}
+}
+
+func TestAddNSemantics(t *testing.T) {
+	c := NewContext()
+	if got := c.AddN(8); !got.IsConst() || !got.Val.IsZero() {
+		t.Fatalf("AddN(8) = %v, want zero", got)
+	}
+	// Constant operands fold completely.
+	ts := []*Term{c.ConstU(8, 200), c.ConstU(8, 100), c.ConstU(8, 5)}
+	if got := c.AddN(8, ts...); !got.IsConst() || got.Val.Uint64() != 49 {
+		t.Fatalf("AddN(200,100,5) mod 256 = %v, want 49", got)
+	}
+	vars := make([]*Term, 6)
+	for i := range vars {
+		vars[i] = c.Var(varName("s", i), 8)
+	}
+	n := c.AddN(8, vars...)
+	lin := c.Const(bv.Zero(8))
+	for _, v := range vars {
+		lin = c.Add(lin, v)
+	}
+	s := NewSolver(c)
+	s.Assert(c.Not(c.Eq(n, lin)))
+	if st, err := s.Check(); err != nil || st.String() != "unsat" {
+		t.Fatalf("AddN differs from linear fold: %v %v", st, err)
+	}
+}
+
+// The whole point of the N-ary constructors: logarithmic depth instead
+// of the linear chains the old fold produced.
+func TestNaryBalancedDepth(t *testing.T) {
+	c := NewContext()
+	const n = 64
+	vars := make([]*Term, n)
+	for i := range vars {
+		vars[i] = c.Var(varName("d", i), 4)
+	}
+	and := c.AndN(vars...)
+	if d := termDepth(and); d > 7 { // ceil(log2(64)) + 1 slack
+		t.Fatalf("AndN depth = %d for %d leaves, want logarithmic", d, n)
+	}
+	add := c.AddN(4, vars...)
+	if d := termDepth(add); d > 7 {
+		t.Fatalf("AddN depth = %d for %d leaves, want logarithmic", d, n)
+	}
+	lin := vars[0]
+	for _, v := range vars[1:] {
+		lin = c.And(lin, v)
+	}
+	if d := termDepth(lin); d < n-1 {
+		t.Fatalf("linear fold depth = %d, expected chain of ~%d", d, n-1)
+	}
+}
+
+func varName(prefix string, i int) string {
+	return prefix + string(rune('A'+i/26)) + string(rune('a'+i%26))
+}

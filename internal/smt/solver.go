@@ -2,6 +2,7 @@ package smt
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"rtlrepair/internal/bv"
@@ -46,6 +47,11 @@ func NewSolver(ctx *Context) *Solver {
 // SetDeadline sets a wall-clock deadline for subsequent Check calls.
 // A zero time disables the deadline.
 func (s *Solver) SetDeadline(d time.Time) { s.sat.Deadline = d }
+
+// SetInterrupt installs a cancellation flag polled during Check. Setting
+// the flag from another goroutine makes the running Check return
+// (Unknown, sat.ErrInterrupted). A nil flag disables cancellation.
+func (s *Solver) SetInterrupt(flag *atomic.Bool) { s.sat.Interrupt = flag }
 
 func (s *Solver) fresh() sat.Lit { return sat.PosLit(s.sat.NewVar()) }
 

@@ -543,6 +543,50 @@ func (c *Context) RedXor(a *Term) *Term {
 // Implies returns !a | b for width-1 terms.
 func (c *Context) Implies(a, b *Term) *Term { return c.Or(c.Not(a), b) }
 
+// reduceBalanced folds ts pairwise into a balanced tree, so the term
+// depth (and hence the bit-blasted gate depth) is logarithmic in len(ts)
+// instead of linear as with a left-leaning fold.
+func reduceBalanced(ts []*Term, f func(a, b *Term) *Term) *Term {
+	for len(ts) > 1 {
+		next := make([]*Term, 0, (len(ts)+1)/2)
+		for i := 0; i+1 < len(ts); i += 2 {
+			next = append(next, f(ts[i], ts[i+1]))
+		}
+		if len(ts)%2 == 1 {
+			next = append(next, ts[len(ts)-1])
+		}
+		ts = next
+	}
+	return ts[0]
+}
+
+// AndN returns the conjunction of equal-width terms as a balanced tree.
+// With no operands it returns the width-1 constant 1.
+func (c *Context) AndN(ts ...*Term) *Term {
+	if len(ts) == 0 {
+		return c.True()
+	}
+	return reduceBalanced(ts, c.And)
+}
+
+// OrN returns the disjunction of equal-width terms as a balanced tree.
+// With no operands it returns the width-1 constant 0.
+func (c *Context) OrN(ts ...*Term) *Term {
+	if len(ts) == 0 {
+		return c.False()
+	}
+	return reduceBalanced(ts, c.Or)
+}
+
+// AddN returns the modular sum of equal-width terms as a balanced tree.
+// With no operands it returns the zero constant of the given width.
+func (c *Context) AddN(width int, ts ...*Term) *Term {
+	if len(ts) == 0 {
+		return c.Const(bv.Zero(width))
+	}
+	return reduceBalanced(ts, c.Add)
+}
+
 // Bools treats a possibly wide term as a condition: nonzero means true.
 func (c *Context) Truthy(a *Term) *Term { return c.RedOr(a) }
 

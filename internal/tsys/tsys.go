@@ -114,6 +114,7 @@ func (s *System) Validate() error {
 type Unrolling struct {
 	Sys      *System
 	Steps    int
+	tag      string
 	inputAt  []map[*smt.Term]*smt.Term // step -> input var -> step instance
 	stateAt  []map[*smt.Term]*smt.Term // step -> state var -> expression
 	outputAt []map[string]*smt.Term    // step -> output name -> expression
@@ -140,7 +141,7 @@ func UnrollTagged(ctx *smt.Context, sys *System, steps int, init map[*smt.Term]*
 		}
 		return fmt.Sprintf("%s@%s/%d", base, tag, k)
 	}
-	u := &Unrolling{Sys: sys, Steps: steps}
+	u := &Unrolling{Sys: sys, Steps: steps, tag: tag}
 	cur := map[*smt.Term]*smt.Term{}
 	for _, st := range sys.States {
 		if iv, ok := init[st.Var]; ok {
@@ -181,6 +182,64 @@ func UnrollTagged(ctx *smt.Context, sys *System, steps int, init map[*smt.Term]*
 		cur = next
 	}
 	return u
+}
+
+// Extend grows the unrolling by extraSteps further cycles, reusing every
+// already-built step expression. Together with an incremental solver this
+// lets the adaptive-window synthesizer append newly unrolled cycles to a
+// live clause database instead of re-encoding the window from scratch
+// when k_future grows.
+func (u *Unrolling) Extend(ctx *smt.Context, extraSteps int) {
+	if extraSteps <= 0 {
+		return
+	}
+	name := func(base string, k int) string {
+		if u.tag == "" {
+			return fmt.Sprintf("%s@%d", base, k)
+		}
+		return fmt.Sprintf("%s@%s/%d", base, u.tag, k)
+	}
+	cur := u.stateAt[u.Steps]
+	ins := u.inputAt[u.Steps]
+	for k := u.Steps + 1; k <= u.Steps+extraSteps; k++ {
+		// Advance the state past the previous step (Unroll stops before
+		// computing the next-state of its final step).
+		sub := map[*smt.Term]*smt.Term{}
+		for in, iv := range ins {
+			sub[in] = iv
+		}
+		for sv, expr := range cur {
+			sub[sv] = expr
+		}
+		next := map[*smt.Term]*smt.Term{}
+		for _, st := range u.Sys.States {
+			next[st.Var] = ctx.Substitute(st.Next, sub)
+		}
+		cur = next
+		// Materialize step k exactly as Unroll would have.
+		ins = map[*smt.Term]*smt.Term{}
+		stepSub := map[*smt.Term]*smt.Term{}
+		for _, in := range u.Sys.Inputs {
+			iv := ctx.Var(name(in.Name, k), in.Width)
+			ins[in] = iv
+			stepSub[in] = iv
+		}
+		for sv, expr := range cur {
+			stepSub[sv] = expr
+		}
+		outs := map[string]*smt.Term{}
+		for _, o := range u.Sys.Outputs {
+			outs[o.Name] = ctx.Substitute(o.Expr, stepSub)
+		}
+		stateCopy := map[*smt.Term]*smt.Term{}
+		for sv, expr := range cur {
+			stateCopy[sv] = expr
+		}
+		u.inputAt = append(u.inputAt, ins)
+		u.outputAt = append(u.outputAt, outs)
+		u.stateAt = append(u.stateAt, stateCopy)
+	}
+	u.Steps += extraSteps
 }
 
 // InputAt returns the fresh variable standing for input in at step k.

@@ -158,3 +158,63 @@ func TestUnrollTaggedNamespaces(t *testing.T) {
 		t.Fatalf("independent unrollings: %v %v", st, err)
 	}
 }
+
+// TestExtendMatchesUnroll checks that unrolling n steps and extending by
+// k yields exactly the hash-consed expressions of unrolling n+k steps in
+// one go — the property the incremental window encoding relies on.
+func TestExtendMatchesUnroll(t *testing.T) {
+	ctx := smt.NewContext()
+	sys := counterSystem(ctx)
+	init := map[*smt.Term]*smt.Term{
+		sys.States[0].Var: ctx.ConstU(4, 3),
+		sys.States[1].Var: ctx.False(),
+	}
+	const n, k = 2, 3
+	full := Unroll(ctx, sys, n+k, init)
+	grown := Unroll(ctx, sys, n, init)
+	grown.Extend(ctx, k)
+	if grown.Steps != n+k {
+		t.Fatalf("Steps = %d, want %d", grown.Steps, n+k)
+	}
+	for step := 0; step <= n+k; step++ {
+		for _, in := range sys.Inputs {
+			if full.InputAt(step, in) != grown.InputAt(step, in) {
+				t.Fatalf("step %d input %s: extended unrolling differs", step, in.Name)
+			}
+		}
+		for _, o := range sys.Outputs {
+			if full.OutputAt(step, o.Name) != grown.OutputAt(step, o.Name) {
+				t.Fatalf("step %d output %s: extended unrolling differs", step, o.Name)
+			}
+		}
+		for _, st := range sys.States {
+			if full.StateAt(step, st.Var) != grown.StateAt(step, st.Var) {
+				t.Fatalf("step %d state %s: extended unrolling differs", step, st.Var.Name)
+			}
+		}
+	}
+}
+
+// TestExtendTagged checks that tagged unrollings keep their namespace
+// when extended.
+func TestExtendTagged(t *testing.T) {
+	ctx := smt.NewContext()
+	sys := counterSystem(ctx)
+	u := UnrollTagged(ctx, sys, 1, nil, "tr0")
+	u.Extend(ctx, 1)
+	in := u.InputAt(2, sys.Inputs[0])
+	if in == nil || !strings.Contains(in.Name, "@tr0/2") {
+		t.Fatalf("extended tagged input = %v, want name containing @tr0/2", in)
+	}
+}
+
+// TestExtendZeroIsNoop checks the degenerate extension.
+func TestExtendZeroIsNoop(t *testing.T) {
+	ctx := smt.NewContext()
+	sys := counterSystem(ctx)
+	u := Unroll(ctx, sys, 2, nil)
+	u.Extend(ctx, 0)
+	if u.Steps != 2 {
+		t.Fatalf("Steps = %d after zero extend, want 2", u.Steps)
+	}
+}

@@ -1,0 +1,151 @@
+package rtlrepair_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rtlrepair/internal/bench"
+	"rtlrepair/internal/core"
+	"rtlrepair/internal/sim"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/verilog"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata/repair_goldens from the current engine")
+
+// goldenSeed mirrors the evaluation's seed choice: the first seed under
+// which the buggy design actually fails its testbench, so randomized
+// unknown values cannot mask the bug.
+func goldenSeed(b *bench.Benchmark, tr *trace.Trace, base int64) int64 {
+	sys, err := b.BuggySystem()
+	if err != nil {
+		return base
+	}
+	for seed := base; seed < base+8; seed++ {
+		init, ctr := core.Concretize(sys, tr, sim.Randomize, seed)
+		cs := sim.NewCycleSim(sys, sim.Zero, 0)
+		for name, v := range init {
+			cs.SetState(name, v)
+		}
+		if !sim.RunTraceFrom(cs, ctr, 0, sim.RunOptions{Policy: sim.Zero}).Passed() {
+			return seed
+		}
+	}
+	return base
+}
+
+// goldenRepair runs one benchmark through the repair engine with the
+// golden-test settings and renders the deterministic part of the result.
+func goldenRepair(t *testing.T, b *bench.Benchmark, opts core.Options) (string, time.Duration) {
+	t.Helper()
+	tr, err := b.Trace()
+	if err != nil {
+		t.Fatalf("%s: trace: %v", b.Name, err)
+	}
+	m, err := b.BuggyModule()
+	if err != nil {
+		t.Fatalf("%s: parse: %v", b.Name, err)
+	}
+	lib, err := b.LibModules()
+	if err != nil {
+		t.Fatalf("%s: lib: %v", b.Name, err)
+	}
+	opts.Policy = sim.Randomize
+	opts.Seed = goldenSeed(b, tr, 1)
+	opts.Lib = lib
+	if opts.Timeout == 0 {
+		opts.Timeout = 120 * time.Second
+	}
+	start := time.Now()
+	res := core.Repair(m, tr, opts)
+	dur := time.Since(start)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "status: %s\ntemplate: %s\nchanges: %d\n", res.Status, res.Template, res.Changes)
+	for _, d := range res.ChangeDescs {
+		fmt.Fprintf(&sb, "change: %s\n", d)
+	}
+	sb.WriteString("----\n")
+	if res.Repaired != nil {
+		sb.WriteString(verilog.Print(res.Repaired))
+	}
+	return sb.String(), dur
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "repair_goldens", name+".golden")
+}
+
+// TestRepairGoldens pins the repair engine's output on every benchmark
+// design: status, template, change count, change descriptions and the
+// byte-exact repaired source. The goldens are captured from the unified
+// per-attempt engine at workers=1 (see DESIGN.md for why the balanced
+// encodings and incremental window reuse shifted a handful of designs
+// to different equally-minimal repairs); workers=1 must reproduce them
+// byte-for-byte, and the parallel portfolio must select the same result.
+func TestRepairGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full benchmark suite")
+	}
+	for _, b := range bench.Registry() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			got, dur := goldenRepair(t, b, core.Options{Workers: 1})
+			if strings.Contains(got, "status: timeout") {
+				t.Skipf("%s: timeout-bound design, not byte-comparable", b.Name)
+			}
+			path := goldenPath(b.Name)
+			if *updateGoldens {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s (%.2fs)", path, dur.Seconds())
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-goldens): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s: result differs from the pinned golden\n--- got ---\n%s\n--- want ---\n%s",
+					b.Name, got, want)
+			}
+			t.Logf("%s: %.2fs", b.Name, dur.Seconds())
+		})
+	}
+}
+
+// TestPortfolioMatchesSequential runs the parallel portfolio on every
+// benchmark design and requires the selected repair to be byte-identical
+// to the sequential engine's golden output: same status, template,
+// change count, change descriptions and repaired source.
+func TestPortfolioMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full benchmark suite")
+	}
+	for _, b := range bench.Registry() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			got, dur := goldenRepair(t, b, core.Options{Workers: 4})
+			if strings.Contains(got, "status: timeout") {
+				t.Skipf("%s: timeout-bound design, not byte-comparable", b.Name)
+			}
+			want, err := os.ReadFile(goldenPath(b.Name))
+			if err != nil {
+				t.Fatalf("missing golden (run TestRepairGoldens with -update-goldens): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s: portfolio result differs from sequential engine\n--- got ---\n%s\n--- want ---\n%s",
+					b.Name, got, want)
+			}
+			t.Logf("%s: %.2fs", b.Name, dur.Seconds())
+		})
+	}
+}
