@@ -40,6 +40,17 @@ type designReport struct {
 	ModeledParMS    float64 `json:"modeled_parallel_ms"`
 	MeasuredSpeedup float64 `json:"measured_speedup"`
 	ModeledSpeedup  float64 `json:"modeled_speedup"`
+	// CNF size and search effort aggregated over every solver of the
+	// sequential run, with the abstract-interpretation simplifier on
+	// (default) and off — the A/B that prices the absint pass.
+	CNFVars            int64   `json:"cnf_vars"`
+	CNFClauses         int64   `json:"cnf_clauses"`
+	CNFVarsNoAbsint    int64   `json:"cnf_vars_no_absint"`
+	CNFClausesNoAbsint int64   `json:"cnf_clauses_no_absint"`
+	CNFVarReduction    float64 `json:"cnf_var_reduction_pct"`
+	CNFClauseReduction float64 `json:"cnf_clause_reduction_pct"`
+	SATConflicts       int64   `json:"sat_conflicts"`
+	SATPropagations    int64   `json:"sat_propagations"`
 }
 
 type report struct {
@@ -86,6 +97,9 @@ func main() {
 		modeledTotal += dr.ModeledParMS
 		fmt.Fprintf(os.Stderr, "%-12s seq %8.1fms  par %8.1fms  modeled %8.1fms  (measured %.2fx, modeled %.2fx)\n",
 			name, dr.SeqMS, dr.ParMS, dr.ModeledParMS, dr.MeasuredSpeedup, dr.ModeledSpeedup)
+		fmt.Fprintf(os.Stderr, "%-12s cnf %d vars %d clauses (absint off: %d / %d, reduction %.1f%% / %.1f%%)\n",
+			"", dr.CNFVars, dr.CNFClauses, dr.CNFVarsNoAbsint, dr.CNFClausesNoAbsint,
+			dr.CNFVarReduction, dr.CNFClauseReduction)
 	}
 	if rep.TotalParMS > 0 {
 		rep.TotalMeasuredSpeedup = rep.TotalSeqMS / rep.TotalParMS
@@ -160,7 +174,31 @@ func measure(bm *bench.Benchmark, workers, reps int) designReport {
 	if dr.ModeledParMS > 0 {
 		dr.ModeledSpeedup = seqMS / dr.ModeledParMS
 	}
+
+	dr.CNFVars, dr.CNFClauses, dr.SATConflicts, dr.SATPropagations = aggregateSAT(seqRes)
+	noAbs := opts
+	noAbs.Workers = 1
+	noAbs.NoAbsint = true
+	dr.CNFVarsNoAbsint, dr.CNFClausesNoAbsint, _, _ = aggregateSAT(core.Repair(m, tr, noAbs))
+	if dr.CNFVarsNoAbsint > 0 {
+		dr.CNFVarReduction = 100 * (1 - float64(dr.CNFVars)/float64(dr.CNFVarsNoAbsint))
+	}
+	if dr.CNFClausesNoAbsint > 0 {
+		dr.CNFClauseReduction = 100 * (1 - float64(dr.CNFClauses)/float64(dr.CNFClausesNoAbsint))
+	}
 	return dr
+}
+
+// aggregateSAT sums the CNF size and search counters over every template
+// attempt of a repair run.
+func aggregateSAT(res *core.Result) (vars, clauses, conflicts, props int64) {
+	for _, at := range res.PerTemplate {
+		vars += at.Stats.SAT.Vars
+		clauses += at.Stats.SAT.Clauses
+		conflicts += at.Stats.SAT.Conflicts
+		props += at.Stats.SAT.Propagations
+	}
+	return
 }
 
 // makespan greedily schedules attempt durations onto w idealized cores in

@@ -32,6 +32,7 @@ func main() {
 		cfGens     = flag.Int("cirfix-generations", 40, "CirFix generations")
 		seed       = flag.Int64("seed", 1, "base seed")
 		workers    = flag.Int("workers", 0, "portfolio workers per repair (0 = one per CPU, 1 = sequential)")
+		certify    = flag.Bool("certify", false, "self-certify every solver verdict (DRUP-checked Unsat, validated Sat models)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 	opts.CirFixGenerations = *cfGens
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.Certify = *certify
 
 	if *diffs {
 		fmt.Print(eval.QualitativeDiffs([]string{

@@ -1,14 +1,17 @@
 // Command rtllint runs the netlist-level static-analysis engine over a
 // Verilog design and reports structured diagnostics:
 //
-//	rtllint design.v              # human-readable report
-//	rtllint -json design.v        # machine-readable report
-//	rtllint -severity error x.v   # only elaboration-fatal findings
+//	rtllint design.v                # human-readable report
+//	rtllint -json design.v          # machine-readable report
+//	rtllint -severity error x.v     # only elaboration-fatal findings
+//	rtllint -fail-on warning x.v    # CI gate: fail on warnings too
 //
 // When a file holds several modules the last one is the top (matching
-// rtlrepair); earlier modules form the instantiation library. The exit
-// code is 1 if any error-severity diagnostic was found (the design will
-// not synthesize), 0 otherwise.
+// rtlrepair); earlier modules form the instantiation library.
+//
+// Exit codes: 0 when no diagnostic at or above the -fail-on severity
+// (default error) was found, 1 when at least one was, 2 on usage errors
+// or when a file cannot be read or parsed.
 package main
 
 import (
@@ -25,6 +28,7 @@ func main() {
 	var (
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		severity = flag.String("severity", "", "minimum severity to report: info, warning or error (default all)")
+		failOn   = flag.String("fail-on", "error", "lowest severity that makes the exit code 1: info, warning or error")
 		quiet    = flag.Bool("q", false, "suppress the summary line")
 	)
 	flag.Usage = func() {
@@ -37,15 +41,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	minSev := analysis.SevInfo
-	switch *severity {
-	case "", "info":
-	case "warning":
-		minSev = analysis.SevWarning
-	case "error":
-		minSev = analysis.SevError
-	default:
+	minSev, ok := parseSeverity(*severity, analysis.SevInfo)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "rtllint: unknown severity %q\n", *severity)
+		os.Exit(2)
+	}
+	failSev, ok := parseSeverity(*failOn, analysis.SevError)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rtllint: unknown -fail-on severity %q\n", *failOn)
 		os.Exit(2)
 	}
 
@@ -57,12 +60,38 @@ func main() {
 			exit = 2
 			continue
 		}
-		if report.Count(analysis.SevError) > 0 && exit == 0 {
+		if countAtLeast(report, failSev) > 0 && exit == 0 {
 			exit = 1
 		}
 		printReport(path, report, minSev, *jsonOut, *quiet)
 	}
 	os.Exit(exit)
+}
+
+// parseSeverity maps a flag value to a severity; empty means def.
+func parseSeverity(s string, def analysis.Severity) (analysis.Severity, bool) {
+	switch s {
+	case "":
+		return def, true
+	case "info":
+		return analysis.SevInfo, true
+	case "warning":
+		return analysis.SevWarning, true
+	case "error":
+		return analysis.SevError, true
+	}
+	return def, false
+}
+
+// countAtLeast counts diagnostics at or above the given severity.
+func countAtLeast(report *analysis.Report, min analysis.Severity) int {
+	n := 0
+	for _, d := range report.Diagnostics {
+		if d.Severity >= min {
+			n++
+		}
+	}
+	return n
 }
 
 func lintFile(path string) (*analysis.Report, error) {

@@ -30,6 +30,8 @@ func main() {
 		zeroInit   = flag.Bool("zero-init", false, "zero unknown values instead of randomizing (Verilator mode)")
 		basic      = flag.Bool("basic", false, "disable adaptive windowing (basic synthesizer)")
 		workers    = flag.Int("workers", 0, "portfolio workers (0 = one per CPU, 1 = sequential)")
+		certify    = flag.Bool("certify", false, "self-certify every solver verdict (DRUP-check Unsat answers, re-evaluate Sat models)")
+		noAbsint   = flag.Bool("no-absint", false, "disable the abstract-interpretation term simplifier")
 		verbose    = flag.Bool("v", false, "print per-template progress")
 	)
 	flag.Parse()
@@ -59,12 +61,14 @@ func main() {
 		policy = sim.Zero
 	}
 	res := core.Repair(top, tr, core.Options{
-		Policy:  policy,
-		Seed:    *seed,
-		Timeout: *timeout,
-		Basic:   *basic,
-		Lib:     lib,
-		Workers: *workers,
+		Policy:   policy,
+		Seed:     *seed,
+		Timeout:  *timeout,
+		Basic:    *basic,
+		Lib:      lib,
+		Workers:  *workers,
+		Certify:  *certify,
+		NoAbsint: *noAbsint,
 	})
 
 	fmt.Fprintf(os.Stderr, "status:   %s (%.2fs)\n", res.Status, res.Duration.Seconds())
@@ -83,6 +87,16 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "  %-22s %-7s w%d  %-12s %s\n",
 				tr.Template, pass, tr.Worker, state, tr.Duration.Round(time.Millisecond))
+			st := tr.Stats.SAT
+			if st.Conflicts+st.Decisions+st.Propagations > 0 {
+				fmt.Fprintf(os.Stderr, "    sat: %d vars %d clauses | %d conflicts %d decisions %d propagations %d restarts %d learned\n",
+					st.Vars, st.Clauses, st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learned)
+			}
+			if *certify {
+				ct := tr.Stats.Certify
+				fmt.Fprintf(os.Stderr, "    certify: %d models validated, %d unsat proofs checked (%d steps, %d learned clauses RUP-verified) in %s\n",
+					ct.ModelsValidated, ct.UnsatsCertified, ct.ProofSteps, ct.LearnedChecked, ct.CheckTime.Round(time.Millisecond))
+			}
 		}
 	}
 	switch res.Status {

@@ -73,6 +73,8 @@ func RepairAll(m *verilog.Module, tr *trace.Trace, opts Options, maxCandidates i
 		sopts.Policy = opts.Policy
 		sopts.Seed = opts.Seed
 		sopts.Deadline = deadline
+		sopts.Certify = opts.Certify
+		sopts.NoAbsint = opts.NoAbsint
 		// Sample more aggressively than the single-repair flow.
 		sopts.MaxSamples = maxCandidates * 2
 		synthz := NewSynthesizer(ctx, isys, vars, ctr, init, sopts)

@@ -91,7 +91,7 @@ func RepairMulti(m *verilog.Module, traces []*trace.Trace, opts Options) *Result
 		if err != nil {
 			continue
 		}
-		sol, err := solveMultiTrace(ctx, isys, vars, ctrs, init, deadline)
+		sol, err := solveMultiTrace(ctx, isys, vars, ctrs, init, deadline, opts)
 		if err != nil || sol == nil {
 			continue
 		}
@@ -123,8 +123,14 @@ func RepairMulti(m *verilog.Module, traces []*trace.Trace, opts Options) *Result
 
 // solveMultiTrace asserts every trace over its own tagged unrolling and
 // minimizes the shared change count.
-func solveMultiTrace(ctx *smt.Context, sys *tsys.System, vars *VarTable, traces []*trace.Trace, init map[string]bv.XBV, deadline time.Time) (*Solution, error) {
+func solveMultiTrace(ctx *smt.Context, sys *tsys.System, vars *VarTable, traces []*trace.Trace, init map[string]bv.XBV, deadline time.Time, opts Options) (*Solution, error) {
 	solver := smt.NewSolver(ctx)
+	if opts.NoAbsint {
+		solver.DisableSimplify()
+	}
+	if opts.Certify {
+		solver.EnableCertification()
+	}
 	solver.SetDeadline(deadline)
 
 	initTerms := map[*smt.Term]*smt.Term{}

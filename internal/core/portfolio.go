@@ -211,6 +211,8 @@ func (p *portfolio) runAttempt(at *attempt, worker int) {
 	sopts.Deadline = p.deadline
 	sopts.NoMinimize = p.opts.NoMinimize
 	sopts.Interrupt = &at.stop
+	sopts.Certify = p.opts.Certify
+	sopts.NoAbsint = p.opts.NoAbsint
 	synthz := NewSynthesizer(ctx, isys, vars, p.ctr, p.init, sopts)
 	var sol *Solution
 	if p.opts.Basic {

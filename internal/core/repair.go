@@ -84,6 +84,15 @@ type Options struct {
 	// The selected repair is identical either way — only wall-clock time
 	// changes.
 	Workers int
+	// Certify runs every SMT query in self-certifying mode: Unsat
+	// verdicts are re-checked against a DRUP proof by an independent
+	// forward checker, and Sat models are re-evaluated by the reference
+	// interpreter. A failed check panics, since it means the solver gave
+	// an unsound answer.
+	Certify bool
+	// NoAbsint disables the abstract-interpretation term simplifier
+	// (ablation / A/B measurement of its CNF impact).
+	NoAbsint bool
 }
 
 // frozenSet converts the Frozen option into the template Env form.

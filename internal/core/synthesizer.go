@@ -43,6 +43,13 @@ type SynthOptions struct {
 	// portfolio engine sets it once a sibling worker's repair makes this
 	// attempt irrelevant. A cancelled synthesis returns ErrCancelled.
 	Interrupt *atomic.Bool
+	// Certify runs every solver in self-certifying mode: Unsat verdicts
+	// are DRUP-checked and Sat models re-evaluated by the reference
+	// interpreter. A failed check panics (it is a soundness bug).
+	Certify bool
+	// NoAbsint disables the abstract-interpretation term simplifier
+	// (A/B measurement of its CNF impact).
+	NoAbsint bool
 }
 
 // DefaultSynthOptions mirrors the paper's constants: window cap 32, past
@@ -81,6 +88,12 @@ type SynthStats struct {
 	// window start states (cached, so it stays linear in the trace
 	// prefix instead of quadratic in the number of windows).
 	PrefixCycles int
+	// SAT aggregates the underlying CDCL statistics across every solver
+	// this synthesizer built (retired window encodings included).
+	SAT sat.Statistics
+	// Certify aggregates certification work (model validations, DRUP
+	// checks) across the same solvers.
+	Certify smt.CertifyStats
 }
 
 // ErrTimeout is returned when the deadline expires mid-synthesis.
@@ -132,6 +145,11 @@ type Synthesizer struct {
 	// re-simulates nothing.
 	snaps   []map[string]bv.XBV
 	snapSim *sim.CycleSim
+
+	// Stats folded in from window solvers that were rebuilt away; the
+	// live solver's counters are added on top after every check.
+	retiredSAT  sat.Statistics
+	retiredCert smt.CertifyStats
 }
 
 // NewSynthesizer builds a synthesizer. tr must have concrete inputs and
@@ -339,8 +357,18 @@ func (s *Synthesizer) encodeWindow(start, end int, startState map[string]bv.XBV)
 		}
 		init[st.Var] = s.ctx.Const(v.Val)
 	}
+	if s.win != nil {
+		s.retiredSAT.Add(s.win.solver.SATStats())
+		s.retiredCert.Add(s.win.solver.CertifyStats())
+	}
 	u := tsys.Unroll(s.ctx, s.sys, steps, init)
 	solver := smt.NewSolver(s.ctx)
+	if s.opts.NoAbsint {
+		solver.DisableSimplify()
+	}
+	if s.opts.Certify {
+		solver.EnableCertification()
+	}
 	solver.SetDeadline(s.opts.Deadline)
 	solver.SetInterrupt(s.opts.Interrupt)
 	w := &winEnc{solver: solver, u: u, start: start, end: end}
@@ -397,6 +425,10 @@ func (s *Synthesizer) assertCycles(w *winEnc, from, to int) {
 func (s *Synthesizer) check(solver *smt.Solver, assumptions ...*smt.Term) (sat.Status, error) {
 	s.Stats.SolverChecks++
 	st, err := solver.Check(assumptions...)
+	s.Stats.SAT = s.retiredSAT
+	s.Stats.SAT.Add(solver.SATStats())
+	s.Stats.Certify = s.retiredCert
+	s.Stats.Certify.Add(solver.CertifyStats())
 	if err != nil {
 		if errors.Is(err, sat.ErrInterrupted) {
 			return st, ErrCancelled

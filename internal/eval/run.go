@@ -141,6 +141,11 @@ type Options struct {
 	// Workers is the portfolio worker count handed to core.Repair
 	// (0 = one per CPU, 1 = sequential).
 	Workers int
+	// Certify runs every repair in self-certifying mode (DRUP-checked
+	// Unsat verdicts, interpreter-validated Sat models).
+	Certify bool
+	// NoAbsint disables the abstract-interpretation term simplifier.
+	NoAbsint bool
 }
 
 // DefaultOptions returns the evaluation defaults used by the tables.
@@ -201,12 +206,14 @@ func RunRTLRepair(b *bench.Benchmark, opts Options) *ToolRun {
 	seed := chooseSeed(b, opts.Seed)
 	run.Seed = seed
 	res := core.Repair(m, tr, core.Options{
-		Policy:  sim.Randomize,
-		Seed:    seed,
-		Timeout: opts.RTLTimeout,
-		Basic:   opts.Basic,
-		Lib:     lib,
-		Workers: opts.Workers,
+		Policy:   sim.Randomize,
+		Seed:     seed,
+		Timeout:  opts.RTLTimeout,
+		Basic:    opts.Basic,
+		Lib:      lib,
+		Workers:  opts.Workers,
+		Certify:  opts.Certify,
+		NoAbsint: opts.NoAbsint,
 	})
 	run.Duration = res.Duration
 	run.Status = res.Status.String()

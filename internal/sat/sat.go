@@ -119,6 +119,13 @@ type Solver struct {
 	conflicts int64
 	decisions int64
 	props     int64
+	restarts  int64
+	learned   int64 // learned clauses ever derived (incl. units)
+	added     int64 // original clauses accepted by AddClause
+
+	// proof, when non-nil, records a DRUP log of clause additions and
+	// deletions (see drat.go). Enabled with StartProof.
+	proof *Proof
 
 	assumptionLevel int
 	failed          []Lit
@@ -169,6 +176,13 @@ func (s *Solver) value(l Lit) lbool {
 // AddClause adds a clause. Returns false if the formula became trivially
 // unsatisfiable.
 func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.proof != nil {
+		// Log the verbatim clause as an axiom, before normalization: the
+		// checker must start from what the caller asserted, not from the
+		// solver's simplified form.
+		s.proof.add(StepOrig, lits)
+	}
+	s.added++
 	if !s.ok {
 		return false
 	}
@@ -483,6 +497,11 @@ func (s *Solver) reduceDB() {
 	if len(removed) == 0 {
 		return
 	}
+	if s.proof != nil {
+		for c := range removed {
+			s.proof.add(StepDelete, c.lits)
+		}
+	}
 	kept := s.learnts[:0]
 	for _, c := range s.learnts {
 		if !removed[c] {
@@ -540,6 +559,10 @@ func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
 			// Fail if conflict is at or below the assumption levels: we
 			// must analyze whether assumptions are to blame.
 			learnt, btLevel := s.analyze(confl)
+			s.learned++
+			if s.proof != nil {
+				s.proof.add(StepLearn, learnt)
+			}
 			if btLevel < s.assumptionLevel {
 				btLevel = s.assumptionLevel
 				// If the asserting literal conflicts with assumptions we
@@ -575,6 +598,7 @@ func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
 
 		if s.conflicts-conflictsAtRestart >= conflictBudget {
 			restarts++
+			s.restarts++
 			conflictBudget = 100 * luby(restarts+1)
 			conflictsAtRestart = s.conflicts
 			s.backtrackTo(s.assumptionLevel)
@@ -648,4 +672,44 @@ func (s *Solver) Value(v int) bool { return s.assigns[v] == lTrue }
 // Stats reports search statistics.
 func (s *Solver) Stats() (conflicts, decisions, propagations int64) {
 	return s.conflicts, s.decisions, s.props
+}
+
+// Statistics is a full snapshot of the solver's search counters.
+type Statistics struct {
+	Conflicts    int64 // conflicts hit during search
+	Decisions    int64 // branching decisions made
+	Propagations int64 // literals propagated
+	Restarts     int64 // Luby restarts performed
+	Learned      int64 // learned clauses ever derived (incl. units)
+	LearnedLive  int64 // learned clauses currently in the database
+	Clauses      int64 // original clauses accepted by AddClause
+	Vars         int64 // allocated variables
+}
+
+// Statistics returns a snapshot of every search counter, including the
+// clause-database sizes the three-value Stats() omits.
+func (s *Solver) Statistics() Statistics {
+	return Statistics{
+		Conflicts:    s.conflicts,
+		Decisions:    s.decisions,
+		Propagations: s.props,
+		Restarts:     s.restarts,
+		Learned:      s.learned,
+		LearnedLive:  int64(len(s.learnts)),
+		Clauses:      s.added,
+		Vars:         int64(len(s.assigns)),
+	}
+}
+
+// Add merges another snapshot into this one (database sizes and counters
+// both sum; used to aggregate across a synthesis run's solvers).
+func (st *Statistics) Add(o Statistics) {
+	st.Conflicts += o.Conflicts
+	st.Decisions += o.Decisions
+	st.Propagations += o.Propagations
+	st.Restarts += o.Restarts
+	st.Learned += o.Learned
+	st.LearnedLive += o.LearnedLive
+	st.Clauses += o.Clauses
+	st.Vars += o.Vars
 }

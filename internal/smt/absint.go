@@ -1,0 +1,606 @@
+package smt
+
+import (
+	"rtlrepair/internal/bv"
+)
+
+// This file implements an abstract-interpretation pass over the
+// hash-consed term DAG. Two domains run in lockstep:
+//
+//   - known bits: for every term, a mask of bit positions whose value is
+//     the same in every model of the asserted constraints, plus those
+//     values;
+//   - unsigned intervals: an inclusive [Lo, Hi] range of the term's
+//     unsigned value.
+//
+// Each domain tightens the other after every transfer (common high bits
+// of Lo and Hi are known; known bits bound the reachable range). The
+// solver seeds the domains with facts harvested from asserted
+// constraints (Assert(Eq(x, c)) pins x, Assert(Ult(x, c)) bounds it,
+// any asserted width-1 term is itself known true) and uses the results
+// to simplify terms before bit-blasting: fully-determined terms
+// collapse to constants, comparisons and muxes fold when the domains
+// decide them, and variable shifts whose amount is determined reduce to
+// wiring (extract/concat) instead of a barrel shifter.
+
+// Fact is the abstract value of a term: known bits plus an unsigned
+// interval. The zero Fact is invalid; use topFact/constFact.
+type Fact struct {
+	Known bv.BV // mask of known bit positions
+	Val   bv.BV // bit values on Known positions (zero elsewhere)
+	Lo    bv.BV // inclusive unsigned lower bound
+	Hi    bv.BV // inclusive unsigned upper bound
+}
+
+// topFact is the no-information element of the lattice.
+func topFact(w int) Fact {
+	return Fact{Known: bv.Zero(w), Val: bv.Zero(w), Lo: bv.Zero(w), Hi: bv.Ones(w)}
+}
+
+// constFact is the singleton element for value v.
+func constFact(v bv.BV) Fact {
+	return Fact{Known: bv.Ones(v.Width()), Val: v, Lo: v, Hi: v}
+}
+
+func boolFact(b bool) Fact { return constFact(bv.FromBool(b)) }
+
+// Width returns the bit width the fact describes.
+func (f Fact) Width() int { return f.Known.Width() }
+
+// IsConst reports whether the fact pins every bit.
+func (f Fact) IsConst() bool { return f.Known.IsOnes() }
+
+// Admits reports whether the concrete value v is allowed by the fact —
+// the soundness predicate the fuzzer checks.
+func (f Fact) Admits(v bv.BV) bool {
+	if !v.And(f.Known).Eq(f.Val) {
+		return false
+	}
+	return !v.Ult(f.Lo) && !f.Hi.Ult(v)
+}
+
+func umin(a, b bv.BV) bv.BV {
+	if b.Ult(a) {
+		return b
+	}
+	return a
+}
+
+func umax(a, b bv.BV) bv.BV {
+	if a.Ult(b) {
+		return b
+	}
+	return a
+}
+
+// normalize cross-tightens the two domains and repairs an empty
+// interval. An empty intersection can only arise when the asserted
+// constraints themselves are unsatisfiable (each domain alone is a
+// sound over-approximation); any abstract value is then vacuously
+// sound, so we collapse to a singleton to keep the invariant Lo ≤ Hi.
+func (f Fact) normalize() Fact {
+	w := f.Width()
+	f.Val = f.Val.And(f.Known)
+	// Interval from known bits: unknowns all-zero / all-one.
+	f.Lo = umax(f.Lo, f.Val)
+	f.Hi = umin(f.Hi, f.Val.Or(f.Known.Not()))
+	if f.Hi.Ult(f.Lo) {
+		f.Hi = f.Lo
+	}
+	// Known bits from the interval: the common high prefix of Lo and Hi
+	// is fixed (above the highest differing bit, every value in the
+	// range agrees with Lo).
+	diff := f.Lo.Xor(f.Hi)
+	if diff.IsZero() {
+		return Fact{Known: bv.Ones(w), Val: f.Lo, Lo: f.Lo, Hi: f.Hi}
+	}
+	h := highestBit(diff)
+	prefix := bv.Zero(w)
+	for i := h + 1; i < w; i++ {
+		prefix = prefix.WithBit(i, true)
+	}
+	f.Known = f.Known.Or(prefix)
+	f.Val = f.Val.Or(f.Lo.And(prefix))
+	return f
+}
+
+func highestBit(v bv.BV) int {
+	for i := v.Width() - 1; i >= 0; i-- {
+		if v.Bit(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// intersect combines two sound facts about the same term. On a bit
+// conflict (only possible when the constraints are unsatisfiable) the
+// receiver's value wins — see normalize for why that stays sound.
+func (f Fact) intersect(o Fact) Fact {
+	f.Val = f.Val.Or(o.Val.And(o.Known).And(f.Known.Not()))
+	f.Known = f.Known.Or(o.Known)
+	f.Lo = umax(f.Lo, o.Lo)
+	f.Hi = umin(f.Hi, o.Hi)
+	return f.normalize()
+}
+
+// addKnown runs the known-bits transfer of a ripple-carry addition
+// a + b + carryIn: sum bits stay known for the low-order run where both
+// operand bits and the carry are known.
+func addKnown(a, b Fact, carryIn bool) (known, val bv.BV) {
+	w := a.Width()
+	known, val = bv.Zero(w), bv.Zero(w)
+	carry := carryIn
+	for i := 0; i < w; i++ {
+		if !a.Known.Bit(i) || !b.Known.Bit(i) {
+			break
+		}
+		ab, bb := a.Val.Bit(i), b.Val.Bit(i)
+		s := ab != bb != carry
+		carry = (ab && bb) || (ab && carry) || (bb && carry)
+		known = known.WithBit(i, true)
+		val = val.WithBit(i, s)
+	}
+	return known, val
+}
+
+// Abs computes facts for terms on demand. Facts harvested from asserted
+// constraints are seeded with Learn; computed results are memoized.
+// Memoized entries may predate later Learn calls — that only loses
+// precision, never soundness, because learning shrinks the concretized
+// set of every fact.
+type Abs struct {
+	env  map[*Term]Fact
+	memo map[*Term]Fact
+}
+
+// NewAbs returns an empty analysis state.
+func NewAbs() *Abs {
+	return &Abs{env: map[*Term]Fact{}, memo: map[*Term]Fact{}}
+}
+
+// Learn records an externally-justified fact about t (from an asserted
+// constraint). It intersects with anything already known.
+func (a *Abs) Learn(t *Term, f Fact) {
+	if prev, ok := a.env[t]; ok {
+		f = prev.intersect(f)
+	} else {
+		f = f.normalize()
+	}
+	a.env[t] = f
+}
+
+// Fact returns a sound abstract value for t.
+func (a *Abs) Fact(t *Term) Fact {
+	if f, ok := a.memo[t]; ok {
+		if e, ok := a.env[t]; ok {
+			return f.intersect(e)
+		}
+		return f
+	}
+	f := a.transfer(t)
+	if e, ok := a.env[t]; ok {
+		f = f.intersect(e)
+	}
+	a.memo[t] = f
+	return f
+}
+
+func (a *Abs) transfer(t *Term) Fact {
+	w := t.Width
+	arg := func(i int) Fact { return a.Fact(t.Args[i]) }
+	switch t.Op {
+	case OpConst:
+		return constFact(t.Val)
+	case OpVar:
+		return topFact(w)
+	case OpNot:
+		x := arg(0)
+		return Fact{
+			Known: x.Known,
+			Val:   x.Val.Not().And(x.Known),
+			Lo:    x.Hi.Not(),
+			Hi:    x.Lo.Not(),
+		}.normalize()
+	case OpAnd:
+		x, y := arg(0), arg(1)
+		known := x.Known.And(y.Known).
+			Or(x.Known.And(x.Val.Not())).
+			Or(y.Known.And(y.Val.Not()))
+		f := topFact(w)
+		f.Known, f.Val = known, x.Val.And(y.Val)
+		f.Hi = umin(x.Hi, y.Hi)
+		return f.normalize()
+	case OpOr:
+		x, y := arg(0), arg(1)
+		known := x.Known.And(y.Known).
+			Or(x.Known.And(x.Val)).
+			Or(y.Known.And(y.Val))
+		f := topFact(w)
+		f.Known, f.Val = known, x.Val.Or(y.Val).And(known)
+		f.Lo = umax(x.Lo, y.Lo)
+		return f.normalize()
+	case OpXor:
+		x, y := arg(0), arg(1)
+		f := topFact(w)
+		f.Known = x.Known.And(y.Known)
+		f.Val = x.Val.Xor(y.Val).And(f.Known)
+		return f.normalize()
+	case OpNeg:
+		x := arg(0)
+		f := topFact(w)
+		if x.Lo.IsZero() && !x.Hi.IsZero() {
+			return f // range straddles the wrap at 0
+		}
+		f.Lo, f.Hi = x.Hi.Neg(), x.Lo.Neg()
+		return f.normalize()
+	case OpAdd:
+		x, y := arg(0), arg(1)
+		f := topFact(w)
+		f.Known, f.Val = addKnown(x, y, false)
+		if lo := x.Lo.Add(y.Lo); !lo.Ult(x.Lo) {
+			if hi := x.Hi.Add(y.Hi); !hi.Ult(x.Hi) {
+				f.Lo, f.Hi = lo, hi
+			}
+		}
+		return f.normalize()
+	case OpSub:
+		x, y := arg(0), arg(1)
+		f := topFact(w)
+		ny := Fact{Known: y.Known, Val: y.Val.Not().And(y.Known), Lo: bv.Zero(w), Hi: bv.Ones(w)}
+		f.Known, f.Val = addKnown(x, ny, true)
+		if !x.Lo.Ult(y.Hi) { // no borrow anywhere in the range
+			f.Lo, f.Hi = x.Lo.Sub(y.Hi), x.Hi.Sub(y.Lo)
+		}
+		return f.normalize()
+	case OpMul:
+		x, y := arg(0), arg(1)
+		f := topFact(w)
+		// Overflow-checked bounds via a double-width product.
+		hi := x.Hi.ZeroExt(2 * w).Mul(y.Hi.ZeroExt(2 * w))
+		if hi.Lshr(w).IsZero() {
+			f.Lo = x.Lo.Mul(y.Lo)
+			f.Hi = hi.Extract(w-1, 0)
+		}
+		return f.normalize()
+	case OpUdiv:
+		x, y := arg(0), arg(1)
+		f := topFact(w)
+		switch {
+		case y.Hi.IsZero(): // division by zero: all ones (SMT-LIB)
+			return constFact(bv.Ones(w))
+		case !y.Lo.IsZero():
+			f.Lo = x.Lo.Udiv(y.Hi)
+			f.Hi = x.Hi.Udiv(y.Lo)
+		default: // divisor may be zero: result may be all ones
+			f.Lo = x.Lo.Udiv(y.Hi)
+		}
+		return f.normalize()
+	case OpUrem:
+		x, y := arg(0), arg(1)
+		f := topFact(w)
+		if y.Hi.IsZero() { // remainder by zero: the dividend
+			return x
+		}
+		f.Hi = x.Hi
+		if !y.Lo.IsZero() {
+			f.Hi = umin(f.Hi, y.Hi.Sub(bv.One(w)))
+		}
+		return f.normalize()
+	case OpEq:
+		x, y := arg(0), arg(1)
+		if !x.Known.And(y.Known).And(x.Val.Xor(y.Val)).IsZero() {
+			return boolFact(false) // a known bit differs
+		}
+		if x.Hi.Ult(y.Lo) || y.Hi.Ult(x.Lo) {
+			return boolFact(false) // disjoint ranges
+		}
+		if x.IsConst() && y.IsConst() && x.Val.Eq(y.Val) {
+			return boolFact(true)
+		}
+		return topFact(1)
+	case OpUlt:
+		x, y := arg(0), arg(1)
+		if x.Hi.Ult(y.Lo) {
+			return boolFact(true)
+		}
+		if !x.Lo.Ult(y.Hi) { // y.Hi ≤ x.Lo, so x ≥ y everywhere
+			return boolFact(false)
+		}
+		return topFact(1)
+	case OpSlt:
+		x, y := arg(0), arg(1)
+		sw := t.Args[0].Width
+		if x.Known.Bit(sw-1) && y.Known.Bit(sw-1) {
+			sx, sy := x.Val.Bit(sw-1), y.Val.Bit(sw-1)
+			if sx != sy {
+				return boolFact(sx) // negative < non-negative
+			}
+		}
+		return topFact(1)
+	case OpShl, OpLshr, OpAshr:
+		x, y := arg(0), arg(1)
+		f := topFact(w)
+		if t.Op == OpLshr {
+			f.Hi = x.Hi
+		}
+		if !y.IsConst() {
+			return f.normalize()
+		}
+		amt := y.Val
+		switch t.Op {
+		case OpShl:
+			f.Known = x.Known.ShlBV(amt).Or(lowKnown(w, amt))
+			f.Val = x.Val.ShlBV(amt)
+		case OpLshr:
+			f.Known = x.Known.LshrBV(amt).Or(highKnown(w, amt))
+			f.Val = x.Val.LshrBV(amt)
+			if n, ok := shiftAmount(amt, w); ok {
+				f.Lo, f.Hi = x.Lo.Lshr(n), x.Hi.Lshr(n)
+			}
+		case OpAshr:
+			// Ashr on the mask replicates the sign bit's known-ness,
+			// Ashr on the value replicates its (then known) value.
+			f.Known = x.Known.AshrBV(amt)
+			f.Val = x.Val.AshrBV(amt).And(f.Known)
+		}
+		return f.normalize()
+	case OpConcat:
+		x, y := arg(0), arg(1)
+		return Fact{
+			Known: x.Known.Concat(y.Known),
+			Val:   x.Val.Concat(y.Val),
+			Lo:    x.Lo.Concat(y.Lo),
+			Hi:    x.Hi.Concat(y.Hi),
+		}.normalize()
+	case OpExtract:
+		x := arg(0)
+		f := topFact(w)
+		f.Known = x.Known.Extract(t.Hi, t.Lo)
+		f.Val = x.Val.Extract(t.Hi, t.Lo)
+		if t.Lo == 0 && x.Hi.Lshr(t.Hi+1).IsZero() {
+			// The whole range fits in the kept bits: truncation is the
+			// identity on it, so the interval carries over.
+			f.Lo, f.Hi = x.Lo.Extract(t.Hi, 0), x.Hi.Extract(t.Hi, 0)
+		}
+		return f.normalize()
+	case OpZeroExt:
+		x := arg(0)
+		ow := t.Args[0].Width
+		ext := bv.Ones(w).Shl(ow) // high bits known zero
+		return Fact{
+			Known: x.Known.ZeroExt(w).Or(ext),
+			Val:   x.Val.ZeroExt(w),
+			Lo:    x.Lo.ZeroExt(w),
+			Hi:    x.Hi.ZeroExt(w),
+		}.normalize()
+	case OpSignExt:
+		x := arg(0)
+		f := topFact(w)
+		// SignExt replicates the top bit: on the mask that propagates
+		// whether the sign is known, on the value its replicated value.
+		f.Known = x.Known.SignExt(w)
+		f.Val = x.Val.SignExt(w).And(f.Known)
+		return f.normalize()
+	case OpIte:
+		c := arg(0)
+		if c.IsConst() {
+			if !c.Val.IsZero() {
+				return arg(1)
+			}
+			return arg(2)
+		}
+		x, y := arg(1), arg(2)
+		known := x.Known.And(y.Known).And(x.Val.Xor(y.Val).Not())
+		return Fact{
+			Known: known,
+			Val:   x.Val.And(known),
+			Lo:    umin(x.Lo, y.Lo),
+			Hi:    umax(x.Hi, y.Hi),
+		}.normalize()
+	case OpRedOr:
+		x := arg(0)
+		if !x.Lo.IsZero() || !x.Val.IsZero() {
+			return boolFact(true) // some bit known one, or range excludes 0
+		}
+		if x.IsConst() {
+			return boolFact(false)
+		}
+		return topFact(1)
+	case OpRedAnd:
+		x := arg(0)
+		if !x.Known.And(x.Val.Not()).IsZero() {
+			return boolFact(false) // some bit known zero
+		}
+		if x.IsConst() {
+			return boolFact(true)
+		}
+		return topFact(1)
+	case OpRedXor:
+		x := arg(0)
+		if x.IsConst() {
+			return constFact(x.Val.ReduceXor())
+		}
+		return topFact(1)
+	}
+	return topFact(w)
+}
+
+// shiftAmount converts a constant shift amount to an int, reporting
+// whether it is within [0, limit].
+func shiftAmount(amt bv.BV, limit int) (int, bool) {
+	for i := 64; i < amt.Width(); i++ {
+		if amt.Bit(i) {
+			return 0, false
+		}
+	}
+	n := amt.Uint64()
+	if n > uint64(limit) {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// LearnAsserted harvests facts from a width-1 term that is known to be
+// true (asserted as a hard constraint). It recurses through
+// conjunctions and recognizes the constraint shapes the synthesizer
+// emits: Eq(x, const), Eq(And(x, mask), const), Ult bounds and their
+// negations, and — for any other width-1 term — the term itself being
+// true.
+func (a *Abs) LearnAsserted(t *Term) {
+	switch {
+	case t.Op == OpAnd && t.Width == 1:
+		a.LearnAsserted(t.Args[0])
+		a.LearnAsserted(t.Args[1])
+		return
+	case t.Op == OpEq:
+		x, y := t.Args[0], t.Args[1]
+		if x.IsConst() {
+			x, y = y, x
+		}
+		if y.IsConst() {
+			// Eq(And(x, mask), c) pins the mask's bits of x.
+			if x.Op == OpAnd && x.Args[1].IsConst() {
+				mask := x.Args[1].Val
+				a.Learn(x.Args[0], Fact{
+					Known: mask,
+					Val:   y.Val.And(mask),
+					Lo:    bv.Zero(x.Width),
+					Hi:    bv.Ones(x.Width),
+				})
+			}
+			a.Learn(x, constFact(y.Val))
+		}
+	case t.Op == OpUlt:
+		x, y := t.Args[0], t.Args[1]
+		if y.IsConst() && !y.Val.IsZero() {
+			f := topFact(x.Width)
+			f.Hi = y.Val.Sub(bv.One(x.Width))
+			a.Learn(x, f)
+		}
+		if x.IsConst() {
+			f := topFact(y.Width)
+			if !x.Val.IsOnes() {
+				f.Lo = x.Val.Add(bv.One(y.Width))
+				a.Learn(y, f)
+			}
+		}
+	case t.Op == OpNot:
+		inner := t.Args[0]
+		// Not(Ult(x, y)) asserted means y ≤ x.
+		if inner.Op == OpUlt {
+			x, y := inner.Args[0], inner.Args[1]
+			if x.IsConst() {
+				f := topFact(y.Width)
+				f.Hi = x.Val
+				a.Learn(y, f)
+			}
+			if y.IsConst() {
+				f := topFact(x.Width)
+				f.Lo = y.Val
+				a.Learn(x, f)
+			}
+		}
+		a.Learn(inner, boolFact(false))
+		return
+	}
+	if t.Width == 1 && !t.IsConst() {
+		a.Learn(t, boolFact(true))
+	}
+}
+
+// Simplify rewrites t under the analysis state: fully-determined terms
+// collapse to constants, muxes with a decided condition drop the dead
+// branch, and shifts by a determined amount reduce to wiring. The
+// result is equivalent to t in every model of the constraints the
+// state was seeded from. Results are memoized; like Fact memoization
+// this can lag behind later Learn calls, which is sound (see Abs).
+func (c *Context) Simplify(t *Term, a *Abs, memo map[*Term]*Term) *Term {
+	if r, ok := memo[t]; ok {
+		return r
+	}
+	r := c.simplify1(t, a, memo)
+	if r != t && r.Width != t.Width {
+		panic("smt: simplify changed term width")
+	}
+	memo[t] = r
+	return r
+}
+
+func (c *Context) simplify1(t *Term, a *Abs, memo map[*Term]*Term) *Term {
+	if t.Op == OpConst || t.Op == OpVar {
+		if f := a.Fact(t); f.IsConst() && t.Op != OpConst {
+			return c.Const(f.Val)
+		}
+		return t
+	}
+	// Decided mux conditions prune the dead branch before it is visited.
+	if t.Op == OpIte {
+		if cf := a.Fact(t.Args[0]); cf.IsConst() {
+			if !cf.Val.IsZero() {
+				return c.Simplify(t.Args[1], a, memo)
+			}
+			return c.Simplify(t.Args[2], a, memo)
+		}
+	}
+	args := make([]*Term, len(t.Args))
+	for i, x := range t.Args {
+		args[i] = c.Simplify(x, a, memo)
+	}
+	var r *Term
+	if t.Op == OpExtract {
+		r = c.Extract(args[0], t.Hi, t.Lo)
+	} else {
+		r = c.rebuild(t.Op, t.Width, args)
+	}
+	if r.IsConst() {
+		return r
+	}
+	// Facts are keyed on the original node; its rebuilt form satisfies
+	// the same constraints in every model.
+	f := a.Fact(t)
+	if f.IsConst() {
+		return c.Const(f.Val)
+	}
+	// Shift strength reduction: a determined shift amount turns a
+	// barrel shifter into wiring.
+	if r.Op == OpShl || r.Op == OpLshr || r.Op == OpAshr {
+		if af := a.Fact(r.Args[1]); af.IsConst() {
+			if red := c.reduceShift(r, af.Val); red != nil {
+				return red
+			}
+		}
+	}
+	return r
+}
+
+// reduceShift rewrites a shift by the constant amount amt as
+// extract/concat wiring. Returns nil when no reduction applies.
+func (c *Context) reduceShift(t *Term, amt bv.BV) *Term {
+	w := t.Width
+	x := t.Args[0]
+	k, ok := shiftAmount(amt, w)
+	if !ok {
+		k = w // saturate: shifts ≥ width have a fixed result
+	}
+	switch {
+	case k == 0:
+		return x
+	case k >= w:
+		switch t.Op {
+		case OpAshr:
+			return c.SignExt(c.Extract(x, w-1, w-1), w)
+		default:
+			return c.Const(bv.Zero(w))
+		}
+	}
+	switch t.Op {
+	case OpShl:
+		return c.Concat(c.Extract(x, w-1-k, 0), c.Const(bv.Zero(k)))
+	case OpLshr:
+		return c.ZeroExt(c.Extract(x, w-1, k), w)
+	case OpAshr:
+		return c.SignExt(c.Extract(x, w-1, k), w)
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package smt
 import (
 	"fmt"
 	"sync/atomic"
+	"testing"
 	"time"
 
 	"rtlrepair/internal/bv"
@@ -22,6 +23,42 @@ type Solver struct {
 	t, f  sat.Lit
 
 	model map[*Term]bv.BV // var snapshot after a Sat answer
+
+	// Abstract-interpretation state: facts harvested from hard asserts
+	// and a persistent original→simplified memo. nil when simplification
+	// is disabled (see DisableSimplify).
+	abs      *Abs
+	simpMemo map[*Term]*Term
+
+	// Self-certification state. asserted holds every (simplified) term
+	// handed to the bit-blaster, so a Sat model can be re-checked by the
+	// reference interpreter; lastAssump* hold the most recent Check call's
+	// assumptions for the same purpose, and — as literals — the target
+	// clause of an assumption-relative Unsat certificate.
+	asserted        []*Term
+	lastAssumpTerms []*Term
+	lastAssumpLits  []sat.Lit
+	validate        bool
+	checker         *sat.Checker
+	certStats       CertifyStats
+}
+
+// CertifyStats accumulates certification work performed by a solver.
+type CertifyStats struct {
+	ModelsValidated int           // Sat models re-evaluated by the interpreter
+	UnsatsCertified int           // Unsat verdicts passed through the DRUP checker
+	LearnedChecked  int           // learned clauses RUP-verified so far
+	ProofSteps      int           // proof log length so far
+	CheckTime       time.Duration // time spent validating + checking
+}
+
+// Add merges another solver's certification stats into st.
+func (st *CertifyStats) Add(o CertifyStats) {
+	st.ModelsValidated += o.ModelsValidated
+	st.UnsatsCertified += o.UnsatsCertified
+	st.LearnedChecked += o.LearnedChecked
+	st.ProofSteps += o.ProofSteps
+	st.CheckTime += o.CheckTime
 }
 
 type gateKey struct {
@@ -29,19 +66,60 @@ type gateKey struct {
 	a, b sat.Lit
 }
 
-// NewSolver returns a solver for terms of the given context.
+// NewSolver returns a solver for terms of the given context. Model
+// validation (re-evaluating all asserted terms after every Sat answer)
+// is always on under `go test`; use EnableCertification to also get
+// DRUP-checked Unsat verdicts.
 func NewSolver(ctx *Context) *Solver {
 	s := &Solver{
-		ctx:   ctx,
-		sat:   sat.New(),
-		bits:  map[*Term][]sat.Lit{},
-		gates: map[gateKey]sat.Lit{},
+		ctx:      ctx,
+		sat:      sat.New(),
+		bits:     map[*Term][]sat.Lit{},
+		gates:    map[gateKey]sat.Lit{},
+		abs:      NewAbs(),
+		simpMemo: map[*Term]*Term{},
+		validate: testing.Testing(),
 	}
 	v := s.sat.NewVar()
 	s.t = sat.PosLit(v)
 	s.f = s.t.Not()
 	s.sat.AddClause(s.t)
 	return s
+}
+
+// DisableSimplify turns off the abstract-interpretation pre-blast
+// simplifier for this solver (used for A/B measurement of its CNF
+// impact). It should be called before the first Assert.
+func (s *Solver) DisableSimplify() {
+	s.abs = nil
+	s.simpMemo = nil
+}
+
+// EnableCertification switches the solver into self-certifying mode:
+// the SAT core logs a DRUP proof, every Unsat verdict is re-checked by
+// the independent forward RUP checker, and every Sat model is
+// re-evaluated by the reference interpreter. Call it right after
+// NewSolver, before any Assert, so the proof log covers the whole
+// clause database.
+func (s *Solver) EnableCertification() {
+	if s.checker != nil {
+		return
+	}
+	s.checker = sat.NewChecker(s.sat.StartProof())
+	s.validate = true
+}
+
+// Certifying reports whether EnableCertification has been called.
+func (s *Solver) Certifying() bool { return s.checker != nil }
+
+// CertifyStats returns the accumulated certification statistics.
+func (s *Solver) CertifyStats() CertifyStats {
+	st := s.certStats
+	if s.checker != nil {
+		st.LearnedChecked = s.checker.Checked()
+		st.ProofSteps = len(s.sat.Proof().Steps)
+	}
+	return st
 }
 
 // SetDeadline sets a wall-clock deadline for subsequent Check calls.
@@ -417,32 +495,116 @@ func (s *Solver) shiftBits(t *Term) []sat.Lit {
 	return cur
 }
 
-// Assert adds a width-1 term as a hard constraint.
+// prepare runs the abstract-interpretation simplifier over a term
+// (identity when simplification is disabled).
+func (s *Solver) prepare(t *Term) *Term {
+	if s.abs == nil {
+		return t
+	}
+	return s.ctx.Simplify(t, s.abs, s.simpMemo)
+}
+
+// Assert adds a width-1 term as a hard constraint. The term is first
+// simplified under the facts harvested from earlier asserts; the
+// simplified form is what gets blasted, recorded for model validation,
+// and mined for new facts. Facts are learned only after the clause is
+// in the SAT core, so a pinning assert like x = c still pins x's bits
+// (later occurrences of x then fold to c).
 func (s *Solver) Assert(t *Term) {
 	if t.Width != 1 {
 		panic("smt: assert of non-boolean term")
 	}
+	t = s.prepare(t)
+	if t.Op == OpConst && !t.Val.IsZero() {
+		return // simplified to true: redundant under earlier asserts
+	}
 	s.sat.AddClause(s.blast(t)[0])
+	s.asserted = append(s.asserted, t)
+	if s.abs != nil && t.Op != OpConst {
+		s.abs.LearnAsserted(t)
+	}
 }
 
 // Check decides the asserted constraints together with the given width-1
 // assumptions. On Sat, the model is snapshotted and can be read with
-// Value until the next Check.
+// Value until the next Check. In validating/certifying mode a Sat model
+// is re-evaluated by the reference interpreter and an Unsat verdict is
+// re-checked against the DRUP proof; a failure of either check is a
+// solver soundness bug and panics.
 func (s *Solver) Check(assumptions ...*Term) (sat.Status, error) {
-	lits := make([]sat.Lit, len(assumptions))
-	for i, a := range assumptions {
+	lits := make([]sat.Lit, 0, len(assumptions))
+	terms := make([]*Term, 0, len(assumptions))
+	for _, a := range assumptions {
 		if a.Width != 1 {
 			panic("smt: assumption of non-boolean term")
 		}
-		lits[i] = s.blast(a)[0]
+		a = s.prepare(a)
+		terms = append(terms, a)
+		lits = append(lits, s.blast(a)[0])
 	}
+	s.lastAssumpTerms, s.lastAssumpLits = terms, lits
 	st, err := s.sat.Solve(lits...)
 	if st == sat.Sat {
 		s.snapshotModel()
+		if s.validate {
+			start := time.Now()
+			if verr := s.ValidateModel(); verr != nil {
+				panic(fmt.Sprintf("smt: unsound Sat verdict: %v", verr))
+			}
+			s.certStats.ModelsValidated++
+			s.certStats.CheckTime += time.Since(start)
+		}
 	} else {
 		s.model = nil
+		if st == sat.Unsat && s.checker != nil {
+			start := time.Now()
+			if cerr := s.CertifyLastUnsat(); cerr != nil {
+				panic(fmt.Sprintf("smt: unsound Unsat verdict: %v", cerr))
+			}
+			s.certStats.UnsatsCertified++
+			s.certStats.CheckTime += time.Since(start)
+		}
 	}
 	return st, err
+}
+
+// ValidateModel re-evaluates every asserted term and the last Check
+// call's assumptions under the current model using the reference
+// interpreter, returning an error on the first term that does not
+// evaluate to true. It must be called while a Sat model is held.
+func (s *Solver) ValidateModel() error {
+	if s.model == nil {
+		return fmt.Errorf("no model to validate")
+	}
+	ev := NewEvaluator(func(v *Term) bv.BV {
+		if val, ok := s.model[v]; ok {
+			return val
+		}
+		return bv.Zero(v.Width)
+	})
+	for _, t := range s.asserted {
+		if ev.Eval(t).IsZero() {
+			return fmt.Errorf("asserted term %s is false under the model", t)
+		}
+	}
+	for _, t := range s.lastAssumpTerms {
+		if ev.Eval(t).IsZero() {
+			return fmt.Errorf("assumption %s is false under the model", t)
+		}
+	}
+	return nil
+}
+
+// CertifyLastUnsat verifies the DRUP certificate for the most recent
+// Unsat answer: it replays any new proof steps through the forward RUP
+// checker and then checks the clause over the negated assumptions of
+// the last Check call (the empty clause when there were none).
+// EnableCertification must have been called before the first Assert.
+func (s *Solver) CertifyLastUnsat() error {
+	if s.checker == nil {
+		return fmt.Errorf("certification not enabled")
+	}
+	return s.checker.CheckUnsat(s.lastAssumpLits)
 }
 
 func (s *Solver) snapshotModel() {
@@ -484,3 +646,6 @@ func (s *Solver) NumSATVars() int { return s.sat.NumVars() }
 
 // Stats returns the underlying SAT search statistics.
 func (s *Solver) Stats() (conflicts, decisions, propagations int64) { return s.sat.Stats() }
+
+// SATStats returns the full underlying SAT solver statistics.
+func (s *Solver) SATStats() sat.Statistics { return s.sat.Statistics() }

@@ -685,80 +685,7 @@ func (c *Context) rebuild(op Op, width int, args []*Term) *Term {
 // variables. Eval panics if env returns a wrong-width value or is nil
 // when a variable is reached.
 func Eval(t *Term, env func(*Term) bv.BV) bv.BV {
-	memo := map[*Term]bv.BV{}
-	var rec func(*Term) bv.BV
-	rec = func(t *Term) bv.BV {
-		if v, ok := memo[t]; ok {
-			return v
-		}
-		var v bv.BV
-		switch t.Op {
-		case OpConst:
-			v = t.Val
-		case OpVar:
-			v = env(t)
-			if v.Width() != t.Width {
-				panic(fmt.Sprintf("smt: env value width %d for %q (want %d)", v.Width(), t.Name, t.Width))
-			}
-		case OpNot:
-			v = rec(t.Args[0]).Not()
-		case OpAnd:
-			v = rec(t.Args[0]).And(rec(t.Args[1]))
-		case OpOr:
-			v = rec(t.Args[0]).Or(rec(t.Args[1]))
-		case OpXor:
-			v = rec(t.Args[0]).Xor(rec(t.Args[1]))
-		case OpNeg:
-			v = rec(t.Args[0]).Neg()
-		case OpAdd:
-			v = rec(t.Args[0]).Add(rec(t.Args[1]))
-		case OpSub:
-			v = rec(t.Args[0]).Sub(rec(t.Args[1]))
-		case OpMul:
-			v = rec(t.Args[0]).Mul(rec(t.Args[1]))
-		case OpUdiv:
-			v = rec(t.Args[0]).Udiv(rec(t.Args[1]))
-		case OpUrem:
-			v = rec(t.Args[0]).Urem(rec(t.Args[1]))
-		case OpEq:
-			v = bv.FromBool(rec(t.Args[0]).Eq(rec(t.Args[1])))
-		case OpUlt:
-			v = bv.FromBool(rec(t.Args[0]).Ult(rec(t.Args[1])))
-		case OpSlt:
-			v = bv.FromBool(rec(t.Args[0]).Slt(rec(t.Args[1])))
-		case OpShl:
-			v = rec(t.Args[0]).ShlBV(rec(t.Args[1]))
-		case OpLshr:
-			v = rec(t.Args[0]).LshrBV(rec(t.Args[1]))
-		case OpAshr:
-			v = rec(t.Args[0]).AshrBV(rec(t.Args[1]))
-		case OpConcat:
-			v = rec(t.Args[0]).Concat(rec(t.Args[1]))
-		case OpExtract:
-			v = rec(t.Args[0]).Extract(t.Hi, t.Lo)
-		case OpZeroExt:
-			v = rec(t.Args[0]).ZeroExt(t.Width)
-		case OpSignExt:
-			v = rec(t.Args[0]).SignExt(t.Width)
-		case OpIte:
-			if !rec(t.Args[0]).IsZero() {
-				v = rec(t.Args[1])
-			} else {
-				v = rec(t.Args[2])
-			}
-		case OpRedOr:
-			v = rec(t.Args[0]).ReduceOr()
-		case OpRedAnd:
-			v = rec(t.Args[0]).ReduceAnd()
-		case OpRedXor:
-			v = rec(t.Args[0]).ReduceXor()
-		default:
-			panic(fmt.Sprintf("smt: eval of %v", t.Op))
-		}
-		memo[t] = v
-		return v
-	}
-	return rec(t)
+	return NewEvaluator(env).Eval(t)
 }
 
 // CollectVars returns the distinct variables of t in a deterministic
