@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,7 +24,10 @@ import (
 
 	"rtlrepair/internal/bench"
 	"rtlrepair/internal/core"
+	"rtlrepair/internal/obs"
 	"rtlrepair/internal/sim"
+	"rtlrepair/internal/trace"
+	"rtlrepair/internal/verilog"
 )
 
 type designReport struct {
@@ -51,6 +55,11 @@ type designReport struct {
 	CNFClauseReduction float64 `json:"cnf_clause_reduction_pct"`
 	SATConflicts       int64   `json:"sat_conflicts"`
 	SATPropagations    int64   `json:"sat_propagations"`
+	// PhaseMS is the median total time per observability phase (span
+	// name) across `reps` traced sequential runs, in milliseconds. The
+	// traced runs are separate from the timing runs, so the reported
+	// wall-clock numbers stay free of tracing overhead.
+	PhaseMS map[string]float64 `json:"phase_ms"`
 }
 
 type report struct {
@@ -73,7 +82,13 @@ func main() {
 		reps    = flag.Int("reps", 3, "repetitions per configuration (median reported)")
 		out     = flag.String("out", "BENCH_repair.json", "output JSON path")
 	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := ocli.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrepair:", err)
+		os.Exit(1)
+	}
 
 	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: *workers, Reps: *reps}
 	if rep.GOMAXPROCS < *workers {
@@ -90,7 +105,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchrepair: unknown design %s\n", name)
 			os.Exit(1)
 		}
-		dr := measure(bm, *workers, *reps)
+		dr := measure(bm, *workers, *reps, ocli.Scope())
 		rep.Designs = append(rep.Designs, dr)
 		rep.TotalSeqMS += dr.SeqMS
 		rep.TotalParMS += dr.ParMS
@@ -108,6 +123,10 @@ func main() {
 		rep.TotalModeledSpeedup = rep.TotalSeqMS / modeledTotal
 	}
 
+	if err := ocli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrepair:", err)
+		os.Exit(1)
+	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrepair:", err)
@@ -121,7 +140,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 }
 
-func measure(bm *bench.Benchmark, workers, reps int) designReport {
+func measure(bm *bench.Benchmark, workers, reps int, sc obs.Scope) designReport {
 	tr, err := bm.Trace()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchrepair: %s: %v\n", bm.Name, err)
@@ -140,6 +159,9 @@ func measure(bm *bench.Benchmark, workers, reps int) designReport {
 		Lib:     lib,
 	}
 
+	// The timing runs honor an explicitly requested -trace-out/-metrics-out
+	// scope; with the flags unset sc is zero and tracing stays disabled, so
+	// the default timings are overhead-free.
 	run := func(w int) (float64, *core.Result) {
 		o := opts
 		o.Workers = w
@@ -147,7 +169,7 @@ func measure(bm *bench.Benchmark, workers, reps int) designReport {
 		var last *core.Result
 		for i := 0; i < reps; i++ {
 			start := time.Now()
-			last = core.Repair(m, tr, o)
+			last = core.RepairCtx(obs.NewContext(context.Background(), sc), m, tr, o)
 			times = append(times, float64(time.Since(start).Microseconds())/1000)
 		}
 		sort.Float64s(times)
@@ -163,6 +185,7 @@ func measure(bm *bench.Benchmark, workers, reps int) designReport {
 		SeqMS:   seqMS,
 		ParMS:   parMS,
 		Workers: workers,
+		PhaseMS: phaseMedians(m, tr, opts, reps),
 	}
 	for _, at := range seqRes.PerTemplate {
 		dr.AttemptMS = append(dr.AttemptMS, float64(at.Duration.Microseconds())/1000)
@@ -187,6 +210,29 @@ func measure(bm *bench.Benchmark, workers, reps int) designReport {
 		dr.CNFClauseReduction = 100 * (1 - float64(dr.CNFClauses)/float64(dr.CNFClausesNoAbsint))
 	}
 	return dr
+}
+
+// phaseMedians runs `reps` traced sequential repairs and reports the
+// median total time of each observability phase (per span name). These
+// runs are separate from the timing runs so that tracing overhead never
+// pollutes the reported wall-clock medians.
+func phaseMedians(m *verilog.Module, tr *trace.Trace, opts core.Options, reps int) map[string]float64 {
+	opts.Workers = 1
+	samples := map[string][]float64{}
+	for i := 0; i < reps; i++ {
+		t := obs.New()
+		ctx := obs.NewContext(context.Background(), obs.Scope{Tracer: t})
+		core.RepairCtx(ctx, m, tr, opts)
+		for name, ps := range t.PhaseTotals() {
+			samples[name] = append(samples[name], float64(ps.Total.Microseconds())/1000)
+		}
+	}
+	out := map[string]float64{}
+	for name, times := range samples {
+		sort.Float64s(times)
+		out[name] = times[len(times)/2]
+	}
+	return out
 }
 
 // aggregateSAT sums the CNF size and search counters over every template

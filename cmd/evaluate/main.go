@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"rtlrepair/internal/eval"
+	"rtlrepair/internal/obs"
 )
 
 func main() {
@@ -34,7 +35,19 @@ func main() {
 		workers    = flag.Int("workers", 0, "portfolio workers per repair (0 = one per CPU, 1 = sequential)")
 		certify    = flag.Bool("certify", false, "self-certify every solver verdict (DRUP-checked Unsat, validated Sat models)")
 	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := ocli.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := ocli.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+	}()
 
 	opts := eval.DefaultOptions()
 	opts.RTLTimeout = *rtlTimeout
@@ -43,6 +56,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Workers = *workers
 	opts.Certify = *certify
+	opts.Obs = ocli.Scope()
 
 	if *diffs {
 		fmt.Print(eval.QualitativeDiffs([]string{

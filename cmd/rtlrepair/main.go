@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 
 	"rtlrepair/internal/core"
 	"rtlrepair/internal/eval"
+	"rtlrepair/internal/obs"
 	"rtlrepair/internal/sim"
 	"rtlrepair/internal/trace"
 	"rtlrepair/internal/verilog"
@@ -34,11 +36,14 @@ func main() {
 		noAbsint   = flag.Bool("no-absint", false, "disable the abstract-interpretation term simplifier")
 		verbose    = flag.Bool("v", false, "print per-template progress")
 	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *designPath == "" || *tracePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	check(ocli.Start())
 
 	src, err := os.ReadFile(*designPath)
 	check(err)
@@ -60,7 +65,7 @@ func main() {
 	if *zeroInit {
 		policy = sim.Zero
 	}
-	res := core.Repair(top, tr, core.Options{
+	res := core.RepairCtx(obs.NewContext(context.Background(), ocli.Scope()), top, tr, core.Options{
 		Policy:   policy,
 		Seed:     *seed,
 		Timeout:  *timeout,
@@ -70,6 +75,7 @@ func main() {
 		Certify:  *certify,
 		NoAbsint: *noAbsint,
 	})
+	check(ocli.Finish())
 
 	fmt.Fprintf(os.Stderr, "status:   %s (%.2fs)\n", res.Status, res.Duration.Seconds())
 	if *verbose {
@@ -97,6 +103,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "    certify: %d models validated, %d unsat proofs checked (%d steps, %d learned clauses RUP-verified) in %s\n",
 					ct.ModelsValidated, ct.UnsatsCertified, ct.ProofSteps, ct.LearnedChecked, ct.CheckTime.Round(time.Millisecond))
 			}
+		}
+		// The aggregates live on the Result (and the metrics registry)
+		// whether or not -v is set; -v only controls printing them.
+		st := res.SAT
+		if st.Conflicts+st.Decisions+st.Propagations > 0 {
+			fmt.Fprintf(os.Stderr, "  total sat: %d conflicts %d decisions %d propagations %d restarts %d learned\n",
+				st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learned)
+		}
+		if ct := res.Certify; ct.ModelsValidated+ct.UnsatsCertified > 0 {
+			fmt.Fprintf(os.Stderr, "  total certify: %d models validated, %d unsat proofs checked in %s\n",
+				ct.ModelsValidated, ct.UnsatsCertified, ct.CheckTime.Round(time.Millisecond))
+		}
+		if ocli.Tracer != nil {
+			fmt.Fprintln(os.Stderr, "  --- phase summary ---")
+			ocli.Tracer.WriteSummary(os.Stderr)
 		}
 	}
 	switch res.Status {

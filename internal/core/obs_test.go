@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"rtlrepair/internal/obs"
+)
+
+// TestPortfolioTracingRace runs a 4-worker portfolio repair with tracing
+// and metrics fully enabled. Its job is to put concurrent span starts,
+// attribute writes and registry updates from the worker goroutines in
+// front of the race detector (the CI race job matches TestPortfolio*),
+// and to check the resulting trace still validates and the registry saw
+// the portfolio counters.
+func TestPortfolioTracingRace(t *testing.T) {
+	ins, outs := counterIO()
+	tr := recordGolden(t, goodCounter, ins, outs, counterRows())
+	tracer := obs.New()
+	reg := obs.NewRegistry()
+	ctx := obs.NewContext(context.Background(), obs.Scope{Tracer: tracer, Metrics: reg})
+
+	opts := repairOpts()
+	opts.Workers = 4
+	res := RepairCtx(ctx, mustParse(t, buggyCounter), tr, opts)
+	if res.Status != StatusRepaired {
+		t.Fatalf("status = %v (reason %s)", res.Status, res.Reason)
+	}
+	if res.SAT.Propagations == 0 {
+		t.Fatal("Result.SAT not aggregated")
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateJSONL(buf.Bytes()); err != nil {
+		t.Fatalf("trace from 4-worker run does not validate: %v\n%s", err, buf.String())
+	}
+	if got := reg.Counter("portfolio.attempts"); got == 0 {
+		t.Fatal("portfolio.attempts counter not recorded")
+	}
+	if got := reg.Counter("repair.runs"); got != 1 {
+		t.Fatalf("repair.runs = %d, want 1", got)
+	}
+	if reg.Counter("smt.checks") == 0 {
+		t.Fatal("smt.checks counter not recorded")
+	}
+}
+
+// TestRepairResultAggregatesAlways checks satellite invariant: the SAT
+// and certification aggregates land on the Result with observability
+// fully disabled (plain core.Repair, zero scope), so a -metrics-out or
+// -v consumer never depends on the other being enabled.
+func TestRepairResultAggregatesAlways(t *testing.T) {
+	ins, outs := counterIO()
+	tr := recordGolden(t, goodCounter, ins, outs, counterRows())
+	opts := repairOpts()
+	opts.Workers = 1
+	opts.Certify = true
+	res := Repair(mustParse(t, buggyCounter), tr, opts)
+	if res.Status != StatusRepaired {
+		t.Fatalf("status = %v (reason %s)", res.Status, res.Reason)
+	}
+	if res.SAT.Propagations == 0 || res.SAT.Clauses == 0 {
+		t.Fatalf("Result.SAT empty: %+v", res.SAT)
+	}
+	if res.Certify.ModelsValidated == 0 && res.Certify.UnsatsCertified == 0 {
+		t.Fatalf("Result.Certify empty: %+v", res.Certify)
+	}
+}

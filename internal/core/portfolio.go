@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"rtlrepair/internal/analysis"
 	"rtlrepair/internal/bv"
+	"rtlrepair/internal/obs"
 	"rtlrepair/internal/sim"
 	"rtlrepair/internal/smt"
 	"rtlrepair/internal/synth"
@@ -58,6 +60,7 @@ type portfolio struct {
 	deadline time.Time
 	opts     Options
 	attempts []*attempt
+	obs      obs.Scope // the "portfolio" span's scope
 }
 
 // workerCount resolves the Workers knob: 0 picks one worker per
@@ -74,7 +77,8 @@ func (o *Options) workerCount() int {
 // res already carries the preprocessing/localization results.
 func runPortfolio(res *Result, fixed *verilog.Module, ctx *smt.Context,
 	ctr *trace.Trace, init map[string]bv.XBV, baseRun *sim.RunResult,
-	deadline time.Time, opts Options, passes []*analysis.Localization, workers int) {
+	deadline time.Time, opts Options, passes []*analysis.Localization, workers int,
+	sc obs.Scope) {
 
 	p := &portfolio{
 		fixed:    fixed,
@@ -93,6 +97,12 @@ func runPortfolio(res *Result, fixed *verilog.Module, ctx *smt.Context,
 	if workers > len(p.attempts) {
 		workers = len(p.attempts)
 	}
+	p.obs = sc.Start("portfolio")
+	if sp := p.obs.Span; sp != nil {
+		sp.SetInt("workers", int64(workers))
+		sp.SetInt("attempts", int64(len(p.attempts)))
+	}
+	defer p.obs.End()
 
 	if workers <= 1 {
 		// Sequential engine: attempts run in declaration order on this
@@ -125,6 +135,8 @@ func runPortfolio(res *Result, fixed *verilog.Module, ctx *smt.Context,
 
 	for _, at := range p.attempts {
 		res.PerTemplate = append(res.PerTemplate, at.tres)
+		res.SAT.Add(at.tres.Stats.SAT)
+		res.Certify.Add(at.tres.Stats.Certify)
 	}
 
 	// Deterministic selection, mirroring the sequential engine: within a
@@ -175,7 +187,26 @@ func runPortfolio(res *Result, fixed *verilog.Module, ctx *smt.Context,
 func (p *portfolio) runAttempt(at *attempt, worker int) {
 	at.tres = TemplateResult{Template: at.tmpl.Name(), Localized: at.loc != nil, Worker: worker}
 	start := time.Now()
-	defer func() { at.tres.Duration = time.Since(start) }()
+	// The attempt span is keyed by (pass, template) — stable across
+	// worker counts and scheduling — and carries the worker lane. Worker
+	// busy time accumulates on a per-worker counter so the registry shows
+	// the portfolio's load balance without any tracing enabled.
+	asc := p.obs.StartKeyed("attempt", fmt.Sprintf("p%d:%s", at.pass, at.tmpl.Name()))
+	asc.Span.SetWorker(worker)
+	defer func() {
+		at.tres.Duration = time.Since(start)
+		if sp := asc.Span; sp != nil {
+			sp.SetStr("template", at.tmpl.Name())
+			sp.SetInt("pass", int64(at.pass))
+			sp.SetInt("sites", int64(at.tres.Sites))
+			sp.SetBool("found", at.tres.Found)
+			sp.SetBool("cancelled", at.tres.Cancelled)
+		}
+		asc.End()
+		p.obs.Metrics.Add(fmt.Sprintf("portfolio.worker.%d.busy_us", worker),
+			at.tres.Duration.Microseconds())
+		p.obs.Metrics.Add("portfolio.attempts", 1)
+	}()
 
 	if at.stop.Load() {
 		at.tres.Cancelled = true
@@ -191,7 +222,12 @@ func (p *portfolio) runAttempt(at *attempt, worker int) {
 	counter := 0
 	vars := NewVarTable(&counter)
 	env := &Env{Info: p.info, Lib: p.opts.Lib, Frozen: p.opts.frozenSet(), Loc: at.loc}
+	ispan := asc.Tracer.Start(asc.Span, "instrument")
 	instr, err := at.tmpl.Instrument(p.fixed, env, vars)
+	if ispan != nil {
+		ispan.SetInt("sites", int64(len(vars.Phis)))
+		ispan.End()
+	}
 	if err != nil {
 		at.tres.Err = err
 		return
@@ -200,7 +236,9 @@ func (p *portfolio) runAttempt(at *attempt, worker int) {
 	if vars.Empty() {
 		return
 	}
+	espan := asc.Tracer.Start(asc.Span, "elaborate")
 	isys, _, err := synth.Elaborate(ctx, instr, synth.Options{Lib: p.opts.Lib})
+	espan.End()
 	if err != nil {
 		at.tres.Err = err
 		return
@@ -213,6 +251,7 @@ func (p *portfolio) runAttempt(at *attempt, worker int) {
 	sopts.Interrupt = &at.stop
 	sopts.Certify = p.opts.Certify
 	sopts.NoAbsint = p.opts.NoAbsint
+	sopts.Obs = asc
 	synthz := NewSynthesizer(ctx, isys, vars, p.ctr, p.init, sopts)
 	var sol *Solution
 	if p.opts.Basic {

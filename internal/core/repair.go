@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"strconv"
 	"time"
 
 	"rtlrepair/internal/analysis"
 	"rtlrepair/internal/bv"
 	"rtlrepair/internal/lint"
+	"rtlrepair/internal/obs"
+	"rtlrepair/internal/sat"
 	"rtlrepair/internal/sim"
 	"rtlrepair/internal/smt"
 	"rtlrepair/internal/synth"
@@ -157,11 +160,29 @@ type Result struct {
 	// Localization is the fault localization used to prune template
 	// sites (nil when disabled or when the design passed).
 	Localization *analysis.Localization
+	// SAT aggregates the CDCL statistics of every solver across every
+	// template attempt. Always populated — regardless of verbosity — so
+	// -metrics-out and the -v summary report the same numbers.
+	SAT sat.Statistics
+	// Certify aggregates the certification work (model validations, DRUP
+	// checks) across the same solvers. Always populated.
+	Certify smt.CertifyStats
 }
 
 // Repair runs the full RTL-Repair flow of Figure 3 on a buggy module and
 // an I/O trace.
 func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
+	return RepairCtx(context.Background(), m, tr, opts)
+}
+
+// RepairCtx is Repair with an observability scope carried by ctx (see
+// obs.NewContext): each pipeline phase — preprocess, elaborate,
+// concretize, localize, portfolio — records a span under a per-call
+// "repair" root, and the repair outcome and aggregate solver counters
+// land in the scope's metrics registry. A context without a scope (or
+// context.Background()) runs with observability fully disabled.
+func RepairCtx(ctx context.Context, m *verilog.Module, tr *trace.Trace, opts Options) *Result {
+	sc := obs.FromContext(ctx).Start("repair")
 	startTime := time.Now()
 	if opts.Timeout == 0 {
 		opts.Timeout = 60 * time.Second
@@ -176,14 +197,30 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 	res := &Result{FirstFailure: -1}
 	finish := func() *Result {
 		res.Duration = time.Since(startTime)
+		if sp := sc.Span; sp != nil {
+			sp.SetStr("design", m.Name)
+			sp.SetStr("status", res.Status.String())
+			sp.SetInt("changes", int64(res.Changes))
+			if res.Template != "" {
+				sp.SetStr("template", res.Template)
+			}
+		}
+		sc.End()
+		recordRepairMetrics(sc.Metrics, res)
 		return res
 	}
+	phase := func(name string) *obs.Span { return sc.Tracer.Start(sc.Span, name) }
 
 	// 1. Static-analysis preprocessing (§4.1).
 	fixed := m
 	if !opts.NoPreprocess {
+		span := phase("preprocess")
 		var err error
 		fixed, res.Fixes, res.Diagnostics, err = lint.PreprocessWithReport(m, opts.Lib)
+		if span != nil {
+			span.SetInt("fixes", int64(len(res.Fixes)))
+			span.End()
+		}
 		if err != nil {
 			res.Status = StatusCannotRepair
 			res.Reason = "preprocessing failed: " + err.Error()
@@ -195,8 +232,16 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 	// authority on synthesizability; the analysis report only explains
 	// the failure in more detail (it sees all problems at once where
 	// elaboration stops at the first).
-	ctx := smt.NewContext()
-	sys, _, err := synth.Elaborate(ctx, fixed, synth.Options{Lib: opts.Lib})
+	span := phase("elaborate")
+	sctx := smt.NewContext()
+	sys, _, err := synth.Elaborate(sctx, fixed, synth.Options{Lib: opts.Lib})
+	if span != nil {
+		if err == nil {
+			span.SetInt("states", int64(len(sys.States)))
+			span.SetInt("outputs", int64(len(sys.Outputs)))
+		}
+		span.End()
+	}
 	if err != nil {
 		res.Status = StatusCannotRepair
 		res.Reason = "not synthesizable: " + err.Error()
@@ -212,8 +257,14 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 	}
 
 	// 3. Concretize unknowns and check the current behaviour.
+	span = phase("concretize")
 	init, ctr := Concretize(sys, tr, opts.Policy, opts.Seed)
 	baseRun := runConcrete(sys, ctr, init)
+	if span != nil {
+		span.SetInt("cycles", int64(ctr.Len()))
+		span.SetInt("first_failure", int64(baseRun.FirstFailure))
+		span.End()
+	}
 	if baseRun.Passed() {
 		if len(res.Fixes) > 0 {
 			res.Status = StatusPreprocessed
@@ -239,8 +290,16 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 	// pruned search fails, a second unpruned pass runs, so localization
 	// can shrink the SMT problem but never lose a repair.
 	if !opts.NoLocalize {
+		span = phase("localize")
 		res.Localization = analysis.Localize(fixed, opts.Lib,
 			failingOutputs(baseRun, ctr), res.Diagnostics)
+		if span != nil {
+			if res.Localization != nil {
+				span.SetInt("cone", int64(len(res.Localization.Cone)))
+				span.SetInt("flagged", int64(len(res.Localization.Flagged)))
+			}
+			span.End()
+		}
 	}
 	passes := []*analysis.Localization{res.Localization}
 	if res.Localization != nil {
@@ -254,8 +313,23 @@ func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 	// selected repair is identical either way because every attempt is
 	// computed on its own context and the selection is a deterministic
 	// function of the attempt results.
-	runPortfolio(res, fixed, ctx, ctr, init, baseRun, deadline, opts, passes, opts.workerCount())
+	runPortfolio(res, fixed, sctx, ctr, init, baseRun, deadline, opts, passes, opts.workerCount(), sc)
 	return finish()
+}
+
+// recordRepairMetrics rolls one repair outcome into a metrics registry.
+// The always-aggregated Result.SAT/Result.Certify fields are the source,
+// so the registry is complete even when no verbose printing happened.
+func recordRepairMetrics(r *obs.Registry, res *Result) {
+	r.Add("repair.runs", 1)
+	r.Add("repair.status."+res.Status.String(), 1)
+	r.ObserveDuration("repair.duration", res.Duration)
+	r.Add("sat.conflicts", res.SAT.Conflicts)
+	r.Add("sat.decisions", res.SAT.Decisions)
+	r.Add("sat.propagations", res.SAT.Propagations)
+	r.Add("sat.learned", res.SAT.Learned)
+	r.Add("certify.proof_steps", int64(res.Certify.ProofSteps))
+	r.Add("certify.check_time_us", res.Certify.CheckTime.Microseconds())
 }
 
 // runConcrete executes a trace with a fixed concrete initial state.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rtlrepair/internal/bv"
+	"rtlrepair/internal/obs"
 	"rtlrepair/internal/sat"
 	"rtlrepair/internal/sim"
 	"rtlrepair/internal/smt"
@@ -50,6 +51,11 @@ type SynthOptions struct {
 	// NoAbsint disables the abstract-interpretation term simplifier
 	// (A/B measurement of its CNF impact).
 	NoAbsint bool
+	// Obs positions the synthesizer in the observability layer: every
+	// window solve, incremental extension, and validation batch records a
+	// span under Obs.Span, and the underlying solvers inherit the scope.
+	// The zero Scope (the default) disables all of it.
+	Obs obs.Scope
 }
 
 // DefaultSynthOptions mirrors the paper's constants: window cap 32, past
@@ -339,12 +345,20 @@ func (s *Synthesizer) robust(a Assignment) bool {
 // because every blocked assignment already failed full-trace validation.
 // Any move of the past boundary rebuilds from scratch, since the start
 // state is folded into the unrolling as constants.
-func (s *Synthesizer) encodeWindow(start, end int, startState map[string]bv.XBV) (*winEnc, error) {
+func (s *Synthesizer) encodeWindow(start, end int, startState map[string]bv.XBV, sc obs.Scope) (*winEnc, error) {
 	if w := s.win; w != nil && w.start == start && end >= w.end {
 		from := w.end
+		// Re-point the live encoding at the current window's scope so the
+		// "tsys.extend" and "smt.check" spans nest under it.
+		w.u.SetObs(sc)
+		w.solver.SetObs(sc)
 		w.u.Extend(s.ctx, end-from)
+		span := sc.Tracer.Start(sc.Span, "encode")
+		span.SetInt("cycles", int64(end-from))
 		s.assertCycles(w, from, end)
+		span.End()
 		s.Stats.ExtendedCycles += end - from
+		sc.Metrics.Add("synth.extended_cycles", int64(end-from))
 		w.end = end
 		return w, nil
 	}
@@ -361,7 +375,11 @@ func (s *Synthesizer) encodeWindow(start, end int, startState map[string]bv.XBV)
 		s.retiredSAT.Add(s.win.solver.SATStats())
 		s.retiredCert.Add(s.win.solver.CertifyStats())
 	}
+	span := sc.Tracer.Start(sc.Span, "encode")
+	span.SetInt("cycles", int64(steps))
+	span.SetBool("rebuild", true)
 	u := tsys.Unroll(s.ctx, s.sys, steps, init)
+	u.SetObs(sc)
 	solver := smt.NewSolver(s.ctx)
 	if s.opts.NoAbsint {
 		solver.DisableSimplify()
@@ -371,9 +389,12 @@ func (s *Synthesizer) encodeWindow(start, end int, startState map[string]bv.XBV)
 	}
 	solver.SetDeadline(s.opts.Deadline)
 	solver.SetInterrupt(s.opts.Interrupt)
+	solver.SetObs(sc)
 	w := &winEnc{solver: solver, u: u, start: start, end: end}
 	s.assertCycles(w, start, end)
+	span.End()
 	s.Stats.SolverBuilds++
+	sc.Metrics.Add("synth.solver_builds", 1)
 	s.win = w
 	return w, nil
 }
@@ -441,10 +462,17 @@ func (s *Synthesizer) check(solver *smt.Solver, assumptions ...*smt.Term) (sat.S
 // solveWindow encodes cycles [start, end) from the given start state
 // (incrementally when possible) and returns up to MaxSamples minimal
 // solutions, or nil when the window is unsatisfiable.
-func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) ([]*Solution, error) {
+func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) (sols []*Solution, err error) {
 	s.Stats.Unrollings++
+	wsc := s.opts.Obs.Start("window")
+	wsc.Span.SetInt("start", int64(start))
+	wsc.Span.SetInt("end", int64(end))
+	defer func() {
+		wsc.Span.SetInt("solutions", int64(len(sols)))
+		wsc.End()
+	}()
 	s.sampling = samplingState{}
-	w, err := s.encodeWindow(start, end, startState)
+	w, err := s.encodeWindow(start, end, startState, wsc)
 	if err != nil {
 		return nil, err
 	}
@@ -489,7 +517,7 @@ func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) 
 			break
 		}
 	}
-	sols := []*Solution{{Assign: best, Changes: s.vars.Changes(best)}}
+	sols = []*Solution{{Assign: best, Changes: s.vars.Changes(best)}}
 
 	// Sample further minimal repairs by blocking found ones (§4.4:
 	// "we generally sample all minimal repairs for a given window").
@@ -519,13 +547,18 @@ func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) 
 // live incremental encoding makes this a matter of asserting one more
 // blocking clause per sample — no re-unrolling, no solver rebuild. An
 // empty batch means the window has no further minimal repairs.
-func (s *Synthesizer) moreSamples() ([]*Solution, error) {
+func (s *Synthesizer) moreSamples() (sols []*Solution, err error) {
 	if !s.sampling.ok || s.win == nil {
 		return nil, nil
 	}
+	xsc := s.opts.Obs.Start("window-extra")
+	defer func() {
+		xsc.Span.SetInt("solutions", int64(len(sols)))
+		xsc.End()
+	}()
 	solver := s.win.solver
+	solver.SetObs(xsc)
 	vars := s.allVars()
-	var sols []*Solution
 	for len(sols) < s.opts.MaxSamples {
 		solver.Assert(s.blockingClause(s.sampling.last))
 		st, err := s.check(solver, s.sampling.bound)
@@ -600,21 +633,47 @@ func (s *Synthesizer) Basic() (*Solution, error) {
 	// validated by construction; still validate to guard against
 	// concretization mismatches, and prefer repairs that survive
 	// re-concretization of the unknown initial state.
-	var passing *Solution
-	for _, sol := range sols {
-		if s.Validate(sol.Assign).Passed() {
-			if s.robust(sol.Assign) {
-				return sol, nil
-			}
-			if passing == nil {
-				passing = sol
-			}
-		}
+	robustSol, passing, _, _ := s.validateBatch(sols, 0, nil, -1)
+	if robustSol != nil {
+		return robustSol, nil
 	}
 	if passing != nil {
 		return passing, nil
 	}
 	return sols[0], nil
+}
+
+// validateBatch runs full-trace validation over one batch of window
+// solutions under a "validate" span. It returns the first solution that
+// also survives re-concretization (robust), the updated fragile
+// fallback, whether every sample passed the trace, and the updated
+// latest post-window failure cycle.
+func (s *Synthesizer) validateBatch(sols []*Solution, firstFailure int, fragile *Solution, latestFuture int) (robustSol, fragileOut *Solution, allPassed bool, latestOut int) {
+	span := s.opts.Obs.Tracer.Start(s.opts.Obs.Span, "validate")
+	span.SetInt("samples", int64(len(sols)))
+	defer func() {
+		span.SetBool("robust_found", robustSol != nil)
+		span.End()
+	}()
+	fragileOut, latestOut, allPassed = fragile, latestFuture, true
+	for _, sol := range sols {
+		res := s.Validate(sol.Assign)
+		if res.Passed() {
+			if s.robust(sol.Assign) {
+				robustSol = sol
+				return
+			}
+			if fragileOut == nil {
+				fragileOut = sol
+			}
+			continue
+		}
+		allPassed = false
+		if res.FirstFailure > firstFailure && res.FirstFailure > latestOut {
+			latestOut = res.FirstFailure
+		}
+	}
+	return
 }
 
 // Windowed runs the adaptive windowing synthesizer (§4.4) around the
@@ -641,6 +700,7 @@ func (s *Synthesizer) Windowed(firstFailure int) (*Solution, error) {
 			return fragile, nil
 		}
 		s.Stats.Windows++
+		s.opts.Obs.Metrics.Add("synth.windows", 1)
 		s.Stats.FinalWindow = [2]int{kPast, kFuture}
 		start := firstFailure - kPast
 		if start < 0 {
@@ -670,22 +730,11 @@ func (s *Synthesizer) Windowed(firstFailure int) (*Solution, error) {
 		// from the live encoding before growing the window.
 		extendBudget := 3 * s.opts.MaxSamples
 		for len(sols) > 0 {
-			allPassed := true
-			for _, sol := range sols {
-				res := s.Validate(sol.Assign)
-				if res.Passed() {
-					if s.robust(sol.Assign) {
-						return sol, nil
-					}
-					if fragile == nil {
-						fragile = sol
-					}
-					continue
-				}
-				allPassed = false
-				if res.FirstFailure > firstFailure && res.FirstFailure > latestFuture {
-					latestFuture = res.FirstFailure
-				}
+			var robustSol *Solution
+			var allPassed bool
+			robustSol, fragile, allPassed, latestFuture = s.validateBatch(sols, firstFailure, fragile, latestFuture)
+			if robustSol != nil {
+				return robustSol, nil
 			}
 			if !allPassed || len(sols) < s.opts.MaxSamples || extendBudget <= 0 {
 				break

@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"rtlrepair/internal/cirfix"
 	"rtlrepair/internal/core"
 	"rtlrepair/internal/netlist"
+	"rtlrepair/internal/obs"
 	"rtlrepair/internal/osdd"
 	"rtlrepair/internal/sim"
 	"rtlrepair/internal/smt"
@@ -146,6 +148,10 @@ type Options struct {
 	Certify bool
 	// NoAbsint disables the abstract-interpretation term simplifier.
 	NoAbsint bool
+	// Obs is the observability scope threaded into every core.Repair
+	// call: one "repair" span per benchmark run, plus the shared metrics
+	// registry. The zero Scope (the default) disables it.
+	Obs obs.Scope
 }
 
 // DefaultOptions returns the evaluation defaults used by the tables.
@@ -205,7 +211,7 @@ func RunRTLRepair(b *bench.Benchmark, opts Options) *ToolRun {
 	}
 	seed := chooseSeed(b, opts.Seed)
 	run.Seed = seed
-	res := core.Repair(m, tr, core.Options{
+	res := core.RepairCtx(obs.NewContext(context.Background(), opts.Obs), m, tr, core.Options{
 		Policy:   sim.Randomize,
 		Seed:     seed,
 		Timeout:  opts.RTLTimeout,

@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The exporters all work off the same sorted snapshot: spans ordered by
+// hierarchical path, ids re-assigned 1..n in that order. Because paths
+// are deterministic (sequence numbers for sequential children, caller
+// keys for concurrent ones), two runs doing the same work export the
+// same bytes once Scrub* removes timestamps and worker ids — regardless
+// of goroutine scheduling or worker count.
+
+// jsonlHeader is the first line of a JSONL trace.
+type jsonlHeader struct {
+	Type    string `json:"type"`
+	Version int    `json:"version"`
+	Spans   int    `json:"spans"`
+}
+
+// jsonlSpan is one span line of a JSONL trace.
+type jsonlSpan struct {
+	Type    string         `json:"type"`
+	ID      int            `json:"id"`
+	Parent  int            `json:"parent"` // 0 for root spans
+	Name    string         `json:"name"`
+	Path    string         `json:"path"`
+	Worker  int            `json:"worker"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Open    bool           `json:"open,omitempty"` // true when never End()ed
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		if a.IsStr {
+			m[a.Key] = a.Str
+		} else {
+			m[a.Key] = a.Int
+		}
+	}
+	return m
+}
+
+// WriteJSONL writes the trace as a JSON-lines event journal: one header
+// line, then one line per span in path order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	spans := t.snapshot()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Type: "trace", Version: 1, Spans: len(spans)}); err != nil {
+		return err
+	}
+	ids := make(map[string]int, len(spans))
+	for i, ss := range spans {
+		ids[ss.path] = i + 1
+	}
+	for i, ss := range spans {
+		line := jsonlSpan{
+			Type:    "span",
+			ID:      i + 1,
+			Parent:  ids[ss.parent],
+			Name:    ss.name,
+			Path:    ss.path,
+			Worker:  ss.worker,
+			StartUS: ss.start.Microseconds(),
+			DurUS:   ss.dur.Microseconds(),
+			Open:    !ss.closed,
+			Attrs:   attrMap(ss.attrs),
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one Chrome trace_event entry ("X" complete events plus
+// "M" thread-name metadata). The output loads in chrome://tracing and
+// Perfetto; tid is the portfolio worker id, so workers appear as lanes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace_event JSON (an array
+// of complete events). Load it via chrome://tracing or ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.snapshot()
+	workers := map[int]bool{}
+	for _, ss := range spans {
+		workers[ss.worker] = true
+	}
+	wids := make([]int, 0, len(workers))
+	for id := range workers {
+		wids = append(wids, id)
+	}
+	sort.Ints(wids)
+	events := make([]chromeEvent, 0, len(spans)+len(wids))
+	for _, id := range wids {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: id,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", id)},
+		})
+	}
+	for _, ss := range spans {
+		args := attrMap(ss.attrs)
+		if args == nil {
+			args = map[string]any{}
+		}
+		args["path"] = ss.path
+		events = append(events, chromeEvent{
+			Name: ss.name,
+			Cat:  "obs",
+			Ph:   "X",
+			TS:   ss.start.Microseconds(),
+			Dur:  ss.dur.Microseconds(),
+			PID:  1,
+			TID:  ss.worker,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(events)
+}
+
+// WriteSummary writes a plain-text per-phase table: spans aggregated by
+// name, sorted by total time descending. This replaces the ad-hoc -v
+// dumps as the human-readable view of where a run spent its time.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	totals := t.PhaseTotals()
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ti, tj := totals[names[i]].Total, totals[names[j]].Total
+		if ti != tj {
+			return ti > tj
+		}
+		return names[i] < names[j]
+	})
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-24s %8s %12s %12s\n", "phase", "count", "total", "mean")
+	for _, name := range names {
+		ps := totals[name]
+		mean := ps.Total
+		if ps.Count > 0 {
+			mean = ps.Total / time.Duration(ps.Count)
+		}
+		fmt.Fprintf(bw, "%-24s %8d %12s %12s\n", name, ps.Count, ps.Total.Round(time.Microsecond), mean.Round(time.Microsecond))
+	}
+	return bw.Flush()
+}
+
+// volatileTopLevel are the keys Scrub* removes: wall-clock values and
+// anything that legitimately varies with worker placement or count.
+var volatileTopLevel = map[string]bool{
+	"start_us": true, "dur_us": true, "worker": true, // JSONL
+	"ts": true, "dur": true, "tid": true, // Chrome
+	"workers": true, // portfolio span attr: the configured worker count
+}
+
+// scrubValue removes volatile keys from a decoded JSON value, in place
+// where possible. Attr keys prefixed "time_" are removed too, so
+// instrumentation may record wall-clock attrs without breaking golden
+// diffs.
+func scrubValue(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		for k := range x {
+			if volatileTopLevel[k] || strings.HasPrefix(k, "time_") {
+				delete(x, k)
+				continue
+			}
+			x[k] = scrubValue(x[k])
+		}
+		return x
+	case []any:
+		for i := range x {
+			x[i] = scrubValue(x[i])
+		}
+		return x
+	}
+	return v
+}
+
+// ScrubJSONL removes timestamps and worker ids from a JSONL trace,
+// returning a deterministic form suitable for byte comparison across
+// runs and worker counts. Map re-marshalling sorts keys, so the result
+// is canonical.
+func ScrubJSONL(data []byte) ([]byte, error) {
+	var out bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var v map[string]any
+		if err := json.Unmarshal(line, &v); err != nil {
+			return nil, fmt.Errorf("obs: scrub: %w", err)
+		}
+		b, err := json.Marshal(scrubValue(v))
+		if err != nil {
+			return nil, err
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// ScrubChromeTrace removes timestamps and thread ids from a Chrome
+// trace_event export, for the same byte-comparison purpose. Thread-name
+// metadata events are dropped wholesale: they enumerate worker lanes,
+// which legitimately vary with the worker count.
+func ScrubChromeTrace(data []byte) ([]byte, error) {
+	var v []any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("obs: scrub: %w", err)
+	}
+	kept := v[:0]
+	for _, ev := range v {
+		if m, ok := ev.(map[string]any); ok && m["ph"] == "M" {
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	return json.Marshal(scrubValue(any(kept)))
+}
+
+// ValidateJSONL schema-checks a JSONL trace export: a well-formed
+// header, dense ids in path order, parents that precede their children
+// with prefix-consistent paths, and no span left open.
+func ValidateJSONL(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return fmt.Errorf("obs: empty trace")
+	}
+	var hdr jsonlHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return fmt.Errorf("obs: header: %w", err)
+	}
+	if hdr.Type != "trace" || hdr.Version != 1 {
+		return fmt.Errorf("obs: bad header %+v", hdr)
+	}
+	paths := map[int]string{}
+	n := 0
+	lastPath := ""
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sp jsonlSpan
+		if err := json.Unmarshal(line, &sp); err != nil {
+			return fmt.Errorf("obs: span line %d: %w", n+1, err)
+		}
+		n++
+		if sp.Type != "span" {
+			return fmt.Errorf("obs: line %d: type %q", n, sp.Type)
+		}
+		if sp.ID != n {
+			return fmt.Errorf("obs: line %d: id %d, want %d", n, sp.ID, n)
+		}
+		if sp.Path <= lastPath {
+			return fmt.Errorf("obs: span %d: path %q not strictly after %q", sp.ID, sp.Path, lastPath)
+		}
+		lastPath = sp.Path
+		if sp.Open {
+			return fmt.Errorf("obs: span %d (%s) left open", sp.ID, sp.Path)
+		}
+		if sp.DurUS < 0 || sp.StartUS < 0 {
+			return fmt.Errorf("obs: span %d (%s): negative time", sp.ID, sp.Path)
+		}
+		if sp.Parent == 0 {
+			if strings.Count(sp.Path, "/") != 1 {
+				return fmt.Errorf("obs: span %d (%s): root span with nested path", sp.ID, sp.Path)
+			}
+		} else {
+			pp, ok := paths[sp.Parent]
+			if !ok || sp.Parent >= sp.ID {
+				return fmt.Errorf("obs: span %d (%s): parent %d not seen before it", sp.ID, sp.Path, sp.Parent)
+			}
+			if !strings.HasPrefix(sp.Path, pp+"/") {
+				return fmt.Errorf("obs: span %d: path %q not nested under parent %q", sp.ID, sp.Path, pp)
+			}
+		}
+		paths[sp.ID] = sp.Path
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if n != hdr.Spans {
+		return fmt.Errorf("obs: header says %d spans, found %d", hdr.Spans, n)
+	}
+	return nil
+}

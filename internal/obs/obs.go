@@ -1,0 +1,293 @@
+// Package obs is the pipeline-wide observability layer: span-based
+// tracing, a metrics registry, and deterministic exporters (JSONL event
+// journal, Chrome trace_event, plain-text summary).
+//
+// The package is zero-dependency (standard library only) so every layer
+// of the repair pipeline — core, smt, sat, tsys, eval, the CLIs — can
+// import it without cycles. Two properties shape the design:
+//
+//   - Off by default, allocation-free when off. A nil *Tracer is the
+//     disabled tracer: Start on a nil tracer returns a nil *Span, and
+//     every Span/Tracer/Registry method is nil-safe, so instrumented hot
+//     paths pay exactly one nil check per site. BenchmarkNilTracer in
+//     internal/sat pins this cost against the solver hot loop.
+//
+//   - Deterministic output modulo timestamps. Spans are identified by a
+//     hierarchical path (parent path + name + per-parent sequence, or a
+//     caller-supplied key for concurrent siblings such as portfolio
+//     attempts), and exporters sort by path and re-number ids after the
+//     fact. Two runs that do the same work produce byte-identical
+//     exports once timestamps and worker ids are scrubbed (see Scrub*),
+//     which is what lets golden tests diff traces across worker counts.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one typed span attribute.
+type Attr struct {
+	Key   string
+	Str   string // used when IsStr
+	Int   int64  // used otherwise
+	IsStr bool
+}
+
+// Span is one timed region of the pipeline. A nil *Span is the disabled
+// span: every method no-ops, so instrumentation sites need no guards.
+type Span struct {
+	t      *Tracer
+	parent *Span
+	name   string // aggregation name ("window", "attempt", ...)
+	path   string // unique hierarchical identity
+	start  time.Duration
+	dur    time.Duration
+	worker int
+	closed bool
+	attrs  []Attr
+	kidSeq map[string]int // next per-name child sequence (guarded by t.mu)
+}
+
+// Tracer records spans. The zero value is not usable; call New. A nil
+// *Tracer is the disabled tracer (the fast path): Start returns nil.
+type Tracer struct {
+	mu      sync.Mutex
+	base    time.Time
+	spans   []*Span
+	rootSeq map[string]int
+}
+
+// New returns an enabled tracer whose clock starts now.
+func New() *Tracer {
+	return &Tracer{base: time.Now(), rootSeq: map[string]int{}}
+}
+
+// Enabled reports whether the tracer records spans (i.e. is non-nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) now() time.Duration { return time.Since(t.base) }
+
+// Start opens a span under parent (nil parent = a root span). The span's
+// path gets a per-parent sequence number, so Start is deterministic only
+// when the parent's children are opened in a deterministic order; for
+// concurrent siblings use StartKeyed.
+func (t *Tracer) Start(parent *Span, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(parent, name, "")
+}
+
+// StartKeyed opens a span whose path component is name[key] instead of a
+// sequence number. The caller must ensure key is unique among the
+// parent's same-named children; in exchange the path — and therefore the
+// exported output — is deterministic even when siblings start
+// concurrently (e.g. portfolio attempts racing on worker goroutines).
+func (t *Tracer) StartKeyed(parent *Span, name, key string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(parent, name, key)
+}
+
+func (t *Tracer) start(parent *Span, name, key string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var component, base string
+	worker := 0
+	if parent != nil {
+		base = parent.path
+		worker = parent.worker
+	}
+	if key != "" {
+		component = name + "[" + key + "]"
+	} else {
+		seq := t.rootSeq
+		if parent != nil {
+			if parent.kidSeq == nil {
+				parent.kidSeq = map[string]int{}
+			}
+			seq = parent.kidSeq
+		}
+		n := seq[name]
+		seq[name] = n + 1
+		component = fmt.Sprintf("%s#%04d", name, n)
+	}
+	sp := &Span{
+		t:      t,
+		parent: parent,
+		name:   name,
+		path:   base + "/" + component,
+		start:  t.now(),
+		worker: worker,
+	}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// End closes the span. Ending an already-ended span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if !s.closed {
+		s.dur = s.t.now() - s.start
+		s.closed = true
+	}
+	s.t.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Int: v})
+	s.t.mu.Unlock()
+}
+
+// SetBool attaches a boolean attribute (encoded as 0/1).
+func (s *Span) SetBool(key string, v bool) {
+	var i int64
+	if v {
+		i = 1
+	}
+	s.SetInt(key, i)
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v, IsStr: true})
+	s.t.mu.Unlock()
+}
+
+// SetWorker tags the span (and, by inheritance, its future children)
+// with a portfolio worker id. Exporters map it to the Chrome trace tid,
+// so Perfetto shows one lane per worker.
+func (s *Span) SetWorker(w int) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.worker = w
+	s.t.mu.Unlock()
+}
+
+// Name returns the span's aggregation name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// spanSnapshot is an immutable copy used by exporters.
+type spanSnapshot struct {
+	name   string
+	path   string
+	parent string // parent path, "" for roots
+	start  time.Duration
+	dur    time.Duration
+	worker int
+	closed bool
+	attrs  []Attr
+}
+
+// snapshot copies all spans sorted by path (parents sort before their
+// children because a parent's path is a strict prefix + "/").
+func (t *Tracer) snapshot() []spanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]spanSnapshot, 0, len(t.spans))
+	for _, sp := range t.spans {
+		ss := spanSnapshot{
+			name:   sp.name,
+			path:   sp.path,
+			start:  sp.start,
+			dur:    sp.dur,
+			worker: sp.worker,
+			closed: sp.closed,
+			attrs:  append([]Attr(nil), sp.attrs...),
+		}
+		if sp.parent != nil {
+			ss.parent = sp.parent.path
+		}
+		out = append(out, ss)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out
+}
+
+// PhaseStat aggregates all spans sharing one name.
+type PhaseStat struct {
+	Count int
+	Total time.Duration
+}
+
+// PhaseTotals aggregates spans by name. Nested spans with distinct names
+// each contribute their full duration, so totals across different names
+// overlap; totals within one name do not.
+func (t *Tracer) PhaseTotals() map[string]PhaseStat {
+	out := map[string]PhaseStat{}
+	for _, ss := range t.snapshot() {
+		ps := out[ss.name]
+		ps.Count++
+		ps.Total += ss.dur
+		out[ss.name] = ps
+	}
+	return out
+}
+
+// Scope bundles a tracer position (tracer + current span) with a metrics
+// registry, so one value threads the whole observability layer through
+// the pipeline. The zero Scope is fully disabled and free to pass around.
+type Scope struct {
+	Tracer  *Tracer
+	Span    *Span
+	Metrics *Registry
+}
+
+// Enabled reports whether the scope records spans.
+func (sc Scope) Enabled() bool { return sc.Tracer != nil }
+
+// Start opens a child span and returns the scope positioned on it.
+func (sc Scope) Start(name string) Scope {
+	return Scope{Tracer: sc.Tracer, Span: sc.Tracer.Start(sc.Span, name), Metrics: sc.Metrics}
+}
+
+// StartKeyed opens a keyed child span (see Tracer.StartKeyed).
+func (sc Scope) StartKeyed(name, key string) Scope {
+	return Scope{Tracer: sc.Tracer, Span: sc.Tracer.StartKeyed(sc.Span, name, key), Metrics: sc.Metrics}
+}
+
+// End closes the scope's span.
+func (sc Scope) End() { sc.Span.End() }
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the scope.
+func NewContext(ctx context.Context, sc Scope) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the scope from a context (zero Scope if absent).
+func FromContext(ctx context.Context) Scope {
+	if ctx == nil {
+		return Scope{}
+	}
+	sc, _ := ctx.Value(ctxKey{}).(Scope)
+	return sc
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling is the live-profiling half of the observability layer,
+// shared by the CLIs: an optional net/http/pprof endpoint plus optional
+// CPU and heap profile files.
+type Profiling struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// StartProfiling starts the requested profilers. addr, when non-empty,
+// serves net/http/pprof on it (e.g. "localhost:6060"); cpuPath and
+// memPath, when non-empty, name the CPU and heap profile files. Call
+// Stop before exiting to flush the files.
+func StartProfiling(addr, cpuPath, memPath string) (*Profiling, error) {
+	p := &Profiling{memPath: memPath}
+	if addr != "" {
+		ln := addr
+		go func() {
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop flushes and closes any profile files.
+func (p *Profiling) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // get up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"sync/atomic"
 	"time"
+
+	"rtlrepair/internal/obs"
 )
 
 // Lit is a literal: variable index shifted left once, low bit 1 for the
@@ -136,6 +138,12 @@ type Solver struct {
 	// makes Solve return (Unknown, ErrInterrupted). It is the only field
 	// another goroutine may touch while Solve runs.
 	Interrupt *atomic.Bool
+	// Obs positions the solver in the observability layer: each Solve
+	// call records one "sat.solve" span under Obs.Span with the search
+	// counter deltas, and restarts tick the "sat.restarts" counter. The
+	// zero Scope (the default) disables all of it; the hot loop then pays
+	// only nil checks on the rare restart path (see BenchmarkNilTracer).
+	Obs obs.Scope
 }
 
 // New returns an empty solver.
@@ -523,7 +531,23 @@ func (s *Solver) reduceDB() {
 // Solve searches for a model extending the given assumptions. On Sat the
 // model can be read with Value. On Unsat under assumptions, the conflict
 // subset is available via FailedAssumptions.
-func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
+func (s *Solver) Solve(assumptions ...Lit) (st Status, err error) {
+	if span := s.Obs.Tracer.Start(s.Obs.Span, "sat.solve"); span != nil {
+		span.SetInt("assumptions", int64(len(assumptions)))
+		span.SetInt("cnf_vars", int64(len(s.assigns)))
+		span.SetInt("cnf_clauses", s.added)
+		before := s.Statistics()
+		defer func() {
+			after := s.Statistics()
+			span.SetStr("result", st.String())
+			span.SetInt("conflicts", after.Conflicts-before.Conflicts)
+			span.SetInt("decisions", after.Decisions-before.Decisions)
+			span.SetInt("propagations", after.Propagations-before.Propagations)
+			span.SetInt("restarts", after.Restarts-before.Restarts)
+			span.SetInt("learned", after.Learned-before.Learned)
+			span.End()
+		}()
+	}
 	if !s.ok {
 		return Unsat, nil
 	}
@@ -599,6 +623,7 @@ func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
 		if s.conflicts-conflictsAtRestart >= conflictBudget {
 			restarts++
 			s.restarts++
+			s.Obs.Metrics.Add("sat.restarts", 1)
 			conflictBudget = 100 * luby(restarts+1)
 			conflictsAtRestart = s.conflicts
 			s.backtrackTo(s.assumptionLevel)

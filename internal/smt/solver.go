@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rtlrepair/internal/bv"
+	"rtlrepair/internal/obs"
 	"rtlrepair/internal/sat"
 )
 
@@ -41,6 +42,9 @@ type Solver struct {
 	validate        bool
 	checker         *sat.Checker
 	certStats       CertifyStats
+
+	// obs positions the solver in the observability layer (see SetObs).
+	obs obs.Scope
 }
 
 // CertifyStats accumulates certification work performed by a solver.
@@ -121,6 +125,14 @@ func (s *Solver) CertifyStats() CertifyStats {
 	}
 	return st
 }
+
+// SetObs positions the solver in the observability layer: every Check
+// records an "smt.check" span under the scope's span (with the CDCL
+// "sat.solve" span nested inside it), certification work gets its own
+// "certify" span, and the scope's metrics registry collects the solver
+// counters. The zero Scope (the default) disables all of it. SetObs may
+// be called again between Checks to re-parent subsequent spans.
+func (s *Solver) SetObs(sc obs.Scope) { s.obs = sc }
 
 // SetDeadline sets a wall-clock deadline for subsequent Check calls.
 // A zero time disables the deadline.
@@ -532,6 +544,8 @@ func (s *Solver) Assert(t *Term) {
 // re-checked against the DRUP proof; a failure of either check is a
 // solver soundness bug and panics.
 func (s *Solver) Check(assumptions ...*Term) (sat.Status, error) {
+	span := s.obs.Tracer.Start(s.obs.Span, "smt.check")
+	s.sat.Obs = obs.Scope{Tracer: s.obs.Tracer, Span: span, Metrics: s.obs.Metrics}
 	lits := make([]sat.Lit, 0, len(assumptions))
 	terms := make([]*Term, 0, len(assumptions))
 	for _, a := range assumptions {
@@ -548,23 +562,38 @@ func (s *Solver) Check(assumptions ...*Term) (sat.Status, error) {
 		s.snapshotModel()
 		if s.validate {
 			start := time.Now()
+			cspan := s.obs.Tracer.Start(span, "certify")
+			cspan.SetStr("kind", "validate-model")
 			if verr := s.ValidateModel(); verr != nil {
 				panic(fmt.Sprintf("smt: unsound Sat verdict: %v", verr))
 			}
+			cspan.End()
 			s.certStats.ModelsValidated++
 			s.certStats.CheckTime += time.Since(start)
+			s.obs.Metrics.Add("certify.models_validated", 1)
 		}
 	} else {
 		s.model = nil
 		if st == sat.Unsat && s.checker != nil {
 			start := time.Now()
+			cspan := s.obs.Tracer.Start(span, "certify")
+			cspan.SetStr("kind", "drup-unsat")
 			if cerr := s.CertifyLastUnsat(); cerr != nil {
 				panic(fmt.Sprintf("smt: unsound Unsat verdict: %v", cerr))
 			}
+			cspan.SetInt("proof_steps", int64(s.checker.Checked()))
+			cspan.End()
 			s.certStats.UnsatsCertified++
 			s.certStats.CheckTime += time.Since(start)
+			s.obs.Metrics.Add("certify.unsats_certified", 1)
 		}
 	}
+	if span != nil {
+		span.SetStr("result", st.String())
+		span.SetInt("smt_terms", int64(len(s.bits)))
+		span.End()
+	}
+	s.obs.Metrics.Add("smt.checks", 1)
 	return st, err
 }
 

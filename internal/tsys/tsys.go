@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"rtlrepair/internal/obs"
 	"rtlrepair/internal/smt"
 )
 
@@ -118,7 +119,13 @@ type Unrolling struct {
 	inputAt  []map[*smt.Term]*smt.Term // step -> input var -> step instance
 	stateAt  []map[*smt.Term]*smt.Term // step -> state var -> expression
 	outputAt []map[string]*smt.Term    // step -> output name -> expression
+	obsScope obs.Scope                 // see SetObs
 }
+
+// SetObs positions the unrolling in the observability layer: every
+// Extend records one "tsys.extend" span under the scope's span. The
+// zero Scope (the default) disables it.
+func (u *Unrolling) SetObs(sc obs.Scope) { u.obsScope = sc }
 
 // Unroll unrolls sys for the given number of steps. init provides the
 // step-0 expression for each state variable; states missing from init
@@ -193,6 +200,12 @@ func (u *Unrolling) Extend(ctx *smt.Context, extraSteps int) {
 	if extraSteps <= 0 {
 		return
 	}
+	if span := u.obsScope.Tracer.Start(u.obsScope.Span, "tsys.extend"); span != nil {
+		span.SetInt("from_steps", int64(u.Steps))
+		span.SetInt("extra_steps", int64(extraSteps))
+		defer span.End()
+	}
+	u.obsScope.Metrics.Add("tsys.extend_steps", int64(extraSteps))
 	name := func(base string, k int) string {
 		if u.tag == "" {
 			return fmt.Sprintf("%s@%d", base, k)

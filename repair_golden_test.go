@@ -1,6 +1,8 @@
 package rtlrepair_test
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -11,6 +13,7 @@ import (
 
 	"rtlrepair/internal/bench"
 	"rtlrepair/internal/core"
+	"rtlrepair/internal/obs"
 	"rtlrepair/internal/sim"
 	"rtlrepair/internal/trace"
 	"rtlrepair/internal/verilog"
@@ -41,7 +44,9 @@ func goldenSeed(b *bench.Benchmark, tr *trace.Trace, base int64) int64 {
 
 // goldenRepair runs one benchmark through the repair engine with the
 // golden-test settings and renders the deterministic part of the result.
-func goldenRepair(t *testing.T, b *bench.Benchmark, opts core.Options) (string, time.Duration) {
+// The obs scope is threaded through so golden runs can be traced; a zero
+// scope reproduces the untraced engine.
+func goldenRepair(t *testing.T, b *bench.Benchmark, opts core.Options, sc obs.Scope) (string, time.Duration) {
 	t.Helper()
 	tr, err := b.Trace()
 	if err != nil {
@@ -62,7 +67,7 @@ func goldenRepair(t *testing.T, b *bench.Benchmark, opts core.Options) (string, 
 		opts.Timeout = 120 * time.Second
 	}
 	start := time.Now()
-	res := core.Repair(m, tr, opts)
+	res := core.RepairCtx(obs.NewContext(context.Background(), sc), m, tr, opts)
 	dur := time.Since(start)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "status: %s\ntemplate: %s\nchanges: %d\n", res.Status, res.Template, res.Changes)
@@ -94,7 +99,7 @@ func TestRepairGoldens(t *testing.T) {
 	for _, b := range bench.Registry() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			got, dur := goldenRepair(t, b, core.Options{Workers: 1})
+			got, dur := goldenRepair(t, b, core.Options{Workers: 1}, obs.Scope{})
 			if strings.Contains(got, "status: timeout") {
 				t.Skipf("%s: timeout-bound design, not byte-comparable", b.Name)
 			}
@@ -125,7 +130,9 @@ func TestRepairGoldens(t *testing.T) {
 // TestPortfolioMatchesSequential runs the parallel portfolio on every
 // benchmark design and requires the selected repair to be byte-identical
 // to the sequential engine's golden output: same status, template,
-// change count, change descriptions and repaired source.
+// change count, change descriptions and repaired source. Every run is
+// traced, which doubles as the suite-wide check that tracing never
+// perturbs repair results and every design yields a schema-valid trace.
 func TestPortfolioMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full benchmark suite")
@@ -133,7 +140,8 @@ func TestPortfolioMatchesSequential(t *testing.T) {
 	for _, b := range bench.Registry() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			got, dur := goldenRepair(t, b, core.Options{Workers: 4})
+			tracer := obs.New()
+			got, dur := goldenRepair(t, b, core.Options{Workers: 4}, obs.Scope{Tracer: tracer})
 			if strings.Contains(got, "status: timeout") {
 				t.Skipf("%s: timeout-bound design, not byte-comparable", b.Name)
 			}
@@ -144,6 +152,13 @@ func TestPortfolioMatchesSequential(t *testing.T) {
 			if got != string(want) {
 				t.Errorf("%s: portfolio result differs from sequential engine\n--- got ---\n%s\n--- want ---\n%s",
 					b.Name, got, want)
+			}
+			var buf bytes.Buffer
+			if err := tracer.WriteJSONL(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := obs.ValidateJSONL(buf.Bytes()); err != nil {
+				t.Errorf("%s: traced portfolio run exported an invalid trace: %v", b.Name, err)
 			}
 			t.Logf("%s: %.2fs", b.Name, dur.Seconds())
 		})

@@ -1,0 +1,17 @@
+// Golden reference for the CI observability smoke test: the Figure 1a
+// counter with a correct synchronous reset. tracegen records the trace
+// CSV from this design; rtlrepair repairs counter_buggy.v against it.
+module first_counter(input clock, input reset, input enable,
+                     output reg [3:0] count, output reg overflow);
+always @(posedge clock) begin
+  if (reset == 1'b1) begin
+    count <= 4'b0000;
+    overflow <= 1'b0;
+  end else if (enable == 1'b1) begin
+    count <= count + 1;
+  end
+  if (count == 4'b1111) begin
+    overflow <= 1'b1;
+  end
+end
+endmodule
