@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rtlrepair/internal/eval"
@@ -49,7 +52,15 @@ func main() {
 		}
 	}()
 
+	// SIGINT/SIGTERM cancel the in-flight repairs cooperatively; the
+	// remaining benchmarks then finish almost instantly (their contexts
+	// are already cancelled), so the tables still print and the obs
+	// outputs still flush.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := eval.DefaultOptions()
+	opts.Ctx = ctx
 	opts.RTLTimeout = *rtlTimeout
 	opts.CirFixTimeout = *cfTimeout
 	opts.CirFixGenerations = *cfGens

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rtlrepair/internal/core"
@@ -65,7 +67,11 @@ func main() {
 	if *zeroInit {
 		policy = sim.Zero
 	}
-	res := core.RepairCtx(obs.NewContext(context.Background(), ocli.Scope()), top, tr, core.Options{
+	// SIGINT/SIGTERM cancel the repair cooperatively: the SAT searches
+	// stop at their next poll and the partial statistics still print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res := core.RepairCtx(obs.NewContext(ctx, ocli.Scope()), top, tr, core.Options{
 		Policy:   policy,
 		Seed:     *seed,
 		Timeout:  *timeout,

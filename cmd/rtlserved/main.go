@@ -1,0 +1,98 @@
+// Command rtlserved runs the repair pipeline as an HTTP/JSON service:
+//
+//	rtlserved -addr localhost:8080
+//
+// Submit a repair (wire format matches the rtlrepair CLI: library
+// modules first, the design under repair last, the self-describing
+// trace CSV as testbench):
+//
+//	curl -s localhost:8080/v1/repair?wait=1 -d '{"source": "...", "trace": "..."}'
+//
+// See DESIGN.md "Serving" for the API, queue, cache, and lifecycle
+// semantics. SIGINT/SIGTERM drain gracefully: intake stops, accepted
+// jobs finish (cancelled if -drain-timeout expires — they still reach a
+// terminal state), and the observability outputs flush.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rtlrepair/internal/obs"
+	"rtlrepair/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "localhost:8080", "listen address")
+		queueDepth    = flag.Int("queue", 64, "max queued jobs; beyond it submissions get 429")
+		slots         = flag.Int("slots", 0, "concurrent repair jobs (0 = NumCPU/2)")
+		portfolio     = flag.Int("portfolio-workers", 1, "portfolio workers per job (0 = one per CPU)")
+		jobTimeout    = flag.Duration("job-timeout", 60*time.Second, "per-job repair budget")
+		queueTimeout  = flag.Duration("queue-timeout", 5*time.Minute, "max queue wait before a job is failed")
+		resultCache   = flag.Int("result-cache", 256, "result cache entries (-1 disables)")
+		artifactCache = flag.Int("artifact-cache", 64, "frontend artifact cache entries (-1 disables)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget before running jobs are cancelled")
+	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	check(ocli.Start())
+	if ocli.Metrics == nil {
+		// The server always keeps metrics (they feed /metricsz); sharing
+		// the registry with the CLI makes -metrics-out see the same data.
+		ocli.Metrics = obs.NewRegistry()
+	}
+
+	srv := serve.New(serve.Config{
+		QueueDepth:        *queueDepth,
+		Slots:             *slots,
+		PortfolioWorkers:  *portfolio,
+		JobTimeout:        *jobTimeout,
+		QueueTimeout:      *queueTimeout,
+		ResultCacheSize:   *resultCache,
+		ArtifactCacheSize: *artifactCache,
+		Obs:               ocli.Scope(),
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	st := srv.Snapshot()
+	fmt.Fprintf(os.Stderr, "rtlserved: listening on %s (slots=%d queue=%d)\n", *addr, st.Slots, st.QueueCap)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		check(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "rtlserved: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "rtlserved: drain:", err)
+	}
+	// In-flight HTTP requests (e.g. ?wait=1 pollers) complete as their
+	// jobs reach terminal states; then close the listener.
+	if err := hs.Shutdown(drainCtx); err != nil {
+		_ = hs.Close()
+	}
+	check(ocli.Finish())
+	fmt.Fprintln(os.Stderr, "rtlserved: bye")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtlserved:", err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"sync/atomic"
 	"time"
 
 	"rtlrepair/internal/lint"
@@ -24,6 +26,15 @@ type Candidate struct {
 // the one matching their intent. Candidates are ordered by (changes,
 // template order) and deduplicated by their repaired source text.
 func RepairAll(m *verilog.Module, tr *trace.Trace, opts Options, maxCandidates int) []Candidate {
+	return RepairAllCtx(context.Background(), m, tr, opts, maxCandidates)
+}
+
+// RepairAllCtx is RepairAll with context-based cancellation: a cancelled
+// or deadline-expired ctx stops the sampling promptly (the cancellation
+// trips the SAT search's cooperative interrupt flag) and the candidates
+// collected so far are returned. The effective deadline is the earlier
+// of ctx's deadline and opts.Timeout.
+func RepairAllCtx(ctx context.Context, m *verilog.Module, tr *trace.Trace, opts Options, maxCandidates int) []Candidate {
 	if opts.Timeout == 0 {
 		opts.Timeout = 60 * time.Second
 	}
@@ -34,6 +45,11 @@ func RepairAll(m *verilog.Module, tr *trace.Trace, opts Options, maxCandidates i
 		maxCandidates = 4
 	}
 	deadline := time.Now().Add(opts.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	var stop atomic.Bool
+	defer watchCancel(ctx, &stop)()
 
 	fixed := m
 	if !opts.NoPreprocess {
@@ -41,8 +57,8 @@ func RepairAll(m *verilog.Module, tr *trace.Trace, opts Options, maxCandidates i
 			fixed = f
 		}
 	}
-	ctx := smt.NewContext()
-	sys, _, err := synth.Elaborate(ctx, fixed, synth.Options{Lib: opts.Lib})
+	sctx := smt.NewContext()
+	sys, _, err := synth.Elaborate(sctx, fixed, synth.Options{Lib: opts.Lib})
 	if err != nil {
 		return nil
 	}
@@ -56,16 +72,16 @@ func RepairAll(m *verilog.Module, tr *trace.Trace, opts Options, maxCandidates i
 	seen := map[string]bool{}
 	counter := 0
 	for _, tmpl := range opts.Templates {
-		if len(out) >= maxCandidates || time.Now().After(deadline) {
+		if len(out) >= maxCandidates || stop.Load() || ctx.Err() != nil || time.Now().After(deadline) {
 			break
 		}
 		vars := NewVarTable(&counter)
-		env := &Env{Info: elaborateInfo(ctx, fixed, opts.Lib), Lib: opts.Lib, Frozen: opts.frozenSet()}
+		env := &Env{Info: elaborateInfo(sctx, fixed, opts.Lib), Lib: opts.Lib, Frozen: opts.frozenSet()}
 		instr, err := tmpl.Instrument(fixed, env, vars)
 		if err != nil || vars.Empty() {
 			continue
 		}
-		isys, _, err := synth.Elaborate(ctx, instr, synth.Options{Lib: opts.Lib})
+		isys, _, err := synth.Elaborate(sctx, instr, synth.Options{Lib: opts.Lib})
 		if err != nil {
 			continue
 		}
@@ -73,11 +89,12 @@ func RepairAll(m *verilog.Module, tr *trace.Trace, opts Options, maxCandidates i
 		sopts.Policy = opts.Policy
 		sopts.Seed = opts.Seed
 		sopts.Deadline = deadline
+		sopts.Interrupt = &stop
 		sopts.Certify = opts.Certify
 		sopts.NoAbsint = opts.NoAbsint
 		// Sample more aggressively than the single-repair flow.
 		sopts.MaxSamples = maxCandidates * 2
-		synthz := NewSynthesizer(ctx, isys, vars, ctr, init, sopts)
+		synthz := NewSynthesizer(sctx, isys, vars, ctr, init, sopts)
 		sols, err := synthz.SampleRepairs(base.FirstFailure, maxCandidates)
 		if err != nil {
 			continue
@@ -121,7 +138,7 @@ func (s *Synthesizer) SampleRepairs(firstFailure, limit int) ([]*Solution, error
 	kPast, kFuture := 0, 0
 	var found []*Solution
 	for {
-		if s.expired() {
+		if s.expired() || s.interrupted() {
 			return found, nil
 		}
 		if kPast+kFuture > s.opts.MaxWindow {

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"rtlrepair/internal/bv"
@@ -22,6 +25,16 @@ import (
 // every trace is fully unrolled, this entry is meant for the short
 // traces BMC produces, not for 100k-cycle testbenches.
 func RepairMulti(m *verilog.Module, traces []*trace.Trace, opts Options) *Result {
+	return RepairMultiCtx(context.Background(), m, traces, opts)
+}
+
+// RepairMultiCtx is RepairMulti with context-based cancellation: a
+// cancelled or deadline-expired ctx interrupts the running SAT query
+// (via the solver's cooperative interrupt flag) and the result reports
+// StatusTimeout with the partial SAT/certify statistics accumulated so
+// far aggregated onto it. The effective deadline is the earlier of
+// ctx's deadline and opts.Timeout.
+func RepairMultiCtx(ctx context.Context, m *verilog.Module, traces []*trace.Trace, opts Options) *Result {
 	startTime := time.Now()
 	if opts.Timeout == 0 {
 		opts.Timeout = 60 * time.Second
@@ -30,6 +43,11 @@ func RepairMulti(m *verilog.Module, traces []*trace.Trace, opts Options) *Result
 		opts.Templates = DefaultTemplates()
 	}
 	deadline := startTime.Add(opts.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	var stop atomic.Bool
+	defer watchCancel(ctx, &stop)()
 	res := &Result{FirstFailure: -1}
 	finish := func() *Result {
 		res.Duration = time.Since(startTime)
@@ -48,8 +66,8 @@ func RepairMulti(m *verilog.Module, traces []*trace.Trace, opts Options) *Result
 			fixed = f
 		}
 	}
-	ctx := smt.NewContext()
-	sys, _, err := synth.Elaborate(ctx, fixed, synth.Options{Lib: opts.Lib})
+	sctx := smt.NewContext()
+	sys, _, err := synth.Elaborate(sctx, fixed, synth.Options{Lib: opts.Lib})
 	if err != nil {
 		res.Status = StatusCannotRepair
 		res.Reason = "not synthesizable: " + err.Error()
@@ -77,22 +95,31 @@ func RepairMulti(m *verilog.Module, traces []*trace.Trace, opts Options) *Result
 
 	counter := 0
 	for _, tmpl := range opts.Templates {
-		if time.Now().After(deadline) {
+		if stop.Load() || ctx.Err() != nil || time.Now().After(deadline) {
 			res.Status = StatusTimeout
+			res.Reason = cancelReason(ctx.Err())
 			return finish()
 		}
 		vars := NewVarTable(&counter)
-		env := &Env{Info: elaborateInfo(ctx, fixed, opts.Lib), Lib: opts.Lib, Frozen: opts.frozenSet()}
+		env := &Env{Info: elaborateInfo(sctx, fixed, opts.Lib), Lib: opts.Lib, Frozen: opts.frozenSet()}
 		instr, err := tmpl.Instrument(fixed, env, vars)
 		if err != nil || vars.Empty() {
 			continue
 		}
-		isys, _, err := synth.Elaborate(ctx, instr, synth.Options{Lib: opts.Lib})
+		isys, _, err := synth.Elaborate(sctx, instr, synth.Options{Lib: opts.Lib})
 		if err != nil {
 			continue
 		}
-		sol, err := solveMultiTrace(ctx, isys, vars, ctrs, init, deadline, opts)
-		if err != nil || sol == nil {
+		sol, err := solveMultiTrace(sctx, isys, vars, ctrs, init, deadline, &stop, opts, res)
+		if err != nil {
+			// A timed-out or cancelled query ends the template loop: the
+			// remaining templates share the same exhausted budget. The
+			// solver statistics accumulated so far stay on res.
+			res.Status = StatusTimeout
+			res.Reason = cancelReason(ctx.Err())
+			return finish()
+		}
+		if sol == nil {
 			continue
 		}
 		repaired, rerr := Resolve(instr, sol.Assign)
@@ -122,9 +149,15 @@ func RepairMulti(m *verilog.Module, traces []*trace.Trace, opts Options) *Result
 }
 
 // solveMultiTrace asserts every trace over its own tagged unrolling and
-// minimizes the shared change count.
-func solveMultiTrace(ctx *smt.Context, sys *tsys.System, vars *VarTable, traces []*trace.Trace, init map[string]bv.XBV, deadline time.Time, opts Options) (*Solution, error) {
+// minimizes the shared change count. The solver's SAT/certify counters
+// aggregate onto res whether or not a solution is found — partial work
+// from a timed-out or cancelled query is reported, not dropped.
+func solveMultiTrace(ctx *smt.Context, sys *tsys.System, vars *VarTable, traces []*trace.Trace, init map[string]bv.XBV, deadline time.Time, stop *atomic.Bool, opts Options, res *Result) (*Solution, error) {
 	solver := smt.NewSolver(ctx)
+	defer func() {
+		res.SAT.Add(solver.SATStats())
+		res.Certify.Add(solver.CertifyStats())
+	}()
 	if opts.NoAbsint {
 		solver.DisableSimplify()
 	}
@@ -132,6 +165,7 @@ func solveMultiTrace(ctx *smt.Context, sys *tsys.System, vars *VarTable, traces 
 		solver.EnableCertification()
 	}
 	solver.SetDeadline(deadline)
+	solver.SetInterrupt(stop)
 
 	initTerms := map[*smt.Term]*smt.Term{}
 	for _, st := range sys.States {
@@ -177,6 +211,9 @@ func solveMultiTrace(ctx *smt.Context, sys *tsys.System, vars *VarTable, traces 
 
 	st, err := solver.Check()
 	if err != nil {
+		if errors.Is(err, sat.ErrInterrupted) {
+			return nil, ErrCancelled
+		}
 		return nil, ErrTimeout
 	}
 	if st != sat.Sat {
@@ -202,6 +239,9 @@ func solveMultiTrace(ctx *smt.Context, sys *tsys.System, vars *VarTable, traces 
 	for k := 0; k < bestChanges; k++ {
 		st, err := solver.Check(ctx.Ule(sum, ctx.ConstU(16, uint64(k))))
 		if err != nil {
+			if errors.Is(err, sat.ErrInterrupted) {
+				return nil, ErrCancelled
+			}
 			return nil, ErrTimeout
 		}
 		if st == sat.Sat {

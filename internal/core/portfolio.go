@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -74,15 +75,18 @@ func (o *Options) workerCount() int {
 
 // runPortfolio fills res with the outcome of running every
 // (pass, template) attempt concurrently on the given number of workers.
-// res already carries the preprocessing/localization results.
-func runPortfolio(res *Result, fixed *verilog.Module, ctx *smt.Context,
+// res already carries the preprocessing/localization results. A
+// cancelled ctx is mirrored onto every attempt's cooperative stop flag,
+// so running SAT searches abort at their next poll; the per-attempt
+// statistics accumulated up to that point still aggregate onto res.
+func runPortfolio(ctx context.Context, res *Result, fixed *verilog.Module, info *synth.Info,
 	ctr *trace.Trace, init map[string]bv.XBV, baseRun *sim.RunResult,
 	deadline time.Time, opts Options, passes []*analysis.Localization, workers int,
 	sc obs.Scope) {
 
 	p := &portfolio{
 		fixed:    fixed,
-		info:     elaborateInfo(ctx, fixed, opts.Lib),
+		info:     info,
 		ctr:      ctr,
 		init:     init,
 		baseRun:  baseRun,
@@ -103,6 +107,23 @@ func runPortfolio(res *Result, fixed *verilog.Module, ctx *smt.Context,
 		sp.SetInt("attempts", int64(len(p.attempts)))
 	}
 	defer p.obs.End()
+
+	// Mirror context cancellation onto every attempt's stop flag: the
+	// SAT loops poll the flags, so cancellation is immediate rather than
+	// waiting for the next wall-clock deadline check.
+	if ctx != nil && ctx.Done() != nil {
+		watcher := make(chan struct{})
+		defer close(watcher)
+		go func() {
+			select {
+			case <-ctx.Done():
+				for _, at := range p.attempts {
+					at.stop.Store(true)
+				}
+			case <-watcher:
+			}
+		}()
+	}
 
 	if workers <= 1 {
 		// Sequential engine: attempts run in declaration order on this
@@ -172,10 +193,28 @@ func runPortfolio(res *Result, fixed *verilog.Module, ctx *smt.Context,
 			return
 		}
 	}
+	// No repair. A cancelled context, an expired deadline, or any attempt
+	// that was cut short (solver deadline, cooperative cancellation) all
+	// mean the search did not run to completion: report StatusTimeout,
+	// with the partial SAT/certify statistics already aggregated above.
+	// (Sibling cancellation cannot reach here — it only happens after a
+	// candidate was stored, which returns StatusRepaired.)
+	if ctx != nil && ctx.Err() != nil {
+		res.Status = StatusTimeout
+		res.Reason = cancelReason(ctx.Err())
+		return
+	}
 	if time.Now().After(deadline) {
 		res.Status = StatusTimeout
 		res.Reason = "timeout"
 		return
+	}
+	for _, at := range p.attempts {
+		if errors.Is(at.tres.Err, ErrTimeout) || errors.Is(at.tres.Err, ErrCancelled) {
+			res.Status = StatusTimeout
+			res.Reason = "timeout"
+			return
+		}
 	}
 	res.Status = StatusCannotRepair
 	res.Reason = "no template found a repair"

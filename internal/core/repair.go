@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"rtlrepair/internal/analysis"
@@ -96,6 +97,14 @@ type Options struct {
 	// NoAbsint disables the abstract-interpretation term simplifier
 	// (ablation / A/B measurement of its CNF impact).
 	NoAbsint bool
+	// Frontend, when non-nil, supplies a pre-built preprocess+elaborate
+	// artifact for this exact design (see NewFrontend): the repair skips
+	// the frontend phases and reuses the artifact's elaborated system and
+	// template-analysis info. The serving layer caches Frontends by
+	// content hash so re-repairs of the same design with a new trace pay
+	// no frontend cost. The artifact must have been built from the same
+	// module and lib with the same NoPreprocess setting.
+	Frontend *Frontend
 }
 
 // frozenSet converts the Frozen option into the template Env form.
@@ -169,17 +178,133 @@ type Result struct {
 	Certify smt.CertifyStats
 }
 
+// Frontend is the reusable result of the repair pipeline's frontend:
+// static-analysis preprocessing plus elaboration of one design. Every
+// field is read-only after construction — the verilog AST is never
+// mutated by templates (Instrument deep-copies), simulation evaluates
+// the elaborated term DAG without creating terms, and the artifact's
+// private smt.Context is never handed to a term-producing phase — so a
+// single Frontend is safe for concurrent use by any number of RepairCtx
+// calls. The serving layer caches Frontends by design content hash.
+type Frontend struct {
+	// Fixed is the preprocessed module (== the input module when
+	// preprocessing was disabled or fixed nothing).
+	Fixed       *verilog.Module
+	Fixes       []lint.Fix
+	Diagnostics *analysis.Report
+	Lib         map[string]*verilog.Module
+	// Sys is the elaborated transition system of Fixed, bound to a
+	// private context that is frozen after construction. Nil when the
+	// frontend failed (see Reason).
+	Sys *tsys.System
+	// Info is the template-analysis info from the same elaboration.
+	Info *synth.Info
+	// Reason is the CannotRepair reason when the frontend failed
+	// (preprocessing error or unsynthesizable design); "" on success.
+	Reason string
+}
+
+// NewFrontend runs the frontend phases (preprocess, elaborate) once and
+// returns the shareable artifact. A failed frontend is still a valid —
+// and cacheable — artifact: its Reason carries the CannotRepair reason
+// RepairCtx will report.
+func NewFrontend(m *verilog.Module, lib map[string]*verilog.Module, noPreprocess bool) *Frontend {
+	return newFrontend(obs.Scope{}, m, lib, noPreprocess)
+}
+
+// newFrontend is NewFrontend with the phase spans recorded under sc.
+func newFrontend(sc obs.Scope, m *verilog.Module, lib map[string]*verilog.Module, noPreprocess bool) *Frontend {
+	fe := &Frontend{Fixed: m, Lib: lib}
+
+	// 1. Static-analysis preprocessing (§4.1).
+	if !noPreprocess {
+		span := sc.Tracer.Start(sc.Span, "preprocess")
+		var err error
+		fe.Fixed, fe.Fixes, fe.Diagnostics, err = lint.PreprocessWithReport(m, lib)
+		if span != nil {
+			span.SetInt("fixes", int64(len(fe.Fixes)))
+			span.End()
+		}
+		if err != nil {
+			fe.Reason = "preprocessing failed: " + err.Error()
+			return fe
+		}
+	}
+
+	// 2. Elaborate the preprocessed design. Elaboration stays the
+	// authority on synthesizability; the analysis report only explains
+	// the failure in more detail (it sees all problems at once where
+	// elaboration stops at the first).
+	span := sc.Tracer.Start(sc.Span, "elaborate")
+	sctx := smt.NewContext()
+	sys, info, err := synth.Elaborate(sctx, fe.Fixed, synth.Options{Lib: lib})
+	if span != nil {
+		if err == nil {
+			span.SetInt("states", int64(len(sys.States)))
+			span.SetInt("outputs", int64(len(sys.Outputs)))
+		}
+		span.End()
+	}
+	if err != nil {
+		fe.Reason = "not synthesizable: " + err.Error()
+		if fe.Diagnostics != nil {
+			if errs := fe.Diagnostics.Errors(); len(errs) > 0 {
+				fe.Reason += "; static analysis: " + errs[0].String()
+				if len(errs) > 1 {
+					fe.Reason += " (and " + strconv.Itoa(len(errs)-1) + " more)"
+				}
+			}
+		}
+		return fe
+	}
+	fe.Sys = sys
+	fe.Info = info
+	return fe
+}
+
 // Repair runs the full RTL-Repair flow of Figure 3 on a buggy module and
 // an I/O trace.
 func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 	return RepairCtx(context.Background(), m, tr, opts)
 }
 
-// RepairCtx is Repair with an observability scope carried by ctx (see
-// obs.NewContext): each pipeline phase — preprocess, elaborate,
-// concretize, localize, portfolio — records a span under a per-call
-// "repair" root, and the repair outcome and aggregate solver counters
-// land in the scope's metrics registry. A context without a scope (or
+// cancelReason renders a context error as a Result reason.
+func cancelReason(err error) string {
+	if err == context.Canceled {
+		return "cancelled"
+	}
+	return "timeout"
+}
+
+// watchCancel mirrors ctx cancellation onto a cooperative stop flag so
+// the SAT search loops (which poll the flag) notice immediately. The
+// returned release func stops the watcher; callers must invoke it.
+func watchCancel(ctx context.Context, flag *atomic.Bool) (release func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// RepairCtx is Repair with two context roles. First, cancellation: a
+// cancelled or deadline-expired ctx stops the repair promptly — the
+// cancellation is mirrored onto the portfolio attempts' cooperative
+// stop flags, which the SAT search loops poll — and the result reports
+// StatusTimeout with whatever solver statistics had accumulated. The
+// effective deadline is the earlier of ctx's deadline and
+// opts.Timeout. Second, observability (see obs.NewContext): each
+// pipeline phase — preprocess, elaborate, concretize, localize,
+// portfolio — records a span under a per-call "repair" root, and the
+// repair outcome and aggregate solver counters land in the scope's
+// metrics registry. A context without a scope (or
 // context.Background()) runs with observability fully disabled.
 func RepairCtx(ctx context.Context, m *verilog.Module, tr *trace.Trace, opts Options) *Result {
 	sc := obs.FromContext(ctx).Start("repair")
@@ -194,6 +319,9 @@ func RepairCtx(ctx context.Context, m *verilog.Module, tr *trace.Trace, opts Opt
 		opts.MaxAcceptableChanges = 3
 	}
 	deadline := startTime.Add(opts.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	res := &Result{FirstFailure: -1}
 	finish := func() *Result {
 		res.Duration = time.Since(startTime)
@@ -211,53 +339,28 @@ func RepairCtx(ctx context.Context, m *verilog.Module, tr *trace.Trace, opts Opt
 	}
 	phase := func(name string) *obs.Span { return sc.Tracer.Start(sc.Span, name) }
 
-	// 1. Static-analysis preprocessing (§4.1).
-	fixed := m
-	if !opts.NoPreprocess {
-		span := phase("preprocess")
-		var err error
-		fixed, res.Fixes, res.Diagnostics, err = lint.PreprocessWithReport(m, opts.Lib)
-		if span != nil {
-			span.SetInt("fixes", int64(len(res.Fixes)))
-			span.End()
-		}
-		if err != nil {
-			res.Status = StatusCannotRepair
-			res.Reason = "preprocessing failed: " + err.Error()
-			return finish()
-		}
+	// 1+2. Frontend: static-analysis preprocessing (§4.1) plus
+	// elaboration, possibly served from a shared pre-built artifact (the
+	// serving layer's content-addressed cache).
+	fe := opts.Frontend
+	if fe == nil {
+		fe = newFrontend(sc, m, opts.Lib, opts.NoPreprocess)
 	}
-
-	// 2. Elaborate the preprocessed design. Elaboration stays the
-	// authority on synthesizability; the analysis report only explains
-	// the failure in more detail (it sees all problems at once where
-	// elaboration stops at the first).
-	span := phase("elaborate")
-	sctx := smt.NewContext()
-	sys, _, err := synth.Elaborate(sctx, fixed, synth.Options{Lib: opts.Lib})
-	if span != nil {
-		if err == nil {
-			span.SetInt("states", int64(len(sys.States)))
-			span.SetInt("outputs", int64(len(sys.Outputs)))
-		}
-		span.End()
-	}
-	if err != nil {
+	res.Fixes, res.Diagnostics = fe.Fixes, fe.Diagnostics
+	if fe.Reason != "" {
 		res.Status = StatusCannotRepair
-		res.Reason = "not synthesizable: " + err.Error()
-		if res.Diagnostics != nil {
-			if errs := res.Diagnostics.Errors(); len(errs) > 0 {
-				res.Reason += "; static analysis: " + errs[0].String()
-				if len(errs) > 1 {
-					res.Reason += " (and " + strconv.Itoa(len(errs)-1) + " more)"
-				}
-			}
-		}
+		res.Reason = fe.Reason
+		return finish()
+	}
+	fixed, sys := fe.Fixed, fe.Sys
+	if err := ctx.Err(); err != nil {
+		res.Status = StatusTimeout
+		res.Reason = cancelReason(err)
 		return finish()
 	}
 
 	// 3. Concretize unknowns and check the current behaviour.
-	span = phase("concretize")
+	span := phase("concretize")
 	init, ctr := Concretize(sys, tr, opts.Policy, opts.Seed)
 	baseRun := runConcrete(sys, ctr, init)
 	if span != nil {
@@ -283,6 +386,11 @@ func RepairCtx(ctx context.Context, m *verilog.Module, tr *trace.Trace, opts Opt
 		return finish()
 	}
 	res.FirstFailure = baseRun.FirstFailure
+	if err := ctx.Err(); err != nil {
+		res.Status = StatusTimeout
+		res.Reason = cancelReason(err)
+		return finish()
+	}
 
 	// 4. Fault localization: the cone of influence of the failing
 	// output columns, ranked by the static-analysis diagnostics.
@@ -313,7 +421,7 @@ func RepairCtx(ctx context.Context, m *verilog.Module, tr *trace.Trace, opts Opt
 	// selected repair is identical either way because every attempt is
 	// computed on its own context and the selection is a deterministic
 	// function of the attempt results.
-	runPortfolio(res, fixed, sctx, ctr, init, baseRun, deadline, opts, passes, opts.workerCount(), sc)
+	runPortfolio(ctx, res, fixed, fe.Info, ctr, init, baseRun, deadline, opts, passes, opts.workerCount(), sc)
 	return finish()
 }
 

@@ -92,7 +92,7 @@ func TestRepairIsIdempotent(t *testing.T) {
 		}
 		m, _ := b.BuggyModule()
 		lib, _ := b.LibModules()
-		seed := chooseSeed(b, 1)
+		seed := ChooseSeed(b, 1)
 		res := core.Repair(m, tr, core.Options{Policy: sim.Randomize, Seed: seed,
 			Timeout: 45 * time.Second, Lib: lib})
 		if res.Status != core.StatusRepaired {

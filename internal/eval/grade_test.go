@@ -78,14 +78,14 @@ func TestGradeRepairUnrelatedChangeIsD(t *testing.T) {
 
 func TestChooseSeedFindsRevealingSeed(t *testing.T) {
 	// D11's bug (missing reset) is only visible when the randomized
-	// power-on value happens to be 1; chooseSeed must find such a seed.
+	// power-on value happens to be 1; ChooseSeed must find such a seed.
 	b := bench.ByName("D11")
-	seed := chooseSeed(b, 1)
+	seed := ChooseSeed(b, 1)
 	if seed < 1 || seed > 8 {
 		t.Fatalf("seed = %d", seed)
 	}
 	// The returned seed must actually reveal the bug (checked inside
-	// chooseSeed; re-verify through the public repair path).
+	// ChooseSeed; re-verify through the public repair path).
 	run := RunRTLRepair(b, quickOpts())
 	if run.Status == "no-repair-needed" {
 		t.Fatal("chosen seed does not reveal the D11 bug")

@@ -152,6 +152,10 @@ type Options struct {
 	// call: one "repair" span per benchmark run, plus the shared metrics
 	// registry. The zero Scope (the default) disables it.
 	Obs obs.Scope
+	// Ctx, when non-nil, cancels in-flight repairs: commands wire their
+	// SIGINT/SIGTERM context here so an interrupted evaluation stops the
+	// SAT searches promptly instead of running every budget down.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the evaluation defaults used by the tables.
@@ -165,10 +169,13 @@ func DefaultOptions() Options {
 	}
 }
 
-// chooseSeed finds a concretization seed under which the buggy design
+// ChooseSeed finds a concretization seed under which the buggy design
 // actually fails its testbench (randomized unknown values can mask
 // power-on bugs; rerunning with a fresh seed is what a user would do).
-func chooseSeed(b *bench.Benchmark, base int64) int64 {
+// Exported for the load generator (cmd/rtlload), which replays the
+// corpus against a repair server and needs the same seed choice the
+// evaluation uses.
+func ChooseSeed(b *bench.Benchmark, base int64) int64 {
 	sys, err := b.BuggySystem()
 	if err != nil {
 		return base
@@ -209,9 +216,13 @@ func RunRTLRepair(b *bench.Benchmark, opts Options) *ToolRun {
 		run.Err = err.Error()
 		return run
 	}
-	seed := chooseSeed(b, opts.Seed)
+	seed := ChooseSeed(b, opts.Seed)
 	run.Seed = seed
-	res := core.RepairCtx(obs.NewContext(context.Background(), opts.Obs), m, tr, core.Options{
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := core.RepairCtx(obs.NewContext(ctx, opts.Obs), m, tr, core.Options{
 		Policy:   sim.Randomize,
 		Seed:     seed,
 		Timeout:  opts.RTLTimeout,

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"rtlrepair/internal/obs"
+)
+
+// contentKey hashes an ordered list of fields into a content address.
+// Each field is length-prefixed so ("ab","c") and ("a","bc") cannot
+// collide, and the first field conventionally names the keyspace
+// ("result", "artifact") so the two cache tiers never share keys.
+func contentKey(fields ...string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, f := range fields {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(f)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(f))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lruCache is a bounded map with least-recently-used eviction. Hits,
+// misses and evictions count onto the server's metrics registry under
+// serve.cache.<name>.*, so /metricsz exposes the cache economics.
+type lruCache[V any] struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	name    string
+	metrics *obs.Registry
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// newLRU returns a cache holding at most max entries; max <= 0 disables
+// the cache entirely (every Get misses, every Put is dropped).
+func newLRU[V any](name string, max int, metrics *obs.Registry) *lruCache[V] {
+	return &lruCache[V]{
+		max:     max,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+		name:    name,
+		metrics: metrics,
+	}
+}
+
+func (c *lruCache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.metrics.Add("serve.cache."+c.name+".hits", 1)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.metrics.Add("serve.cache."+c.name+".misses", 1)
+	var zero V
+	return zero, false
+}
+
+func (c *lruCache[V]) Put(key string, val V) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry[V]{key: key, val: val})
+	for len(c.entries) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry[V]).key)
+		c.metrics.Add("serve.cache."+c.name+".evictions", 1)
+	}
+	c.metrics.SetGauge("serve.cache."+c.name+".entries", float64(len(c.entries)))
+}
+
+func (c *lruCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,359 @@
+// Package serve exposes the repair pipeline as a concurrent HTTP/JSON
+// service: a bounded job queue with admission control, a worker pool
+// running repairs under per-job deadlines, and a two-tier
+// content-addressed cache (exact-request results, plus reusable
+// frontend artifacts so re-repairing a known design with a new trace
+// skips parsing and elaboration). See DESIGN.md "Serving".
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"rtlrepair/internal/core"
+	"rtlrepair/internal/obs"
+	"rtlrepair/internal/sim"
+)
+
+// Submission errors mapped to HTTP statuses by the handler layer.
+var (
+	// ErrQueueFull rejects a submission when the queue is at capacity
+	// (HTTP 429 with Retry-After).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining rejects submissions during shutdown (HTTP 503).
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// badRequestError wraps request validation failures (HTTP 400).
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+
+// IsBadRequest reports whether a Submit error is a client error.
+func IsBadRequest(err error) bool {
+	var br *badRequestError
+	return errors.As(err, &br)
+}
+
+// Config tunes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// QueueDepth bounds the number of accepted-but-not-running jobs;
+	// submissions beyond it are rejected with ErrQueueFull. Default 64.
+	QueueDepth int
+	// Slots is the number of jobs repaired concurrently. Default
+	// max(1, NumCPU/2) — each job may itself run a portfolio.
+	Slots int
+	// PortfolioWorkers is the per-job core.Options.Workers. Default 1
+	// (sequential portfolio): with several job slots, cross-job
+	// parallelism beats intra-job parallelism on throughput.
+	PortfolioWorkers int
+	// JobTimeout caps one repair's wall time. Default 60s.
+	JobTimeout time.Duration
+	// QueueTimeout caps how long a job may wait in the queue before it
+	// is failed with a timeout instead of being run. Default 5m; < 0
+	// disables the limit.
+	QueueTimeout time.Duration
+	// ResultCacheSize bounds the exact-request result cache. Default
+	// 256 entries; < 0 disables it.
+	ResultCacheSize int
+	// ArtifactCacheSize bounds the frontend artifact cache. Default 64
+	// entries; < 0 disables it.
+	ArtifactCacheSize int
+	// Obs supplies the tracer/metrics registry. A nil Metrics is
+	// replaced with a fresh registry so /metricsz always works.
+	Obs obs.Scope
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Slots == 0 {
+		c.Slots = runtime.NumCPU() / 2
+		if c.Slots < 1 {
+			c.Slots = 1
+		}
+	}
+	if c.PortfolioWorkers == 0 {
+		c.PortfolioWorkers = 1
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 5 * time.Minute
+	}
+	if c.ResultCacheSize == 0 {
+		c.ResultCacheSize = 256
+	}
+	if c.ArtifactCacheSize == 0 {
+		c.ArtifactCacheSize = 64
+	}
+	if c.Obs.Metrics == nil {
+		c.Obs.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// artifact is one cached frontend: the parsed design plus its
+// preprocess+elaborate result, shared read-only across jobs.
+type artifact struct {
+	parsed *parsedRequest
+	fe     *core.Frontend
+}
+
+// repairFunc is the worker's compute seam; tests substitute a fake.
+type repairFunc func(ctx context.Context, job *Job) *RepairResult
+
+// Server is the repair service. Create with New, serve its Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *obs.Registry
+
+	queue  chan *Job
+	repair repairFunc
+
+	mu       sync.Mutex
+	draining bool
+	inflight map[string]*Job // singleflight: cache key → running/queued job
+	jobs     map[string]*Job // job id → job (terminal jobs included)
+
+	results   *lruCache[*RepairResult]
+	artifacts *lruCache[*artifact]
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workers    sync.WaitGroup
+}
+
+// New starts a server's worker pool and returns it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  cfg.Obs.Metrics,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		inflight: map[string]*Job{},
+		jobs:     map[string]*Job{},
+	}
+	s.results = newLRU[*RepairResult]("result", cfg.ResultCacheSize, s.metrics)
+	s.artifacts = newLRU[*artifact]("artifact", cfg.ArtifactCacheSize, s.metrics)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.repair = s.runRepair
+	s.metrics.SetGauge("serve.slots", float64(cfg.Slots))
+	for i := 0; i < cfg.Slots; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and admits a repair request. The returned job may
+// already be terminal (result-cache hit) or shared with concurrent
+// identical submissions (singleflight dedup). Errors: validation
+// failures satisfy IsBadRequest; ErrQueueFull and ErrDraining report
+// admission-control rejections.
+func (s *Server) Submit(req *Request) (*Job, error) {
+	parsed, err := parseRequest(req)
+	if err != nil {
+		s.metrics.Add("serve.jobs.invalid", 1)
+		return nil, &badRequestError{err}
+	}
+	key := req.resultKey()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.metrics.Add("serve.jobs.rejected_draining", 1)
+		return nil, ErrDraining
+	}
+	if rr, ok := s.results.Get(key); ok {
+		job := newJob(key, parsed)
+		job.finish(rr, true)
+		s.jobs[job.ID] = job
+		s.metrics.Add("serve.jobs.cached", 1)
+		return job, nil
+	}
+	if job, ok := s.inflight[key]; ok {
+		s.metrics.Add("serve.jobs.deduped", 1)
+		return job, nil
+	}
+	job := newJob(key, parsed)
+	select {
+	case s.queue <- job:
+	default:
+		s.metrics.Add("serve.jobs.rejected_queue_full", 1)
+		return nil, ErrQueueFull
+	}
+	s.inflight[key] = job
+	s.jobs[job.ID] = job
+	s.metrics.Add("serve.jobs.accepted", 1)
+	s.metrics.SetGauge("serve.queue.depth", float64(len(s.queue)))
+	return job, nil
+}
+
+// Job looks up a job by id (nil when unknown).
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Stats is the health snapshot for /healthz.
+type Stats struct {
+	Draining   bool `json:"draining"`
+	QueueDepth int  `json:"queue_depth"`
+	QueueCap   int  `json:"queue_cap"`
+	Slots      int  `json:"slots"`
+	Jobs       int  `json:"jobs"`
+	Inflight   int  `json:"inflight"`
+}
+
+// Snapshot returns the current health stats.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Draining:   s.draining,
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueDepth,
+		Slots:      s.cfg.Slots,
+		Jobs:       len(s.jobs),
+		Inflight:   len(s.inflight),
+	}
+}
+
+// Metrics returns the server's registry (never nil).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Shutdown drains the server: new submissions are rejected with
+// ErrDraining, queued jobs still run, and the call returns once every
+// accepted job has reached a terminal state. If ctx expires first, the
+// running and still-queued jobs are cancelled — they finish promptly
+// with a timeout status, so even then no accepted job is lost. Safe to
+// call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("serve: already shut down")
+	}
+	s.draining = true
+	// Submits enqueue while holding s.mu and check draining first, so
+	// closing the queue here cannot race a send.
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Cancel running jobs; workers then drain the remaining queue
+		// fast (each cancelled repair returns almost immediately).
+		s.baseCancel()
+		<-done
+		err = ctx.Err()
+	}
+	s.baseCancel()
+	return err
+}
+
+// worker pulls jobs until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	wait := job.markRunning()
+	s.metrics.Observe("serve.queue_wait_ms", float64(wait.Milliseconds()))
+	s.metrics.SetGauge("serve.queue.depth", float64(len(s.queue)))
+
+	var rr *RepairResult
+	if s.cfg.QueueTimeout > 0 && wait > s.cfg.QueueTimeout {
+		s.metrics.Add("serve.jobs.queue_timeout", 1)
+		rr = &RepairResult{Status: core.StatusTimeout.String(),
+			Reason: "queue-wait deadline exceeded", FirstFailure: -1}
+	} else {
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.jobTimeout(job))
+		rr = s.repair(ctx, job)
+		cancel()
+		// Only organic results are worth caching: a queue-timeout verdict
+		// says nothing about the design.
+		s.results.Put(job.Key, rr)
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, job.Key)
+	s.mu.Unlock()
+	job.finish(rr, false)
+	s.metrics.Add("serve.jobs.completed", 1)
+	s.metrics.Add("serve.jobs.status."+rr.Status, 1)
+	s.metrics.Observe("serve.job_ms", float64(rr.DurationMS))
+}
+
+// jobTimeout resolves the effective budget: the client may only shrink
+// the server's per-job timeout, never grow it.
+func (s *Server) jobTimeout(job *Job) time.Duration {
+	d := s.cfg.JobTimeout
+	if ms := job.parsed.req.Options.TimeoutMS; ms > 0 {
+		if c := time.Duration(ms) * time.Millisecond; c < d {
+			d = c
+		}
+	}
+	return d
+}
+
+// artifactFor returns the cached frontend for the job's design,
+// building and caching it on a miss. Concurrent misses on the same key
+// may build twice; both builds produce identical artifacts and the
+// cache keeps the last, so this only costs duplicate work, never
+// correctness.
+func (s *Server) artifactFor(job *Job) *artifact {
+	key := job.parsed.req.artifactKey()
+	if art, ok := s.artifacts.Get(key); ok {
+		return art
+	}
+	parsed := job.parsed
+	art := &artifact{
+		parsed: parsed,
+		fe:     core.NewFrontend(parsed.top, parsed.lib, parsed.req.Options.NoPreprocess),
+	}
+	s.artifacts.Put(key, art)
+	return art
+}
+
+// runRepair is the production repair seam: artifact-cached frontend
+// plus core.RepairCtx under the job's context.
+func (s *Server) runRepair(ctx context.Context, job *Job) *RepairResult {
+	art := s.artifactFor(job)
+	o := job.parsed.req.Options
+	policy := sim.Randomize
+	if o.ZeroInit {
+		policy = sim.Zero
+	}
+	res := core.RepairCtx(obs.NewContext(ctx, s.cfg.Obs), art.parsed.top, job.parsed.tr, core.Options{
+		Policy:       policy,
+		Seed:         o.Seed,
+		Timeout:      s.jobTimeout(job),
+		Basic:        o.Basic,
+		Lib:          art.parsed.lib,
+		Workers:      s.cfg.PortfolioWorkers,
+		Certify:      o.Certify,
+		NoAbsint:     o.NoAbsint,
+		NoPreprocess: o.NoPreprocess,
+		Frontend:     art.fe,
+	})
+	return toResult(res)
+}

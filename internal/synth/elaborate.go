@@ -3,6 +3,7 @@ package synth
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"rtlrepair/internal/bv"
 	"rtlrepair/internal/smt"
@@ -79,10 +80,19 @@ type elab struct {
 	depTarget []string
 }
 
+// elaborations counts Elaborate calls process-wide. The serving layer's
+// artifact cache uses the counter to prove (in tests and metrics) that a
+// cache hit skips the frontend elaboration.
+var elaborations atomic.Int64
+
+// Elaborations returns the process-wide number of Elaborate calls.
+func Elaborations() int64 { return elaborations.Load() }
+
 // Elaborate converts a Verilog module (plus instantiated library modules)
 // into a transition system. It returns the system and synthesis info, or
 // an *ErrSynth describing why the design is not synthesizable.
 func Elaborate(ctx *smt.Context, m *verilog.Module, opts Options) (*tsys.System, *Info, error) {
+	elaborations.Add(1)
 	flat, err := Flatten(m, opts.Lib)
 	if err != nil {
 		return nil, nil, err
