@@ -12,6 +12,13 @@
 // semantics. SIGINT/SIGTERM drain gracefully: intake stops, accepted
 // jobs finish (cancelled if -drain-timeout expires — they still reach a
 // terminal state), and the observability outputs flush.
+//
+// With -portfolio-workers > 1, GET /metricsz additionally reports the
+// parallel portfolio's health: portfolio.utilization_pct (worker busy
+// time over wall clock), portfolio.steals (attempts claimed across
+// worker deques), portfolio.prefix.{cycles,hits} (shared encode-prefix
+// cache), and sat.share.{exported,imported,rejected} (learned-clause
+// exchange totals).
 package main
 
 import (

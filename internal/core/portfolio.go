@@ -12,18 +12,19 @@ import (
 	"rtlrepair/internal/analysis"
 	"rtlrepair/internal/bv"
 	"rtlrepair/internal/obs"
+	"rtlrepair/internal/sat"
 	"rtlrepair/internal/sim"
 	"rtlrepair/internal/smt"
 	"rtlrepair/internal/synth"
 	"rtlrepair/internal/trace"
-	"rtlrepair/internal/verilog"
 )
 
 // The portfolio engine runs the template loop of Figure 3 as a set of
 // concurrent attempts, one per (localization pass, template) pair. Each
-// attempt owns a fresh smt.Context — the hash-consed term DAG is mutable
-// and must not be shared across goroutines — and a cooperative stop flag
-// that sibling attempts set once their result makes this one irrelevant:
+// attempt owns its own smt.Context — layered on the frontend's frozen
+// elaboration context, so shared subcircuits are reused by pointer
+// rather than re-interned — and a cooperative stop flag that sibling
+// attempts set once their result makes this one irrelevant:
 //
 //   - an acceptable repair (Σφ ≤ MaxAcceptableChanges) at (pass, i)
 //     cancels the same pass's templates after i and every later pass;
@@ -31,11 +32,14 @@ import (
 //     sequential engine never starts the unpruned pass once any repair
 //     exists.
 //
-// Selection happens only after every attempt has finished (or been
-// cancelled), by the sequential engine's precedence: earliest acceptable
-// template of the earliest pass, else the smallest fallback of the
-// earliest pass that has one. The outcome is therefore deterministic —
-// independent of worker count and goroutine scheduling.
+// Attempts are scheduled by a work-stealing scheduler with a
+// speculation throttle (see steal.go), share one prefix-snapshot cache
+// (see prefix.go), and exchange learned clauses within each attempt's
+// own solver lineage (see sat/share.go). Selection happens only after
+// every attempt has finished (or been cancelled), by the sequential
+// engine's precedence: earliest acceptable template of the earliest
+// pass, else the smallest fallback. The outcome is therefore
+// deterministic — independent of worker count and goroutine scheduling.
 
 // attempt is one (localization pass, template) portfolio entry.
 type attempt struct {
@@ -53,15 +57,16 @@ type attempt struct {
 }
 
 type portfolio struct {
-	fixed    *verilog.Module
-	info     *synth.Info
+	fe       *Frontend
 	ctr      *trace.Trace
 	init     map[string]bv.XBV
 	baseRun  *sim.RunResult
 	deadline time.Time
 	opts     Options
 	attempts []*attempt
-	obs      obs.Scope // the "portfolio" span's scope
+	prefix   *PrefixCache  // shared encode prefix (window start states)
+	exch     *sat.Exchange // per-attempt-lineage clause exchange (nil when disabled)
+	obs      obs.Scope     // the "portfolio" span's scope
 }
 
 // workerCount resolves the Workers knob: 0 picks one worker per
@@ -73,25 +78,40 @@ func (o *Options) workerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// speculationCapacity is the most attempts worth running at once: one
+// per core the Go scheduler may actually use. Beyond that, extra
+// attempts cannot overlap — they only time-slice against the attempt
+// that is about to win and cancel them.
+func speculationCapacity() int {
+	c := runtime.NumCPU()
+	if g := runtime.GOMAXPROCS(0); g < c {
+		c = g
+	}
+	return c
+}
+
 // runPortfolio fills res with the outcome of running every
 // (pass, template) attempt concurrently on the given number of workers.
 // res already carries the preprocessing/localization results. A
 // cancelled ctx is mirrored onto every attempt's cooperative stop flag,
 // so running SAT searches abort at their next poll; the per-attempt
 // statistics accumulated up to that point still aggregate onto res.
-func runPortfolio(ctx context.Context, res *Result, fixed *verilog.Module, info *synth.Info,
+func runPortfolio(ctx context.Context, res *Result, fe *Frontend,
 	ctr *trace.Trace, init map[string]bv.XBV, baseRun *sim.RunResult,
 	deadline time.Time, opts Options, passes []*analysis.Localization, workers int,
 	sc obs.Scope) {
 
 	p := &portfolio{
-		fixed:    fixed,
-		info:     info,
+		fe:       fe,
 		ctr:      ctr,
 		init:     init,
 		baseRun:  baseRun,
 		deadline: deadline,
 		opts:     opts,
+		prefix:   NewPrefixCache(fe.Sys, ctr, init),
+	}
+	if !opts.NoClauseShare {
+		p.exch = sat.NewExchange()
 	}
 	for pi, loc := range passes {
 		for ti, tmpl := range opts.Templates {
@@ -125,6 +145,8 @@ func runPortfolio(ctx context.Context, res *Result, fixed *verilog.Module, info 
 		}()
 	}
 
+	wallStart := time.Now()
+	var steals int64
 	if workers <= 1 {
 		// Sequential engine: attempts run in declaration order on this
 		// goroutine. Cancellation still applies — an acceptable repair
@@ -132,32 +154,53 @@ func runPortfolio(ctx context.Context, res *Result, fixed *verilog.Module, info 
 		// those attempts return immediately, reproducing the sequential
 		// early exit.
 		for _, at := range p.attempts {
-			p.runAttempt(at, 0)
+			p.runAttempt(at, 0, false)
 		}
 	} else {
-		// A channel of worker ids doubles as the concurrency semaphore
-		// and records which worker ran each attempt (per-worker timing).
-		ids := make(chan int, workers)
-		for i := 0; i < workers; i++ {
-			ids <- i
-		}
+		sched := newStealScheduler(len(p.attempts), workers, speculationCapacity())
 		var wg sync.WaitGroup
-		for _, at := range p.attempts {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(at *attempt) {
+			go func(w int) {
 				defer wg.Done()
-				id := <-ids
-				defer func() { ids <- id }()
-				p.runAttempt(at, id)
-			}(at)
+				for {
+					idx, stolen, ok := sched.next(w)
+					if !ok {
+						return
+					}
+					p.runAttempt(p.attempts[idx], w, stolen)
+					sched.finish()
+				}
+			}(w)
 		}
 		wg.Wait()
+		steals = sched.stealCount()
 	}
+	wall := time.Since(wallStart)
 
+	var busy time.Duration
 	for _, at := range p.attempts {
 		res.PerTemplate = append(res.PerTemplate, at.tres)
 		res.SAT.Add(at.tres.Stats.SAT)
 		res.Certify.Add(at.tres.Stats.Certify)
+		if at.tres.State != AttemptSkipped {
+			busy += at.tres.Duration
+		}
+	}
+	// Scheduler health metrics: steals, the shared-prefix cache's work,
+	// and worker utilization (busy attempt time over workers × wall).
+	// These land in the run's metrics registry, so serve-mode exposes
+	// them on /metricsz without any tracing enabled.
+	p.obs.Metrics.Add("portfolio.steals", steals)
+	sim, hits := p.prefix.Counters()
+	p.obs.Metrics.Add("portfolio.prefix.cycles", sim)
+	p.obs.Metrics.Add("portfolio.prefix.hits", hits)
+	if wall > 0 && workers > 0 {
+		util := 100 * float64(busy) / (float64(wall) * float64(workers))
+		p.obs.Metrics.SetGauge("portfolio.utilization_pct", util)
+	}
+	if sp := p.obs.Span; sp != nil {
+		sp.SetInt("steals", steals)
 	}
 
 	// Deterministic selection, mirroring the sequential engine: within a
@@ -220,11 +263,13 @@ func runPortfolio(ctx context.Context, res *Result, fixed *verilog.Module, info 
 	res.Reason = "no template found a repair"
 }
 
-// runAttempt executes one attempt on its own smt.Context and synthesis
-// variable namespace. On success it stores a verified candidate and
-// cancels the siblings the sequential engine would never have run.
-func (p *portfolio) runAttempt(at *attempt, worker int) {
-	at.tres = TemplateResult{Template: at.tmpl.Name(), Localized: at.loc != nil, Worker: worker}
+// runAttempt executes one attempt on its own smt.Context — a layer over
+// the frontend's frozen context — and synthesis variable namespace. On
+// success it stores a verified candidate and cancels the siblings the
+// sequential engine would never have run.
+func (p *portfolio) runAttempt(at *attempt, worker int, stolen bool) {
+	at.tres = TemplateResult{Template: at.tmpl.Name(), Localized: at.loc != nil,
+		Worker: worker, Stolen: stolen, State: AttemptRan}
 	start := time.Now()
 	// The attempt span is keyed by (pass, template) — stable across
 	// worker counts and scheduling — and carries the worker lane. Worker
@@ -240,29 +285,39 @@ func (p *portfolio) runAttempt(at *attempt, worker int) {
 			sp.SetInt("sites", int64(at.tres.Sites))
 			sp.SetBool("found", at.tres.Found)
 			sp.SetBool("cancelled", at.tres.Cancelled)
+			sp.SetStr("state", at.tres.State)
 		}
 		asc.End()
 		p.obs.Metrics.Add(fmt.Sprintf("portfolio.worker.%d.busy_us", worker),
 			at.tres.Duration.Microseconds())
 		p.obs.Metrics.Add("portfolio.attempts", 1)
+		p.obs.Metrics.Add("portfolio.attempts."+at.tres.State, 1)
 	}()
 
 	if at.stop.Load() {
+		at.tres.State = AttemptSkipped
 		at.tres.Cancelled = true
 		at.tres.Err = ErrCancelled
 		return
 	}
 	if time.Now().After(p.deadline) {
+		at.tres.State = AttemptSkipped
 		at.tres.Err = ErrTimeout
 		return
 	}
 
 	ctx := smt.NewContext()
+	if p.fe != nil && p.fe.ctx != nil {
+		// Layer the attempt's context over the frontend's frozen one:
+		// elaborating the instrumented module then re-interns only what
+		// the template changed, sharing the rest of the term DAG.
+		ctx = p.fe.ctx.Clone()
+	}
 	counter := 0
 	vars := NewVarTable(&counter)
-	env := &Env{Info: p.info, Lib: p.opts.Lib, Frozen: p.opts.frozenSet(), Loc: at.loc}
+	env := &Env{Info: p.fe.Info, Lib: p.opts.Lib, Frozen: p.opts.frozenSet(), Loc: at.loc}
 	ispan := asc.Tracer.Start(asc.Span, "instrument")
-	instr, err := at.tmpl.Instrument(p.fixed, env, vars)
+	instr, err := at.tmpl.Instrument(p.fe.Fixed, env, vars)
 	if ispan != nil {
 		ispan.SetInt("sites", int64(len(vars.Phis)))
 		ispan.End()
@@ -290,6 +345,15 @@ func (p *portfolio) runAttempt(at *attempt, worker int) {
 	sopts.Interrupt = &at.stop
 	sopts.Certify = p.opts.Certify
 	sopts.NoAbsint = p.opts.NoAbsint
+	sopts.SharedPrefix = p.prefix
+	if p.exch != nil {
+		// The room spans this attempt's window-solver lineage only:
+		// those solvers run sequentially, so the room content at every
+		// import point is schedule-independent and the selected repair
+		// stays byte-identical at any worker count.
+		sopts.Share = p.exch
+		sopts.ShareNS = fmt.Sprintf("p%d:%s", at.pass, at.tmpl.Name())
+	}
 	sopts.Obs = asc
 	synthz := NewSynthesizer(ctx, isys, vars, p.ctr, p.init, sopts)
 	var sol *Solution
@@ -301,7 +365,10 @@ func (p *portfolio) runAttempt(at *attempt, worker int) {
 	at.tres.Stats = synthz.Stats
 	if err != nil {
 		at.tres.Err = err
-		at.tres.Cancelled = errors.Is(err, ErrCancelled)
+		if errors.Is(err, ErrCancelled) {
+			at.tres.Cancelled = true
+			at.tres.State = AttemptCancelled
+		}
 		return
 	}
 	if sol == nil {

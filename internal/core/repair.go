@@ -97,6 +97,12 @@ type Options struct {
 	// NoAbsint disables the abstract-interpretation term simplifier
 	// (ablation / A/B measurement of its CNF impact).
 	NoAbsint bool
+	// NoClauseShare disables the learned-clause exchange between the
+	// window solvers of each portfolio attempt (ablation). Sharing is
+	// deterministic (rooms are confined to one attempt's sequential
+	// solver lineage) and DRUP-sound (imports are RUP-verified by the
+	// receiver and logged in its proof), so it is on by default.
+	NoClauseShare bool
 	// Frontend, when non-nil, supplies a pre-built preprocess+elaborate
 	// artifact for this exact design (see NewFrontend): the repair skips
 	// the frontend phases and reuses the artifact's elaborated system and
@@ -124,6 +130,24 @@ func DefaultTemplates() []Template {
 	return []Template{ReplaceLiterals{}, AddGuard{}, CondOverwrite{}}
 }
 
+// Attempt states, reported per TemplateResult so downstream consumers
+// (benchmarks, the serving layer) can tell real work from phantom
+// entries that never started.
+const (
+	// AttemptRan: the attempt executed its synthesis to completion
+	// (found a repair, proved none exists, or errored on its own).
+	AttemptRan = "ran"
+	// AttemptCancelled: the attempt started but was stopped mid-search
+	// because a sibling's repair made its outcome irrelevant (or the
+	// caller cancelled the repair).
+	AttemptCancelled = "cancelled"
+	// AttemptSkipped: the attempt never started — it was cancelled or
+	// the deadline expired before a worker picked it up. Its Duration
+	// is scheduling noise, not work, and must be excluded from speedup
+	// math.
+	AttemptSkipped = "skipped"
+)
+
 // TemplateResult records one template's attempt (for Table 5).
 type TemplateResult struct {
 	Template string
@@ -143,6 +167,11 @@ type TemplateResult struct {
 	// Cancelled is true when the portfolio stopped the attempt because a
 	// sibling's repair made its outcome irrelevant.
 	Cancelled bool
+	// State is AttemptRan, AttemptCancelled, or AttemptSkipped.
+	State string
+	// Stolen is true when a work-stealing worker executed an attempt
+	// seeded to another worker's deque.
+	Stolen bool
 }
 
 // Result is the outcome of a repair run.
@@ -202,6 +231,13 @@ type Frontend struct {
 	// Reason is the CannotRepair reason when the frontend failed
 	// (preprocessing error or unsynthesizable design); "" on success.
 	Reason string
+
+	// ctx is the private context Sys is bound to, frozen at
+	// construction. Portfolio attempts layer their own contexts on top
+	// of it (smt.Context.Clone), so the instrument/elaborate step of
+	// each attempt reuses the frontend's hash-consed term DAG instead of
+	// rebuilding it from an empty table.
+	ctx *smt.Context
 }
 
 // NewFrontend runs the frontend phases (preprocess, elaborate) once and
@@ -259,6 +295,11 @@ func newFrontend(sc obs.Scope, m *verilog.Module, lib map[string]*verilog.Module
 	}
 	fe.Sys = sys
 	fe.Info = info
+	// Freeze the elaboration context now, on the constructing goroutine:
+	// portfolio attempts — possibly of many concurrent repairs sharing
+	// one cached Frontend — clone it without further writes.
+	sctx.Freeze()
+	fe.ctx = sctx
 	return fe
 }
 
@@ -421,7 +462,7 @@ func RepairCtx(ctx context.Context, m *verilog.Module, tr *trace.Trace, opts Opt
 	// selected repair is identical either way because every attempt is
 	// computed on its own context and the selection is a deterministic
 	// function of the attempt results.
-	runPortfolio(ctx, res, fixed, fe.Info, ctr, init, baseRun, deadline, opts, passes, opts.workerCount(), sc)
+	runPortfolio(ctx, res, fe, ctr, init, baseRun, deadline, opts, passes, opts.workerCount(), sc)
 	return finish()
 }
 
@@ -436,6 +477,9 @@ func recordRepairMetrics(r *obs.Registry, res *Result) {
 	r.Add("sat.decisions", res.SAT.Decisions)
 	r.Add("sat.propagations", res.SAT.Propagations)
 	r.Add("sat.learned", res.SAT.Learned)
+	r.Add("sat.share.exported", res.SAT.SharedExported)
+	r.Add("sat.share.imported", res.SAT.SharedImported)
+	r.Add("sat.share.rejected", res.SAT.SharedRejected)
 	r.Add("certify.proof_steps", int64(res.Certify.ProofSteps))
 	r.Add("certify.check_time_us", res.Certify.CheckTime.Microseconds())
 }

@@ -1,0 +1,122 @@
+package core
+
+import "sync"
+
+// stealScheduler hands portfolio attempts to workers. Two mechanisms
+// replace the old static one-goroutine-per-attempt semaphore:
+//
+//   - Work stealing. Attempt indices are seeded round-robin onto
+//     per-worker deques in priority (declaration) order. A worker pops
+//     the front of its own deque; when that is empty it steals the
+//     highest-priority attempt from another worker's deque. One long
+//     attempt therefore never serializes the tail of the matrix behind
+//     it — idle workers drain the remaining attempts regardless of
+//     whose deque they landed on.
+//
+//   - A speculation throttle. At most `capacity` attempts run at once,
+//     where capacity = min(NumCPU, GOMAXPROCS): running more attempts
+//     than cores cannot overlap anything, it only time-slices doomed
+//     speculative attempts against the attempt that is about to win and
+//     cancel them (the measured 0.5× "parallel" slowdown at
+//     GOMAXPROCS=1 in the seed benchmarks). Claims always go to the
+//     highest-priority pending attempt, so the throttled order is the
+//     sequential engine's order.
+//
+// Selection stays deterministic either way: the portfolio selects after
+// all attempts finish, by (pass, template) precedence — scheduling only
+// moves wall-clock time. All methods are safe for concurrent use.
+type stealScheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	deques   [][]int // per-worker attempt indices, front = highest priority
+	pending  int     // attempts not yet claimed
+	running  int     // attempts claimed and not yet finished
+	capacity int     // max attempts running at once
+
+	// strict claims in global priority order instead of own-deque-first.
+	// Set when capacity < workers: with fewer slots than workers, which
+	// attempt gets a slot matters — the sequential engine's order is the
+	// one most likely to cancel everything behind it. At full capacity
+	// the claim order is irrelevant (every attempt gets a core) and
+	// own-deque-first avoids needless cross-deque traffic.
+	strict bool
+
+	steals int64
+}
+
+// newStealScheduler seeds `attempts` indices round-robin over `workers`
+// deques. capacity < 1 is treated as 1.
+func newStealScheduler(attempts, workers, capacity int) *stealScheduler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &stealScheduler{
+		deques:   make([][]int, workers),
+		pending:  attempts,
+		capacity: capacity,
+		strict:   capacity < workers,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < attempts; i++ {
+		w := i % workers
+		s.deques[w] = append(s.deques[w], i)
+	}
+	return s
+}
+
+// next blocks until the worker may run an attempt, returning its index
+// and whether it was stolen from another worker's deque. ok=false means
+// every attempt has been claimed — the worker should exit.
+func (s *stealScheduler) next(worker int) (idx int, stolen bool, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.pending == 0 {
+			return 0, false, false
+		}
+		if s.running < s.capacity {
+			victim := -1
+			if !s.strict && worker < len(s.deques) && len(s.deques[worker]) > 0 {
+				// Full capacity: pop the own deque's front.
+				victim = worker
+			} else {
+				// Throttled (or own deque empty): claim the
+				// highest-priority pending attempt wherever it sits.
+				best := -1
+				for w := range s.deques {
+					if len(s.deques[w]) == 0 {
+						continue
+					}
+					if front := s.deques[w][0]; best == -1 || front < best {
+						victim, best = w, front
+					}
+				}
+			}
+			idx = s.deques[victim][0]
+			s.deques[victim] = s.deques[victim][1:]
+			s.pending--
+			s.running++
+			if victim != worker {
+				s.steals++
+			}
+			return idx, victim != worker, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// finish marks a claimed attempt complete, freeing its capacity slot.
+func (s *stealScheduler) finish() {
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// stealCount reports how many claims crossed deques.
+func (s *stealScheduler) stealCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steals
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStealSchedulerClaimsEveryAttemptOnce hammers the scheduler with
+// many workers under -race: every attempt index must be handed out
+// exactly once, and next must return ok=false exactly once per worker
+// after the pool drains.
+func TestStealSchedulerClaimsEveryAttemptOnce(t *testing.T) {
+	const attempts, workers = 200, 8
+	s := newStealScheduler(attempts, workers, workers)
+	var mu sync.Mutex
+	claimed := map[int]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx, _, ok := s.next(w)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				claimed[idx]++
+				mu.Unlock()
+				s.finish()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(claimed) != attempts {
+		t.Fatalf("claimed %d distinct attempts, want %d", len(claimed), attempts)
+	}
+	for idx, n := range claimed {
+		if n != 1 {
+			t.Fatalf("attempt %d claimed %d times", idx, n)
+		}
+	}
+}
+
+// TestStealSchedulerThrottleNeverExceedsCapacity checks the speculation
+// throttle: with capacity c, at most c attempts may be running at once,
+// no matter how many workers contend.
+func TestStealSchedulerThrottleNeverExceedsCapacity(t *testing.T) {
+	const attempts, workers, capacity = 64, 8, 2
+	s := newStealScheduler(attempts, workers, capacity)
+	var running, maxRunning atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				_, _, ok := s.next(w)
+				if !ok {
+					return
+				}
+				n := running.Add(1)
+				for {
+					m := maxRunning.Load()
+					if n <= m || maxRunning.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				running.Add(-1)
+				s.finish()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m := maxRunning.Load(); m > capacity {
+		t.Fatalf("observed %d attempts running at once, capacity %d", m, capacity)
+	}
+}
+
+// TestStealSchedulerStrictClaimsInPriorityOrder: when capacity is 1 the
+// scheduler must hand out attempts in global declaration order — the
+// sequential engine's order — regardless of which worker asks or which
+// deque the attempt was seeded onto.
+func TestStealSchedulerStrictClaimsInPriorityOrder(t *testing.T) {
+	const attempts, workers = 40, 4
+	s := newStealScheduler(attempts, workers, 1)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx, _, ok := s.next(w)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				order = append(order, idx)
+				mu.Unlock()
+				s.finish()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// capacity=1 serializes claims, and strict mode picks the global
+	// minimum pending index, so the observed order is exactly 0..n-1.
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("claim %d was attempt %d, want %d (strict priority order)", i, idx, i)
+		}
+	}
+}
+
+// TestStealSchedulerCountsSteals: a worker with an empty deque must
+// steal, and the counter must record it.
+func TestStealSchedulerCountsSteals(t *testing.T) {
+	// 4 attempts, 2 workers, round-robin: deque0=[0,2], deque1=[1,3].
+	// Worker 0 drains everything; claims of 1 and 3 are steals.
+	s := newStealScheduler(4, 2, 2)
+	var stolen int
+	for {
+		_, st, ok := s.next(0)
+		if !ok {
+			break
+		}
+		if st {
+			stolen++
+		}
+		s.finish()
+	}
+	if stolen != 2 {
+		t.Fatalf("worker 0 stole %d attempts, want 2", stolen)
+	}
+	if got := s.stealCount(); got != 2 {
+		t.Fatalf("stealCount() = %d, want 2", got)
+	}
+}

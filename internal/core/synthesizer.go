@@ -51,6 +51,20 @@ type SynthOptions struct {
 	// NoAbsint disables the abstract-interpretation term simplifier
 	// (A/B measurement of its CNF impact).
 	NoAbsint bool
+	// SharedPrefix, when non-nil, serves window start states from a
+	// portfolio-wide snapshot cache instead of this synthesizer's
+	// private prefix simulation. Only used when the cache Covers this
+	// synthesizer's state space (template instrumentation is
+	// behaviour-preserving at φ = 0, so the prefix states coincide);
+	// otherwise the private path runs as before.
+	SharedPrefix *PrefixCache
+	// Share joins every window solver this synthesizer builds to a
+	// learned-clause exchange room named ShareNS. Within one
+	// synthesizer the solvers run sequentially (a lineage), so imports
+	// are deterministic; every import is RUP-checked and logged in the
+	// receiver's DRUP proof (see sat/share.go).
+	Share   *sat.Exchange
+	ShareNS string
 	// Obs positions the synthesizer in the observability layer: every
 	// window solve, incremental extension, and validation batch records a
 	// span under Obs.Span, and the underlying solvers inherit the scope.
@@ -156,6 +170,10 @@ type Synthesizer struct {
 	// live solver's counters are added on top after every check.
 	retiredSAT  sat.Statistics
 	retiredCert smt.CertifyStats
+
+	// sharedOK memoizes SharedPrefix.Covers(sys): 0 undecided, 1 the
+	// shared cache serves this synthesizer, -1 private fallback.
+	sharedOK int8
 }
 
 // NewSynthesizer builds a synthesizer. tr must have concrete inputs and
@@ -247,6 +265,20 @@ func (s *Synthesizer) sumTerm() *smt.Term {
 // instead of O(n²). The returned map is shared with the cache and must
 // be treated as read-only.
 func (s *Synthesizer) prefixState(cycles int) map[string]bv.XBV {
+	if s.opts.SharedPrefix != nil {
+		if s.sharedOK == 0 {
+			if s.opts.SharedPrefix.Covers(s.sys) {
+				s.sharedOK = 1
+			} else {
+				s.sharedOK = -1
+			}
+		}
+		if s.sharedOK == 1 {
+			st, simulated := s.opts.SharedPrefix.StateAt(cycles)
+			s.Stats.PrefixCycles += simulated
+			return st
+		}
+	}
 	if s.snapSim == nil {
 		zero := Assignment{}
 		for _, p := range s.vars.Phis {
@@ -390,6 +422,9 @@ func (s *Synthesizer) encodeWindow(start, end int, startState map[string]bv.XBV,
 	solver.SetDeadline(s.opts.Deadline)
 	solver.SetInterrupt(s.opts.Interrupt)
 	solver.SetObs(sc)
+	if s.opts.Share != nil {
+		solver.SetShare(s.opts.Share.Join(s.opts.ShareNS))
+	}
 	w := &winEnc{solver: solver, u: u, start: start, end: end}
 	s.assertCycles(w, start, end)
 	span.End()

@@ -57,3 +57,55 @@ func TestCertifyCorpus(t *testing.T) {
 		})
 	}
 }
+
+// TestCertifyCorpusParallel repeats the corpus certification with the
+// parallel portfolio (workers=4) and learned-clause sharing enabled —
+// the configuration where imported clauses enter each receiver's DRUP
+// proof as learned steps. Every Unsat verdict, including those reached
+// after imports, must still pass the independent checker, which
+// re-verifies each imported clause by unit propagation exactly like a
+// locally learned one. Completing a design therefore certifies that
+// clause exchange is sound, not just fast. Same gate as above:
+//
+//	RTLREPAIR_CERTIFY=1 go test -run TestCertifyCorpusParallel ./internal/eval/
+func TestCertifyCorpusParallel(t *testing.T) {
+	if os.Getenv("RTLREPAIR_CERTIFY") == "" {
+		t.Skip("set RTLREPAIR_CERTIFY=1 to run the corpus-wide certification pass")
+	}
+	var unsats, exported, imported atomic.Int64
+	t.Cleanup(func() {
+		t.Logf("corpus totals: %d unsat verdicts DRUP-checked, %d clauses exported, %d imported",
+			unsats.Load(), exported.Load(), imported.Load())
+		if unsats.Load() == 0 {
+			t.Errorf("parallel certification exercised no unsat verdicts")
+		}
+		if exported.Load() == 0 {
+			t.Errorf("clause sharing exported nothing across the corpus — the exchange is not wired up")
+		}
+	})
+	for _, b := range bench.Registry() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			opts := DefaultOptions()
+			opts.RTLTimeout = 30 * time.Second
+			opts.Workers = 4
+			opts.Certify = true
+			run := RunRTLRepair(b, opts)
+			if run.Err != "" {
+				t.Fatalf("run error: %s", run.Err)
+			}
+			var u, ex, im int64
+			for _, at := range run.PerTemplate {
+				u += int64(at.Stats.Certify.UnsatsCertified)
+				ex += at.Stats.SAT.SharedExported
+				im += at.Stats.SAT.SharedImported
+			}
+			unsats.Add(u)
+			exported.Add(ex)
+			imported.Add(im)
+			t.Logf("%s: status=%s, %d unsats certified, %d clauses exported, %d imported",
+				b.Name, run.Status, u, ex, im)
+		})
+	}
+}

@@ -178,6 +178,7 @@ var volatileTopLevel = map[string]bool{
 	"start_us": true, "dur_us": true, "worker": true, // JSONL
 	"ts": true, "dur": true, "tid": true, // Chrome
 	"workers": true, // portfolio span attr: the configured worker count
+	"steals":  true, // portfolio span attr: scheduler steals vary with timing
 }
 
 // scrubValue removes volatile keys from a decoded JSON value, in place

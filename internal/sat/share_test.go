@@ -1,0 +1,219 @@
+package sat
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// php adds the clauses of the pigeonhole principle PHP(pigeons, holes)
+// to s: unsatisfiable whenever pigeons > holes, and famously hard for
+// resolution, so solving it produces plenty of learned clauses.
+func php(s *Solver, pigeons, holes int) {
+	vars := make([][]int, pigeons)
+	for i := range vars {
+		vars[i] = make([]int, holes)
+		for j := range vars[i] {
+			vars[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		lits := make([]Lit, holes)
+		for j := 0; j < holes; j++ {
+			lits[j] = PosLit(vars[i][j])
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				s.AddClause(NegLit(vars[i][j]), NegLit(vars[k][j]))
+			}
+		}
+	}
+}
+
+// A solver joining a room after an identical sibling has already solved
+// the formula must import clauses, finish with fewer conflicts, and
+// still produce a proof the independent checker accepts.
+func TestShareImportSpeedsUpAndCertifies(t *testing.T) {
+	x := NewExchange()
+
+	donor := New()
+	php(donor, 7, 6)
+	donor.SetShare(x.Join("php"))
+	st, err := donor.Solve()
+	if err != nil || st != Unsat {
+		t.Fatalf("donor: got (%v, %v), want Unsat", st, err)
+	}
+	dstats := donor.Statistics()
+	if dstats.SharedExported == 0 {
+		t.Fatal("donor exported no clauses")
+	}
+
+	recv := New()
+	php(recv, 7, 6)
+	proof := recv.StartProof()
+	recv.SetShare(x.Join("php"))
+	st, err = recv.Solve()
+	if err != nil || st != Unsat {
+		t.Fatalf("receiver: got (%v, %v), want Unsat", st, err)
+	}
+	rstats := recv.Statistics()
+	if rstats.SharedImported == 0 {
+		t.Fatal("receiver imported no clauses")
+	}
+	if rstats.Conflicts >= dstats.Conflicts {
+		t.Errorf("import did not reduce conflicts: receiver %d, donor %d",
+			rstats.Conflicts, dstats.Conflicts)
+	}
+	// The proof contains the imported clauses as learned steps; the
+	// checker re-derives every one of them by unit propagation.
+	if err := NewChecker(proof).CheckUnsat(nil); err != nil {
+		t.Fatalf("proof with imported clauses failed certification: %v", err)
+	}
+}
+
+// Clauses over variables the receiver never allocated must be refused.
+func TestShareRejectsForeignVariables(t *testing.T) {
+	x := NewExchange()
+	alien := x.Join("room")
+	alien.publish([]Lit{PosLit(1000)})
+
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.SetShare(x.Join("room"))
+	if st, err := s.Solve(); err != nil || st != Sat {
+		t.Fatalf("got (%v, %v), want Sat", st, err)
+	}
+	stats := s.Statistics()
+	if stats.SharedImported != 0 || stats.SharedRejected != 1 {
+		t.Fatalf("imported=%d rejected=%d, want 0/1", stats.SharedImported, stats.SharedRejected)
+	}
+}
+
+// A clause that is not a unit-propagation consequence of the receiver's
+// database must be refused: admission requires a receiver-side RUP
+// proof, never trust in the sender.
+func TestShareRejectsNonConsequence(t *testing.T) {
+	x := NewExchange()
+	sender := x.Join("room")
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b), PosLit(c))
+
+	sender.publish([]Lit{PosLit(a)})            // not implied: a is free
+	sender.publish([]Lit{NegLit(a), PosLit(b)}) // not implied either
+
+	s.SetShare(x.Join("room"))
+	if st, err := s.Solve(); err != nil || st != Sat {
+		t.Fatalf("got (%v, %v), want Sat", st, err)
+	}
+	if got := s.Statistics().SharedImported; got != 0 {
+		t.Fatalf("imported %d unimplied clauses, want 0", got)
+	}
+}
+
+// An implied unit arriving from the room is admitted, propagated at the
+// root, and shows up in a checkable proof when it closes the formula.
+func TestShareImportedUnitDrivesUnsat(t *testing.T) {
+	x := NewExchange()
+	sender := x.Join("room")
+
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	// a ↔ b, plus ¬a ∨ ¬b: satisfiable only with a=b=false.
+	s.AddClause(NegLit(a), PosLit(b))
+	s.AddClause(PosLit(a), NegLit(b))
+	s.AddClause(NegLit(a), NegLit(b))
+	// And a ∨ b: now unsat, but only via resolution.
+	s.AddClause(PosLit(a), PosLit(b))
+	proof := s.StartProof()
+
+	// ¬a is implied (RUP): assuming a propagates b and ¬b.
+	sender.publish([]Lit{NegLit(a)})
+	s.SetShare(x.Join("room"))
+	st, err := s.Solve()
+	if err != nil || st != Unsat {
+		t.Fatalf("got (%v, %v), want Unsat", st, err)
+	}
+	if got := s.Statistics().SharedImported; got != 1 {
+		t.Fatalf("imported=%d, want 1", got)
+	}
+	if err := NewChecker(proof).CheckUnsat(nil); err != nil {
+		t.Fatalf("proof failed: %v", err)
+	}
+}
+
+// Solvers do not re-import their own exports, and a second drain returns
+// nothing new.
+func TestShareSelfAndCursor(t *testing.T) {
+	x := NewExchange()
+	e := x.Join("room")
+	e.publish([]Lit{PosLit(0)})
+	if e.pending() {
+		t.Fatal("own clause reported as pending")
+	}
+	if got := e.drain(); got != nil {
+		t.Fatalf("drained own clause: %v", got)
+	}
+
+	other := x.Join("room")
+	other.publish([]Lit{PosLit(1)})
+	if !e.pending() {
+		t.Fatal("foreign clause not pending")
+	}
+	if got := e.drain(); len(got) != 1 {
+		t.Fatalf("drain returned %d clauses, want 1", len(got))
+	}
+	if got := e.drain(); got != nil {
+		t.Fatalf("second drain not empty: %v", got)
+	}
+}
+
+// Many solvers racing on one room must be memory-safe (run under -race)
+// and every one must still certify its Unsat proof — soundness cannot
+// depend on scheduling.
+func TestShareConcurrentCertified(t *testing.T) {
+	x := NewExchange()
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := New()
+			php(s, 7, 6)
+			proof := s.StartProof()
+			s.SetShare(x.Join("php"))
+			st, err := s.Solve()
+			if err != nil || st != Unsat {
+				errs[i] = fmt.Errorf("solver %d: got (%v, %v), want Unsat", i, st, err)
+				return
+			}
+			if err := NewChecker(proof).CheckUnsat(nil); err != nil {
+				errs[i] = fmt.Errorf("solver %d proof: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A full room counts drops instead of blocking or growing unboundedly.
+func TestShareRoomCap(t *testing.T) {
+	x := NewExchange()
+	e := x.Join("room")
+	for i := 0; i < maxRoomClauses+10; i++ {
+		e.publish([]Lit{PosLit(0)})
+	}
+	if got := x.Dropped(); got != 10 {
+		t.Fatalf("dropped=%d, want 10", got)
+	}
+}

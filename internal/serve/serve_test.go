@@ -351,7 +351,9 @@ func TestShutdownDeadlineCancelsButLosesNoJob(t *testing.T) {
 }
 
 func TestHTTPEndToEnd(t *testing.T) {
-	s := newTestServer(t, Config{Slots: 2}, nil) // production repair seam
+	// Production repair seam, with a 2-worker portfolio so the
+	// scheduler/clause-exchange counters below actually accumulate.
+	s := newTestServer(t, Config{Slots: 2, PortfolioWorkers: 2}, nil)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -411,7 +413,8 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	var metrics struct {
-		Counters map[string]int64 `json:"counters"`
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
 		t.Fatal(err)
@@ -419,6 +422,20 @@ func TestHTTPEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if metrics.Counters["serve.jobs.completed"] != 1 {
 		t.Fatalf("metricsz counters: %+v", metrics.Counters)
+	}
+	// The parallel portfolio's scheduler and clause-exchange counters
+	// must surface on /metricsz: utilization as a gauge, steals and the
+	// share import/export totals as counters (present even when zero).
+	for _, key := range []string{
+		"portfolio.steals", "portfolio.attempts",
+		"sat.share.exported", "sat.share.imported", "sat.share.rejected",
+	} {
+		if _, ok := metrics.Counters[key]; !ok {
+			t.Fatalf("metricsz missing counter %q: %+v", key, metrics.Counters)
+		}
+	}
+	if _, ok := metrics.Gauges["portfolio.utilization_pct"]; !ok {
+		t.Fatalf("metricsz missing portfolio.utilization_pct gauge: %+v", metrics.Gauges)
 	}
 }
 

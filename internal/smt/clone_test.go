@@ -1,0 +1,105 @@
+package smt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rtlrepair/internal/bv"
+)
+
+// Clones must share the parent's interned terms by pointer, keep new
+// terms private, and never collide ids along the parent chain.
+func TestContextCloneSharesParentTerms(t *testing.T) {
+	base := NewContext()
+	a := base.Var("a", 8)
+	b := base.Var("b", 8)
+	sum := base.Add(a, b)
+	k := base.ConstU(8, 42)
+
+	c1 := base.Clone()
+	c2 := base.Clone()
+
+	// Hash-cons hits resolve to the parent's pointers.
+	if c1.Add(c1.Var("a", 8), c1.Var("b", 8)) != sum {
+		t.Fatal("clone did not reuse parent's interned Add term")
+	}
+	if c1.ConstU(8, 42) != k {
+		t.Fatal("clone did not reuse parent's interned constant")
+	}
+	if c1.LookupVar("a") != a {
+		t.Fatal("clone did not see parent's variable")
+	}
+
+	// New terms stay private to the creating child.
+	x1 := c1.Var("x", 4)
+	if c2.LookupVar("x") != nil {
+		t.Fatal("sibling clone sees the other clone's private variable")
+	}
+	x2 := c2.Var("x", 4)
+	if x1 == x2 {
+		t.Fatal("sibling clones share a private variable term")
+	}
+
+	// Ids are unique along each chain: every child id exceeds every
+	// parent id, so hash-cons keys (built from arg ids) cannot collide.
+	if x1.ID() <= sum.ID() || x1.ID() <= k.ID() {
+		t.Fatalf("child id %d not beyond parent ids", x1.ID())
+	}
+
+	// Mixing parent terms into child expressions works.
+	mix := c1.Add(a, c1.ZeroExt(x1, 8))
+	if mix.Width != 8 {
+		t.Fatalf("mixed-layer term has width %d, want 8", mix.Width)
+	}
+}
+
+func TestContextCloneFreezesParent(t *testing.T) {
+	base := NewContext()
+	base.Var("a", 8)
+	_ = base.Clone()
+
+	// Lookups on the frozen parent still work.
+	if base.LookupVar("a") == nil {
+		t.Fatal("frozen parent lost its variable")
+	}
+	if base.Var("a", 8) == nil {
+		t.Fatal("frozen parent cannot return an existing variable")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("creating a term in a frozen context did not panic")
+		}
+	}()
+	base.Var("fresh", 1)
+}
+
+// Many goroutines building terms in their own clones of one parent must
+// be race-free: children only read the frozen shared layer. Run under
+// -race to make this meaningful.
+func TestContextCloneConcurrent(t *testing.T) {
+	base := NewContext()
+	a := base.Var("a", 16)
+	b := base.Var("b", 16)
+	for i := 0; i < 64; i++ {
+		base.Add(base.Mul(a, base.ConstU(16, uint64(i))), b)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		child := base.Clone()
+		wg.Add(1)
+		go func(g int, c *Context) {
+			defer wg.Done()
+			// Re-derive shared terms (parent hits) and private ones.
+			for i := 0; i < 64; i++ {
+				shared := c.Add(c.Mul(c.Var("a", 16), c.ConstU(16, uint64(i))), c.Var("b", 16))
+				priv := c.Var(fmt.Sprintf("g%d_x%d", g, i), 16)
+				c.Eq(shared, priv)
+				c.Const(bv.New(16, uint64(g*1000+i)))
+			}
+		}(g, child)
+	}
+	wg.Wait()
+}

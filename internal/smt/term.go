@@ -85,10 +85,17 @@ func (t *Term) IsTrue() bool { return t.Op == OpConst && t.Width == 1 && !t.Val.
 func (t *Term) IsFalse() bool { return t.Op == OpConst && t.Width == 1 && t.Val.IsZero() }
 
 // Context creates and owns terms. It is not safe for concurrent use.
+//
+// A context may be layered on top of a frozen parent (see Clone): lookups
+// fall through to the parent chain, while new terms land in the child's
+// private maps. Because terms are immutable and a frozen parent never
+// grows, many children can share one parent from different goroutines.
 type Context struct {
 	table  map[string]*Term
 	vars   map[string]*Term
 	nextID uint64
+	parent *Context // frozen base layer; nil for a root context
+	frozen bool     // set once a child exists; creation then panics
 }
 
 // NewContext returns an empty term context.
@@ -96,9 +103,39 @@ func NewContext() *Context {
 	return &Context{table: map[string]*Term{}, vars: map[string]*Term{}}
 }
 
+// Clone returns a child context layered on top of c. The child sees every
+// term c has interned so far — shared by pointer, which is safe because
+// terms are immutable — and adds anything new to its own private layer, so
+// re-elaborating a mostly-identical circuit into the child reuses the
+// parent's DAG instead of rebuilding it. Cloning freezes c permanently:
+// creating a term in a frozen context panics, which is what makes it safe
+// for concurrent children to read the shared layer without locks. Term ids
+// stay unique along any parent chain (children continue the parent's id
+// counter), so hash-cons keys never collide across layers.
+func (c *Context) Clone() *Context {
+	c.Freeze()
+	return &Context{table: map[string]*Term{}, vars: map[string]*Term{}, nextID: c.nextID, parent: c}
+}
+
+// Freeze marks the context (and its parent chain) read-only: creating a
+// term afterwards panics. Clone freezes implicitly, but a context that
+// will be cloned from several goroutines must be frozen eagerly by the
+// constructing goroutine first — concurrent first-freezes would race.
+// Freezing an already-frozen context is a no-op (and never writes).
+func (c *Context) Freeze() {
+	for p := c; p != nil && !p.frozen; p = p.parent {
+		p.frozen = true
+	}
+}
+
 func (c *Context) intern(key string, mk func() *Term) *Term {
-	if t, ok := c.table[key]; ok {
-		return t
+	for p := c; p != nil; p = p.parent {
+		if t, ok := p.table[key]; ok {
+			return t
+		}
+	}
+	if c.frozen {
+		panic("smt: term created in frozen context (base of a Clone)")
 	}
 	t := mk()
 	c.nextID++
@@ -134,11 +171,16 @@ func (c *Context) Bool(b bool) *Term {
 // given width on first use. Width mismatches on reuse panic: they are
 // always caller bugs.
 func (c *Context) Var(name string, width int) *Term {
-	if t, ok := c.vars[name]; ok {
-		if t.Width != width {
-			panic(fmt.Sprintf("smt: variable %q redeclared with width %d (was %d)", name, width, t.Width))
+	for p := c; p != nil; p = p.parent {
+		if t, ok := p.vars[name]; ok {
+			if t.Width != width {
+				panic(fmt.Sprintf("smt: variable %q redeclared with width %d (was %d)", name, width, t.Width))
+			}
+			return t
 		}
-		return t
+	}
+	if c.frozen {
+		panic("smt: variable created in frozen context (base of a Clone)")
 	}
 	c.nextID++
 	t := &Term{Op: OpVar, Width: width, Name: name, id: c.nextID}
@@ -147,7 +189,14 @@ func (c *Context) Var(name string, width int) *Term {
 }
 
 // LookupVar returns the variable with the given name, or nil.
-func (c *Context) LookupVar(name string) *Term { return c.vars[name] }
+func (c *Context) LookupVar(name string) *Term {
+	for p := c; p != nil; p = p.parent {
+		if t, ok := p.vars[name]; ok {
+			return t
+		}
+	}
+	return nil
+}
 
 func (c *Context) key(op Op, width int, args []*Term, hi, lo int) string {
 	var sb strings.Builder
