@@ -1,0 +1,118 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSrc(t *testing.T, path, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return lintFile(fset, path, f)
+}
+
+func TestSpanLeakDetected(t *testing.T) {
+	got := lintSrc(t, "a/b.go", `
+package x
+func leaky(sc Scope) {
+	span := sc.Tracer.Start(sc.Span, "work")
+	span.SetInt("n", 1)
+}`)
+	if len(got) != 1 || !strings.Contains(got[0], "obs-span-leak") {
+		t.Fatalf("got %v, want one obs-span-leak finding", got)
+	}
+}
+
+func TestSpanPairedVariants(t *testing.T) {
+	got := lintSrc(t, "a/b.go", `
+package x
+func ok(sc Scope) {
+	a := sc.Tracer.Start(sc.Span, "direct")
+	a.End()
+	b := sc.Tracer.Start(sc.Span, "deferred")
+	defer b.End()
+	c := sc.Start("scoped")
+	defer func() { c.End() }()
+	if d := sc.Tracer.Start(sc.Span, "cond"); d != nil {
+		defer d.End()
+	}
+	e := sc.Tracer.StartKeyed(sc.Span, "keyed", "k")
+	e.End()
+}`)
+	if len(got) != 0 {
+		t.Fatalf("false positives: %v", got)
+	}
+}
+
+func TestSpanFieldTargetExempt(t *testing.T) {
+	got := lintSrc(t, "a/b.go", `
+package x
+func stash(p *P, sc Scope) {
+	p.obs = sc.Start("portfolio")
+}`)
+	if len(got) != 0 {
+		t.Fatalf("field-stored span flagged: %v", got)
+	}
+}
+
+func TestNonSpanStartIgnored(t *testing.T) {
+	got := lintSrc(t, "a/b.go", `
+package x
+func run(cmd *exec.Cmd) error {
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	return nil
+}`)
+	if len(got) != 0 {
+		t.Fatalf("zero-arg Start flagged: %v", got)
+	}
+}
+
+func TestFrozenCtxWriteDetected(t *testing.T) {
+	src := `
+package smt
+func (c *Context) evil(key string, t *Term) {
+	c.table[key] = t
+	c.nextID++
+	c.frozen = false
+	c.vars["x"] = t
+}`
+	got := lintSrc(t, "internal/smt/bad.go", src)
+	if len(got) != 4 {
+		t.Fatalf("got %d findings, want 4: %v", len(got), got)
+	}
+	for _, g := range got {
+		if !strings.Contains(g, "frozen-ctx-write") {
+			t.Fatalf("unexpected finding %q", g)
+		}
+	}
+	// The same file outside internal/smt is not checked.
+	if got := lintSrc(t, "internal/other/bad.go", src); len(got) != 0 {
+		t.Fatalf("ctx check leaked outside internal/smt: %v", got)
+	}
+}
+
+func TestFrozenCtxWritersAllowed(t *testing.T) {
+	got := lintSrc(t, "internal/smt/term.go", `
+package smt
+func (c *Context) intern(key string, mk func() *Term) *Term {
+	c.nextID++
+	c.table[key] = mk()
+	return c.table[key]
+}
+func (c *Context) Freeze() {
+	for p := c; p != nil && !p.frozen; p = p.parent {
+		p.frozen = true
+	}
+}`)
+	if len(got) != 0 {
+		t.Fatalf("whitelisted writers flagged: %v", got)
+	}
+}

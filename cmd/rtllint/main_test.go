@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rtlrepair/internal/analysis"
+)
+
+// TestFactDrivenPinned pins the fact-driven diagnostics on the
+// committed showcase design: the exact rule set, signals and verdicts
+// must stay stable — they are part of the documented rtllint surface.
+func TestFactDrivenPinned(t *testing.T) {
+	report, err := lintFile("../../testdata/lint/even_counter.v")
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	type key struct{ rule, signal string }
+	got := map[key]int{}
+	for _, d := range report.Diagnostics {
+		got[key{d.Rule, d.Signal}]++
+	}
+	want := map[key]int{
+		{analysis.RuleConstNet, "flag"}:     1,
+		{analysis.RuleFactDeadBranch, ""}:   1,
+		{analysis.RuleFactDeadArm, "count"}: 2,
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("rule %s signal %q: got %d diagnostics, want %d", k.rule, k.signal, got[k], n)
+		}
+	}
+	// Every fact-driven diagnostic must justify itself for -explain.
+	for _, d := range report.Diagnostics {
+		switch d.Rule {
+		case analysis.RuleConstNet, analysis.RuleFactDeadBranch, analysis.RuleFactDeadArm:
+			if len(d.Explain) == 0 {
+				t.Errorf("%s diagnostic has no Explain lines", d.Rule)
+			}
+			joined := strings.Join(d.Explain, "\n")
+			if !strings.Contains(joined, "reach(") && !strings.Contains(joined, "cond(") {
+				t.Errorf("%s Explain lines carry no abstract fact:\n%s", d.Rule, joined)
+			}
+		}
+	}
+}

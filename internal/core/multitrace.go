@@ -158,9 +158,7 @@ func solveMultiTrace(ctx *smt.Context, sys *tsys.System, vars *VarTable, traces 
 		res.SAT.Add(solver.SATStats())
 		res.Certify.Add(solver.CertifyStats())
 	}()
-	if opts.NoAbsint {
-		solver.DisableSimplify()
-	}
+	solver.SetDomains(opts.domainConfig())
 	if opts.Certify {
 		solver.EnableCertification()
 	}

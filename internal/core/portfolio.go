@@ -183,6 +183,8 @@ func runPortfolio(ctx context.Context, res *Result, fe *Frontend,
 		res.PerTemplate = append(res.PerTemplate, at.tres)
 		res.SAT.Add(at.tres.Stats.SAT)
 		res.Certify.Add(at.tres.Stats.Certify)
+		res.Abs.Add(at.tres.Stats.Abs)
+		res.addShadow(at.tres.Stats.Shadow)
 		if at.tres.State != AttemptSkipped {
 			busy += at.tres.Duration
 		}
@@ -345,6 +347,8 @@ func (p *portfolio) runAttempt(at *attempt, worker int, stolen bool) {
 	sopts.Interrupt = &at.stop
 	sopts.Certify = p.opts.Certify
 	sopts.NoAbsint = p.opts.NoAbsint
+	sopts.Domains = p.opts.domainConfig()
+	sopts.ShadowCNF = p.opts.ShadowCNF
 	sopts.SharedPrefix = p.prefix
 	if p.exch != nil {
 		// The room spans this attempt's window-solver lineage only:

@@ -51,6 +51,17 @@ type SynthOptions struct {
 	// NoAbsint disables the abstract-interpretation term simplifier
 	// (A/B measurement of its CNF impact).
 	NoAbsint bool
+	// Domains selects which abstract domains run in the window solvers'
+	// simplifier (per-domain A/B knobs); NoAbsint above forces
+	// Domains.Disable for compatibility.
+	Domains smt.DomainConfig
+	// ShadowCNF attaches passive shadow encoders to every window solver:
+	// one with the simplifier off plus one per-domain ablation. Shadows
+	// blast the identical assert stream but never solve, so their CNF
+	// statistics measure each configuration's encoding size along the
+	// exact search path the live run takes (cmd/benchrepair A/B columns
+	// and the corpus never-worse test).
+	ShadowCNF bool
 	// SharedPrefix, when non-nil, serves window start states from a
 	// portfolio-wide snapshot cache instead of this synthesizer's
 	// private prefix simulation. Only used when the cache Covers this
@@ -114,6 +125,66 @@ type SynthStats struct {
 	// Certify aggregates certification work (model validations, DRUP
 	// checks) across the same solvers.
 	Certify smt.CertifyStats
+	// Abs aggregates abstract-interpretation work (facts learned,
+	// rewrites, never-worse guard fallbacks) across the same solvers.
+	Abs smt.AbsStats
+	// Shadow holds per-configuration CNF statistics from the shadow
+	// encoders when SynthOptions.ShadowCNF is on (key: config name).
+	Shadow map[string]sat.Statistics
+	// FactCacheHits/FactCacheSize report the cross-window base-fact
+	// cache: hits are transfer computations served from earlier windows.
+	FactCacheHits int64
+	FactCacheSize int
+}
+
+// domainCfg resolves the effective domain configuration (NoAbsint wins).
+func (o SynthOptions) domainCfg() smt.DomainConfig {
+	cfg := o.Domains
+	if o.NoAbsint {
+		cfg.Disable = true
+	}
+	return cfg
+}
+
+// shadowSet lists the shadow configurations attached when ShadowCNF is
+// on: the simplifier fully off, plus one ablation per domain that is
+// enabled in the live configuration.
+func shadowSet(live smt.DomainConfig) []struct {
+	Name string
+	Cfg  smt.DomainConfig
+} {
+	out := []struct {
+		Name string
+		Cfg  smt.DomainConfig
+	}{{"no-absint", smt.DomainConfig{Disable: true}}}
+	if live.Disable {
+		return out
+	}
+	if !live.NoSigned {
+		c := live
+		c.NoSigned = true
+		out = append(out, struct {
+			Name string
+			Cfg  smt.DomainConfig
+		}{"no-signed", c})
+	}
+	if !live.NoCongruence {
+		c := live
+		c.NoCongruence = true
+		out = append(out, struct {
+			Name string
+			Cfg  smt.DomainConfig
+		}{"no-congruence", c})
+	}
+	if !live.NoEq {
+		c := live
+		c.NoEq = true
+		out = append(out, struct {
+			Name string
+			Cfg  smt.DomainConfig
+		}{"no-eq", c})
+	}
+	return out
 }
 
 // ErrTimeout is returned when the deadline expires mid-synthesis.
@@ -168,8 +239,15 @@ type Synthesizer struct {
 
 	// Stats folded in from window solvers that were rebuilt away; the
 	// live solver's counters are added on top after every check.
-	retiredSAT  sat.Statistics
-	retiredCert smt.CertifyStats
+	retiredSAT    sat.Statistics
+	retiredCert   smt.CertifyStats
+	retiredAbs    smt.AbsStats
+	retiredShadow map[string]sat.Statistics
+
+	// facts caches environment-free abstract facts keyed on hash-consed
+	// term identity, so window extensions and rebuilds re-derive nothing
+	// for terms that survive from earlier windows (§cross-window caching).
+	facts *smt.FactCache
 
 	// sharedOK memoizes SharedPrefix.Covers(sys): 0 undecided, 1 the
 	// shared cache serves this synthesizer, -1 private fallback.
@@ -179,7 +257,11 @@ type Synthesizer struct {
 // NewSynthesizer builds a synthesizer. tr must have concrete inputs and
 // init must assign every uninitialized state (use Concretize).
 func NewSynthesizer(ctx *smt.Context, sys *tsys.System, vars *VarTable, tr *trace.Trace, init map[string]bv.XBV, opts SynthOptions) *Synthesizer {
-	return &Synthesizer{ctx: ctx, sys: sys, vars: vars, tr: tr, init: init, opts: opts}
+	s := &Synthesizer{ctx: ctx, sys: sys, vars: vars, tr: tr, init: init, opts: opts}
+	if cfg := opts.domainCfg(); !cfg.Disable {
+		s.facts = smt.NewFactCache(cfg)
+	}
+	return s
 }
 
 // Concretize resolves unknown initial states and input don't-cares of a
@@ -404,17 +486,23 @@ func (s *Synthesizer) encodeWindow(start, end int, startState map[string]bv.XBV,
 		init[st.Var] = s.ctx.Const(v.Val)
 	}
 	if s.win != nil {
-		s.retiredSAT.Add(s.win.solver.SATStats())
-		s.retiredCert.Add(s.win.solver.CertifyStats())
+		s.retireWindowStats(s.win.solver)
 	}
 	span := sc.Tracer.Start(sc.Span, "encode")
 	span.SetInt("cycles", int64(steps))
 	span.SetBool("rebuild", true)
 	u := tsys.Unroll(s.ctx, s.sys, steps, init)
 	u.SetObs(sc)
+	u.SetFactCache(s.facts)
 	solver := smt.NewSolver(s.ctx)
-	if s.opts.NoAbsint {
-		solver.DisableSimplify()
+	solver.SetDomains(s.opts.domainCfg())
+	if s.facts != nil {
+		solver.SetFactCache(s.facts)
+	}
+	if s.opts.ShadowCNF {
+		for _, sh := range shadowSet(s.opts.domainCfg()) {
+			solver.AddShadow(sh.Name, sh.Cfg)
+		}
 	}
 	if s.opts.Certify {
 		solver.EnableCertification()
@@ -476,6 +564,22 @@ func (s *Synthesizer) assertCycles(w *winEnc, from, to int) {
 	}
 }
 
+// retireWindowStats folds a window solver's counters into the retired
+// accumulators before the solver is rebuilt away.
+func (s *Synthesizer) retireWindowStats(solver *smt.Solver) {
+	s.retiredSAT.Add(solver.SATStats())
+	s.retiredCert.Add(solver.CertifyStats())
+	s.retiredAbs.Add(solver.AbsStats())
+	for _, sh := range solver.ShadowStats() {
+		if s.retiredShadow == nil {
+			s.retiredShadow = map[string]sat.Statistics{}
+		}
+		st := s.retiredShadow[sh.Name]
+		st.Add(sh.SAT)
+		s.retiredShadow[sh.Name] = st
+	}
+}
+
 // check runs one solver query, mapping low-level errors to the
 // synthesizer's timeout/cancellation errors.
 func (s *Synthesizer) check(solver *smt.Solver, assumptions ...*smt.Term) (sat.Status, error) {
@@ -485,6 +589,23 @@ func (s *Synthesizer) check(solver *smt.Solver, assumptions ...*smt.Term) (sat.S
 	s.Stats.SAT.Add(solver.SATStats())
 	s.Stats.Certify = s.retiredCert
 	s.Stats.Certify.Add(solver.CertifyStats())
+	s.Stats.Abs = s.retiredAbs
+	s.Stats.Abs.Add(solver.AbsStats())
+	if shs := solver.ShadowStats(); len(shs) > 0 || len(s.retiredShadow) > 0 {
+		s.Stats.Shadow = map[string]sat.Statistics{}
+		for name, v := range s.retiredShadow {
+			s.Stats.Shadow[name] = v
+		}
+		for _, sh := range shs {
+			v := s.Stats.Shadow[sh.Name]
+			v.Add(sh.SAT)
+			s.Stats.Shadow[sh.Name] = v
+		}
+	}
+	if s.facts != nil {
+		s.Stats.FactCacheHits = s.facts.Hits
+		s.Stats.FactCacheSize = s.facts.Len()
+	}
 	if err != nil {
 		if errors.Is(err, sat.ErrInterrupted) {
 			return st, ErrCancelled

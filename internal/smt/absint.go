@@ -4,191 +4,272 @@ import (
 	"rtlrepair/internal/bv"
 )
 
-// This file implements an abstract-interpretation pass over the
-// hash-consed term DAG. Two domains run in lockstep:
+// This file implements the abstract-interpretation framework over the
+// hash-consed term DAG: a reduced product of the four non-relational
+// domains defined in domains.go plus the equality closure of eqdom.go,
+// run to fixpoint on demand.
 //
-//   - known bits: for every term, a mask of bit positions whose value is
-//     the same in every model of the asserted constraints, plus those
-//     values;
-//   - unsigned intervals: an inclusive [Lo, Hi] range of the term's
-//     unsigned value.
+// Facts live in two layers:
 //
-// Each domain tightens the other after every transfer (common high bits
-// of Lo and Hi are known; known bits bound the reachable range). The
-// solver seeds the domains with facts harvested from asserted
-// constraints (Assert(Eq(x, c)) pins x, Assert(Ult(x, c)) bounds it,
-// any asserted width-1 term is itself known true) and uses the results
-// to simplify terms before bit-blasting: fully-determined terms
-// collapse to constants, comparisons and muxes fold when the domains
-// decide them, and variable shifts whose amount is determined reduce to
-// wiring (extract/concat) instead of a barrel shifter.
+//   - base facts depend only on a term's structure (no asserted
+//     constraints). They are pure functions of hash-consed identity and
+//     may be shared across solvers through a FactCache (factcache.go) —
+//     this is what carries analysis work across sequential window
+//     rebuilds and incremental Extends.
+//   - refined facts additionally intersect the environment: facts
+//     learned from asserted constraints (Learn/LearnAsserted) and the
+//     equality closure. They are valid only for one solver's assert
+//     stream and are kept per-Abs.
+//
+// Unlike the first-generation implementation, memoized refined facts do
+// not lag behind later Learn calls: every Learn (and every equality
+// union) invalidates the memo entries of all recorded ancestors of the
+// touched term, so the next query recomputes through the new
+// environment — an on-demand fixpoint instead of a single bottom-up
+// pass. The simplifier memo is invalidated along the same edges, since
+// a rewrite is justified by the facts of its sub-DAG.
+//
+// The solver seeds the environment from asserted constraints and uses
+// the results to rewrite terms before bit-blasting (simplify.go):
+// fully-determined terms collapse to constants, decided muxes drop the
+// dead branch, determined shifts reduce to wiring, and equal terms wire
+// to one representative. Every rewrite is guarded by a CNF cost
+// comparison against the already-blasted term set, so simplification
+// can only shrink an encoding, never inflate it.
 
-// Fact is the abstract value of a term: known bits plus an unsigned
-// interval. The zero Fact is invalid; use topFact/constFact.
-type Fact struct {
-	Known bv.BV // mask of known bit positions
-	Val   bv.BV // bit values on Known positions (zero elsewhere)
-	Lo    bv.BV // inclusive unsigned lower bound
-	Hi    bv.BV // inclusive unsigned upper bound
+// AbsStats counts analysis work for observability and bench reporting.
+type AbsStats struct {
+	Learned        int64 // environment facts recorded
+	Invalidations  int64 // memo entries dropped by Learn/union
+	Rewrites       int64 // simplifier rewrites applied
+	GuardFallbacks int64 // rewrites rejected by the never-worse guard
+	EqUnions       int64 // equality classes merged
 }
 
-// topFact is the no-information element of the lattice.
-func topFact(w int) Fact {
-	return Fact{Known: bv.Zero(w), Val: bv.Zero(w), Lo: bv.Zero(w), Hi: bv.Ones(w)}
+// Add merges another solver's analysis counters into st.
+func (st *AbsStats) Add(o AbsStats) {
+	st.Learned += o.Learned
+	st.Invalidations += o.Invalidations
+	st.Rewrites += o.Rewrites
+	st.GuardFallbacks += o.GuardFallbacks
+	st.EqUnions += o.EqUnions
 }
 
-// constFact is the singleton element for value v.
-func constFact(v bv.BV) Fact {
-	return Fact{Known: bv.Ones(v.Width()), Val: v, Lo: v, Hi: v}
-}
-
-func boolFact(b bool) Fact { return constFact(bv.FromBool(b)) }
-
-// Width returns the bit width the fact describes.
-func (f Fact) Width() int { return f.Known.Width() }
-
-// IsConst reports whether the fact pins every bit.
-func (f Fact) IsConst() bool { return f.Known.IsOnes() }
-
-// Admits reports whether the concrete value v is allowed by the fact —
-// the soundness predicate the fuzzer checks.
-func (f Fact) Admits(v bv.BV) bool {
-	if !v.And(f.Known).Eq(f.Val) {
-		return false
-	}
-	return !v.Ult(f.Lo) && !f.Hi.Ult(v)
-}
-
-func umin(a, b bv.BV) bv.BV {
-	if b.Ult(a) {
-		return b
-	}
-	return a
-}
-
-func umax(a, b bv.BV) bv.BV {
-	if a.Ult(b) {
-		return b
-	}
-	return a
-}
-
-// normalize cross-tightens the two domains and repairs an empty
-// interval. An empty intersection can only arise when the asserted
-// constraints themselves are unsatisfiable (each domain alone is a
-// sound over-approximation); any abstract value is then vacuously
-// sound, so we collapse to a singleton to keep the invariant Lo ≤ Hi.
-func (f Fact) normalize() Fact {
-	w := f.Width()
-	f.Val = f.Val.And(f.Known)
-	// Interval from known bits: unknowns all-zero / all-one.
-	f.Lo = umax(f.Lo, f.Val)
-	f.Hi = umin(f.Hi, f.Val.Or(f.Known.Not()))
-	if f.Hi.Ult(f.Lo) {
-		f.Hi = f.Lo
-	}
-	// Known bits from the interval: the common high prefix of Lo and Hi
-	// is fixed (above the highest differing bit, every value in the
-	// range agrees with Lo).
-	diff := f.Lo.Xor(f.Hi)
-	if diff.IsZero() {
-		return Fact{Known: bv.Ones(w), Val: f.Lo, Lo: f.Lo, Hi: f.Hi}
-	}
-	h := highestBit(diff)
-	prefix := bv.Zero(w)
-	for i := h + 1; i < w; i++ {
-		prefix = prefix.WithBit(i, true)
-	}
-	f.Known = f.Known.Or(prefix)
-	f.Val = f.Val.Or(f.Lo.And(prefix))
-	return f
-}
-
-func highestBit(v bv.BV) int {
-	for i := v.Width() - 1; i >= 0; i-- {
-		if v.Bit(i) {
-			return i
-		}
-	}
-	return -1
-}
-
-// intersect combines two sound facts about the same term. On a bit
-// conflict (only possible when the constraints are unsatisfiable) the
-// receiver's value wins — see normalize for why that stays sound.
-func (f Fact) intersect(o Fact) Fact {
-	f.Val = f.Val.Or(o.Val.And(o.Known).And(f.Known.Not()))
-	f.Known = f.Known.Or(o.Known)
-	f.Lo = umax(f.Lo, o.Lo)
-	f.Hi = umin(f.Hi, o.Hi)
-	return f.normalize()
-}
-
-// addKnown runs the known-bits transfer of a ripple-carry addition
-// a + b + carryIn: sum bits stay known for the low-order run where both
-// operand bits and the carry are known.
-func addKnown(a, b Fact, carryIn bool) (known, val bv.BV) {
-	w := a.Width()
-	known, val = bv.Zero(w), bv.Zero(w)
-	carry := carryIn
-	for i := 0; i < w; i++ {
-		if !a.Known.Bit(i) || !b.Known.Bit(i) {
-			break
-		}
-		ab, bb := a.Val.Bit(i), b.Val.Bit(i)
-		s := ab != bb != carry
-		carry = (ab && bb) || (ab && carry) || (bb && carry)
-		known = known.WithBit(i, true)
-		val = val.WithBit(i, s)
-	}
-	return known, val
+type absEntry struct {
+	fact    Fact
+	tainted bool // some node of the sub-DAG carries env/eq information
 }
 
 // Abs computes facts for terms on demand. Facts harvested from asserted
-// constraints are seeded with Learn; computed results are memoized.
-// Memoized entries may predate later Learn calls — that only loses
-// precision, never soundness, because learning shrinks the concretized
-// set of every fact.
+// constraints are seeded with Learn; computed results are memoized and
+// invalidated when the environment tightens.
 type Abs struct {
-	env  map[*Term]Fact
-	memo map[*Term]Fact
+	cfg   DomainConfig
+	cache *FactCache // optional shared base-fact layer (may be nil)
+
+	env      map[*Term]Fact
+	eq       *eqDom
+	memo     map[*Term]absEntry
+	baseMemo map[*Term]Fact // local base layer when cache == nil
+	parents  map[*Term]map[*Term]struct{}
+
+	simp      map[*Term]*Term  // simplifier memo (simplify.go)
+	costMemo  map[*Term]int64  // per-assert CNF cost memo (simplify.go)
+	free      func(*Term) bool // already-blasted predicate for the guard
+	simpDepth int              // Simplify recursion depth (guard fires at 0)
+
+	Stats AbsStats
 }
 
-// NewAbs returns an empty analysis state.
-func NewAbs() *Abs {
-	return &Abs{env: map[*Term]Fact{}, memo: map[*Term]Fact{}}
+// NewAbs returns an empty analysis state with every domain enabled.
+func NewAbs() *Abs { return NewAbsWith(DomainConfig{}) }
+
+// NewAbsWith returns an empty analysis state for the given domain
+// configuration.
+func NewAbsWith(cfg DomainConfig) *Abs {
+	a := &Abs{
+		cfg:      cfg,
+		env:      map[*Term]Fact{},
+		memo:     map[*Term]absEntry{},
+		baseMemo: map[*Term]Fact{},
+		parents:  map[*Term]map[*Term]struct{}{},
+		simp:     map[*Term]*Term{},
+	}
+	if !cfg.NoEq {
+		a.eq = newEqDom()
+	}
+	return a
+}
+
+// Config returns the domain configuration.
+func (a *Abs) Config() DomainConfig { return a.cfg }
+
+// SetCache attaches a shared base-fact cache. The cache's configuration
+// must match this analysis (facts are config-dependent); a mismatched
+// cache is ignored.
+func (a *Abs) SetCache(fc *FactCache) {
+	if fc != nil && fc.cfg == a.cfg {
+		a.cache = fc
+	}
+}
+
+// SetFree installs the already-blasted predicate used by the simplifier
+// guard: terms for which free reports true cost nothing to re-use.
+func (a *Abs) SetFree(free func(*Term) bool) { a.free = free }
+
+// beginAssert resets the per-assert cost memo; the solver calls it once
+// per Assert, before simplification (the blasted set is stable within
+// one Assert, so costs may be memoized inside it but not across).
+func (a *Abs) beginAssert() {
+	if len(a.costMemo) != 0 || a.costMemo == nil {
+		a.costMemo = map[*Term]int64{}
+	}
 }
 
 // Learn records an externally-justified fact about t (from an asserted
-// constraint). It intersects with anything already known.
+// constraint). It intersects with anything already known and
+// invalidates memoized facts of t's recorded ancestors.
 func (a *Abs) Learn(t *Term, f Fact) {
+	f = f.restrict(a.cfg)
 	if prev, ok := a.env[t]; ok {
 		f = prev.intersect(f)
+		if f.sameAs(prev) {
+			return
+		}
 	} else {
 		f = f.normalize()
 	}
 	a.env[t] = f
+	a.Stats.Learned++
+	a.invalidate(t)
 }
 
-// Fact returns a sound abstract value for t.
-func (a *Abs) Fact(t *Term) Fact {
-	if f, ok := a.memo[t]; ok {
-		if e, ok := a.env[t]; ok {
-			return f.intersect(e)
+// invalidate drops the memoized facts and rewrites of t and every
+// recorded ancestor of t, so later queries recompute through the
+// tightened environment.
+func (a *Abs) invalidate(t *Term) {
+	work := []*Term{t}
+	seen := map[*Term]struct{}{t: {}}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if _, ok := a.memo[n]; ok {
+			delete(a.memo, n)
+			a.Stats.Invalidations++
 		}
-		return f
+		delete(a.simp, n)
+		for p := range a.parents[n] {
+			if _, ok := seen[p]; !ok {
+				seen[p] = struct{}{}
+				work = append(work, p)
+			}
+		}
 	}
-	f := a.transfer(t)
-	if e, ok := a.env[t]; ok {
-		f = f.intersect(e)
+}
+
+// learnEqual merges the equality classes of x and y (both asserted
+// equal) and invalidates every member of the merged class.
+func (a *Abs) learnEqual(x, y *Term) {
+	if a.eq == nil {
+		return
 	}
-	a.memo[t] = f
+	if !a.eq.union(x, y) {
+		return
+	}
+	a.Stats.EqUnions++
+	root := a.eq.find(x)
+	a.eq.members(func(t *Term) {
+		if a.eq.find(t) == root {
+			a.invalidate(t)
+		}
+	})
+}
+
+// EqRep returns the preferred substitution representative for t (a
+// constant or variable asserted equal to it), or nil.
+func (a *Abs) EqRep(t *Term) *Term {
+	if a.eq == nil {
+		return nil
+	}
+	return a.eq.rep(t)
+}
+
+func (a *Abs) recordParent(child, parent *Term) {
+	m, ok := a.parents[child]
+	if !ok {
+		m = map[*Term]struct{}{}
+		a.parents[child] = m
+	}
+	m[parent] = struct{}{}
+}
+
+// Fact returns a sound abstract value for t, valid under every
+// environment fact learned so far.
+func (a *Abs) Fact(t *Term) Fact {
+	if e, ok := a.memo[t]; ok {
+		return e.fact
+	}
+	f, tainted := a.computeRefined(t)
+	a.memo[t] = absEntry{fact: f, tainted: tainted}
 	return f
 }
 
-func (a *Abs) transfer(t *Term) Fact {
+func (a *Abs) computeRefined(t *Term) (Fact, bool) {
+	tainted := false
+	if _, ok := a.env[t]; ok {
+		tainted = true
+	}
+	if a.eq != nil && a.eq.rep(t) != nil {
+		tainted = true
+	}
+	childFacts := make([]Fact, len(t.Args))
+	for i, c := range t.Args {
+		a.recordParent(c, t)
+		childFacts[i] = a.Fact(c)
+		if e, ok := a.memo[c]; ok && e.tainted {
+			tainted = true
+		}
+	}
+	base := a.baseFact(t)
+	if !tainted {
+		return base, false
+	}
+	f := a.transfer(t, func(i int) Fact { return childFacts[i] })
+	if t.Op == OpEq && a.eq != nil && a.eq.same(t.Args[0], t.Args[1]) {
+		f = f.intersect(boolFact(true))
+	}
+	f = f.intersect(base)
+	if e, ok := a.env[t]; ok {
+		f = f.intersect(e)
+	}
+	return f.restrict(a.cfg), true
+}
+
+// baseFact computes the environment-free fact of t — a pure function of
+// the term's structure, cacheable across solvers.
+func (a *Abs) baseFact(t *Term) Fact {
+	if a.cache != nil {
+		if f, ok := a.cache.get(t); ok {
+			return f
+		}
+	} else if f, ok := a.baseMemo[t]; ok {
+		return f
+	}
+	f := a.transfer(t, func(i int) Fact { return a.baseFact(t.Args[i]) })
+	f = f.restrict(a.cfg)
+	if a.cache != nil {
+		a.cache.put(t, f)
+	} else {
+		a.baseMemo[t] = f
+	}
+	return f
+}
+
+// transfer is the product transfer function for one operator: every
+// domain's abstract semantics evaluated on the argument facts supplied
+// by arg, then cross-tightened by normalize.
+func (a *Abs) transfer(t *Term, arg func(int) Fact) Fact {
 	w := t.Width
-	arg := func(i int) Fact { return a.Fact(t.Args[i]) }
 	switch t.Op {
 	case OpConst:
 		return constFact(t.Val)
@@ -201,6 +282,11 @@ func (a *Abs) transfer(t *Term) Fact {
 			Val:   x.Val.Not().And(x.Known),
 			Lo:    x.Hi.Not(),
 			Hi:    x.Lo.Not(),
+			// ~x = -x-1 exactly, so signed order reverses with no wrap.
+			SLo: x.SHi.Not(),
+			SHi: x.SLo.Not(),
+			CK:  x.CK,
+			CR:  x.CR.Not().And(lowMask(w, x.CK)),
 		}.normalize()
 	case OpAnd:
 		x, y := arg(0), arg(1)
@@ -229,10 +315,13 @@ func (a *Abs) transfer(t *Term) Fact {
 	case OpNeg:
 		x := arg(0)
 		f := topFact(w)
-		if x.Lo.IsZero() && !x.Hi.IsZero() {
-			return f // range straddles the wrap at 0
+		if !(x.Lo.IsZero() && !x.Hi.IsZero()) { // range does not wrap at 0
+			f.Lo, f.Hi = x.Hi.Neg(), x.Lo.Neg()
 		}
-		f.Lo, f.Hi = x.Hi.Neg(), x.Lo.Neg()
+		if !x.SLo.Eq(sMinBV(w)) { // -sMin overflows; anything else negates cleanly
+			f.SLo, f.SHi = x.SHi.Neg(), x.SLo.Neg()
+		}
+		f.CK, f.CR = x.CK, x.CR.Neg().And(lowMask(w, x.CK))
 		return f.normalize()
 	case OpAdd:
 		x, y := arg(0), arg(1)
@@ -243,15 +332,26 @@ func (a *Abs) transfer(t *Term) Fact {
 				f.Lo, f.Hi = lo, hi
 			}
 		}
+		if lo, hi, ok := sAddBounds(x.SLo, x.SHi, y.SLo, y.SHi); ok {
+			f.SLo, f.SHi = lo, hi
+		}
+		f.CK, f.CR = congAdd(w, x.CK, x.CR, y.CK, y.CR, false)
 		return f.normalize()
 	case OpSub:
 		x, y := arg(0), arg(1)
 		f := topFact(w)
-		ny := Fact{Known: y.Known, Val: y.Val.Not().And(y.Known), Lo: bv.Zero(w), Hi: bv.Ones(w)}
+		ny := topFact(w)
+		ny.Known, ny.Val = y.Known, y.Val.Not().And(y.Known)
 		f.Known, f.Val = addKnown(x, ny, true)
 		if !x.Lo.Ult(y.Hi) { // no borrow anywhere in the range
 			f.Lo, f.Hi = x.Lo.Sub(y.Hi), x.Hi.Sub(y.Lo)
 		}
+		if !y.SLo.Eq(sMinBV(w)) {
+			if lo, hi, ok := sAddBounds(x.SLo, x.SHi, y.SHi.Neg(), y.SLo.Neg()); ok {
+				f.SLo, f.SHi = lo, hi
+			}
+		}
+		f.CK, f.CR = congAdd(w, x.CK, x.CR, y.CK, y.CR, true)
 		return f.normalize()
 	case OpMul:
 		x, y := arg(0), arg(1)
@@ -262,6 +362,7 @@ func (a *Abs) transfer(t *Term) Fact {
 			f.Lo = x.Lo.Mul(y.Lo)
 			f.Hi = hi.Extract(w-1, 0)
 		}
+		f.CK, f.CR = congMul(w, x.CK, x.CR, y.CK, y.CR)
 		return f.normalize()
 	case OpUdiv:
 		x, y := arg(0), arg(1)
@@ -293,7 +394,16 @@ func (a *Abs) transfer(t *Term) Fact {
 			return boolFact(false) // a known bit differs
 		}
 		if x.Hi.Ult(y.Lo) || y.Hi.Ult(x.Lo) {
-			return boolFact(false) // disjoint ranges
+			return boolFact(false) // disjoint unsigned ranges
+		}
+		if x.SHi.Slt(y.SLo) || y.SHi.Slt(x.SLo) {
+			return boolFact(false) // disjoint signed ranges
+		}
+		if k := minInt(x.CK, y.CK); k > 0 {
+			m := lowMask(x.Width(), k)
+			if !x.CR.And(m).Eq(y.CR.And(m)) {
+				return boolFact(false) // incompatible residues
+			}
 		}
 		if x.IsConst() && y.IsConst() && x.Val.Eq(y.Val) {
 			return boolFact(true)
@@ -310,6 +420,12 @@ func (a *Abs) transfer(t *Term) Fact {
 		return topFact(1)
 	case OpSlt:
 		x, y := arg(0), arg(1)
+		if x.SHi.Slt(y.SLo) {
+			return boolFact(true)
+		}
+		if !x.SLo.Slt(y.SHi) { // y.SHi ≤s x.SLo, so x ≥s y everywhere
+			return boolFact(false)
+		}
 		sw := t.Args[0].Width
 		if x.Known.Bit(sw-1) && y.Known.Bit(sw-1) {
 			sx, sy := x.Val.Bit(sw-1), y.Val.Bit(sw-1)
@@ -343,37 +459,59 @@ func (a *Abs) transfer(t *Term) Fact {
 			// Ashr on the value replicates its (then known) value.
 			f.Known = x.Known.AshrBV(amt)
 			f.Val = x.Val.AshrBV(amt).And(f.Known)
+			if n, ok := shiftAmount(amt, w); ok {
+				// Arithmetic shift is monotone in signed order.
+				f.SLo, f.SHi = x.SLo.Ashr(n), x.SHi.Ashr(n)
+			}
 		}
 		return f.normalize()
 	case OpConcat:
 		x, y := arg(0), arg(1)
-		return Fact{
-			Known: x.Known.Concat(y.Known),
-			Val:   x.Val.Concat(y.Val),
-			Lo:    x.Lo.Concat(y.Lo),
-			Hi:    x.Hi.Concat(y.Hi),
-		}.normalize()
+		f := topFact(w)
+		f.Known = x.Known.Concat(y.Known)
+		f.Val = x.Val.Concat(y.Val)
+		f.Lo = x.Lo.Concat(y.Lo)
+		f.Hi = x.Hi.Concat(y.Hi)
+		// The low part's congruence survives; a fully-determined low
+		// part extends the high part's congruence past it.
+		yw := t.Args[1].Width
+		if x.CK > 0 && y.CK >= yw {
+			f.CK = minInt(x.CK+yw, w)
+			f.CR = x.CR.Concat(y.CR).And(lowMask(w, f.CK))
+		} else {
+			f.CK = minInt(y.CK, w)
+			f.CR = y.CR.ZeroExt(w).And(lowMask(w, f.CK))
+		}
+		return f.normalize()
 	case OpExtract:
 		x := arg(0)
 		f := topFact(w)
 		f.Known = x.Known.Extract(t.Hi, t.Lo)
 		f.Val = x.Val.Extract(t.Hi, t.Lo)
-		if t.Lo == 0 && x.Hi.Lshr(t.Hi+1).IsZero() {
-			// The whole range fits in the kept bits: truncation is the
-			// identity on it, so the interval carries over.
-			f.Lo, f.Hi = x.Lo.Extract(t.Hi, 0), x.Hi.Extract(t.Hi, 0)
+		if t.Lo == 0 {
+			if x.Hi.Lshr(t.Hi + 1).IsZero() {
+				// The whole range fits in the kept bits: truncation is the
+				// identity on it, so the interval carries over.
+				f.Lo, f.Hi = x.Lo.Extract(t.Hi, 0), x.Hi.Extract(t.Hi, 0)
+			}
+			if x.CK > 0 {
+				f.CK = minInt(x.CK, w)
+				f.CR = x.CR.Extract(t.Hi, 0).And(lowMask(w, f.CK))
+			}
 		}
 		return f.normalize()
 	case OpZeroExt:
 		x := arg(0)
 		ow := t.Args[0].Width
 		ext := bv.Ones(w).Shl(ow) // high bits known zero
-		return Fact{
-			Known: x.Known.ZeroExt(w).Or(ext),
-			Val:   x.Val.ZeroExt(w),
-			Lo:    x.Lo.ZeroExt(w),
-			Hi:    x.Hi.ZeroExt(w),
-		}.normalize()
+		f := topFact(w)
+		f.Known = x.Known.ZeroExt(w).Or(ext)
+		f.Val = x.Val.ZeroExt(w)
+		f.Lo = x.Lo.ZeroExt(w)
+		f.Hi = x.Hi.ZeroExt(w)
+		f.CK = x.CK
+		f.CR = x.CR.ZeroExt(w)
+		return f.normalize()
 	case OpSignExt:
 		x := arg(0)
 		f := topFact(w)
@@ -381,6 +519,12 @@ func (a *Abs) transfer(t *Term) Fact {
 		// whether the sign is known, on the value its replicated value.
 		f.Known = x.Known.SignExt(w)
 		f.Val = x.Val.SignExt(w).And(f.Known)
+		// Sign extension preserves the integer value, so the signed
+		// interval carries over exactly.
+		f.SLo = x.SLo.SignExt(w)
+		f.SHi = x.SHi.SignExt(w)
+		f.CK = x.CK
+		f.CR = x.CR.ZeroExt(w)
 		return f.normalize()
 	case OpIte:
 		c := arg(0)
@@ -391,13 +535,7 @@ func (a *Abs) transfer(t *Term) Fact {
 			return arg(2)
 		}
 		x, y := arg(1), arg(2)
-		known := x.Known.And(y.Known).And(x.Val.Xor(y.Val).Not())
-		return Fact{
-			Known: known,
-			Val:   x.Val.And(known),
-			Lo:    umin(x.Lo, y.Lo),
-			Hi:    umax(x.Hi, y.Hi),
-		}.normalize()
+		return x.Join(y)
 	case OpRedOr:
 		x := arg(0)
 		if !x.Lo.IsZero() || !x.Val.IsZero() {
@@ -426,6 +564,13 @@ func (a *Abs) transfer(t *Term) Fact {
 	return topFact(w)
 }
 
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // shiftAmount converts a constant shift amount to an int, reporting
 // whether it is within [0, limit].
 func shiftAmount(amt bv.BV, limit int) (int, bool) {
@@ -442,165 +587,239 @@ func shiftAmount(amt bv.BV, limit int) (int, bool) {
 }
 
 // LearnAsserted harvests facts from a width-1 term that is known to be
-// true (asserted as a hard constraint). It recurses through
-// conjunctions and recognizes the constraint shapes the synthesizer
-// emits: Eq(x, const), Eq(And(x, mask), const), Ult bounds and their
-// negations, and — for any other width-1 term — the term itself being
-// true.
+// true (asserted as a hard constraint). Beyond the direct shapes the
+// synthesizer emits — Eq(x, const), Eq(And(x, mask), const), Ult bounds
+// and their negations — it propagates pinned constants backwards
+// through invertible structure (Not/Neg/Xor/Add with a constant,
+// Concat, Zero/SignExt, Extract) and through muxes whose pinned result
+// is only reachable on one branch, which also decides the branch
+// condition. Asserted equalities between two non-constant terms enter
+// the equality closure.
 func (a *Abs) LearnAsserted(t *Term) {
-	switch {
-	case t.Op == OpAnd && t.Width == 1:
-		a.LearnAsserted(t.Args[0])
-		a.LearnAsserted(t.Args[1])
+	a.learnTrue(t)
+}
+
+func (a *Abs) learnTrue(t *Term) {
+	switch t.Op {
+	case OpConst:
 		return
-	case t.Op == OpEq:
-		x, y := t.Args[0], t.Args[1]
-		if x.IsConst() {
-			x, y = y, x
+	case OpAnd:
+		if t.Width == 1 {
+			a.learnTrue(t.Args[0])
+			a.learnTrue(t.Args[1])
+			return
 		}
-		if y.IsConst() {
-			// Eq(And(x, mask), c) pins the mask's bits of x.
-			if x.Op == OpAnd && x.Args[1].IsConst() {
-				mask := x.Args[1].Val
-				a.Learn(x.Args[0], Fact{
-					Known: mask,
-					Val:   y.Val.And(mask),
-					Lo:    bv.Zero(x.Width),
-					Hi:    bv.Ones(x.Width),
-				})
-			}
-			a.Learn(x, constFact(y.Val))
-		}
-	case t.Op == OpUlt:
+	case OpNot:
+		a.learnFalse(t.Args[0])
+		return
+	case OpEq:
+		a.learnEq(t.Args[0], t.Args[1])
+	case OpUlt:
 		x, y := t.Args[0], t.Args[1]
 		if y.IsConst() && !y.Val.IsZero() {
 			f := topFact(x.Width)
 			f.Hi = y.Val.Sub(bv.One(x.Width))
 			a.Learn(x, f)
 		}
-		if x.IsConst() {
+		if x.IsConst() && !x.Val.IsOnes() {
 			f := topFact(y.Width)
-			if !x.Val.IsOnes() {
-				f.Lo = x.Val.Add(bv.One(y.Width))
-				a.Learn(y, f)
-			}
+			f.Lo = x.Val.Add(bv.One(y.Width))
+			a.Learn(y, f)
 		}
-	case t.Op == OpNot:
-		inner := t.Args[0]
-		// Not(Ult(x, y)) asserted means y ≤ x.
-		if inner.Op == OpUlt {
-			x, y := inner.Args[0], inner.Args[1]
-			if x.IsConst() {
-				f := topFact(y.Width)
-				f.Hi = x.Val
-				a.Learn(y, f)
-			}
-			if y.IsConst() {
-				f := topFact(x.Width)
-				f.Lo = y.Val
+	case OpSlt:
+		x, y := t.Args[0], t.Args[1]
+		if y.IsConst() {
+			f := topFact(x.Width)
+			f.SHi = y.Val.Sub(bv.One(x.Width)) // x <s y, y > sMin or the fact is vacuous
+			if !y.Val.Eq(sMinBV(x.Width)) {
 				a.Learn(x, f)
 			}
 		}
-		a.Learn(inner, boolFact(false))
-		return
+		if x.IsConst() && !x.Val.Eq(sMaxBV(y.Width)) {
+			f := topFact(y.Width)
+			f.SLo = x.Val.Add(bv.One(y.Width))
+			a.Learn(y, f)
+		}
+	case OpRedAnd:
+		a.learnEqConst(t.Args[0], bv.Ones(t.Args[0].Width))
+	case OpIte:
+		// (c ? x : y) asserted true: a branch whose fact is already
+		// false decides the condition and asserts the other branch.
+		c, x, y := t.Args[0], t.Args[1], t.Args[2]
+		if !a.Fact(y).Admits(bv.FromBool(true)) {
+			a.learnTrue(c)
+			a.learnTrue(x)
+		} else if !a.Fact(x).Admits(bv.FromBool(true)) {
+			a.learnFalse(c)
+			a.learnTrue(y)
+		}
 	}
 	if t.Width == 1 && !t.IsConst() {
 		a.Learn(t, boolFact(true))
 	}
 }
 
-// Simplify rewrites t under the analysis state: fully-determined terms
-// collapse to constants, muxes with a decided condition drop the dead
-// branch, and shifts by a determined amount reduce to wiring. The
-// result is equivalent to t in every model of the constraints the
-// state was seeded from. Results are memoized; like Fact memoization
-// this can lag behind later Learn calls, which is sound (see Abs).
-func (c *Context) Simplify(t *Term, a *Abs, memo map[*Term]*Term) *Term {
-	if r, ok := memo[t]; ok {
-		return r
-	}
-	r := c.simplify1(t, a, memo)
-	if r != t && r.Width != t.Width {
-		panic("smt: simplify changed term width")
-	}
-	memo[t] = r
-	return r
-}
-
-func (c *Context) simplify1(t *Term, a *Abs, memo map[*Term]*Term) *Term {
-	if t.Op == OpConst || t.Op == OpVar {
-		if f := a.Fact(t); f.IsConst() && t.Op != OpConst {
-			return c.Const(f.Val)
-		}
-		return t
-	}
-	// Decided mux conditions prune the dead branch before it is visited.
-	if t.Op == OpIte {
-		if cf := a.Fact(t.Args[0]); cf.IsConst() {
-			if !cf.Val.IsZero() {
-				return c.Simplify(t.Args[1], a, memo)
-			}
-			return c.Simplify(t.Args[2], a, memo)
-		}
-	}
-	args := make([]*Term, len(t.Args))
-	for i, x := range t.Args {
-		args[i] = c.Simplify(x, a, memo)
-	}
-	var r *Term
-	if t.Op == OpExtract {
-		r = c.Extract(args[0], t.Hi, t.Lo)
-	} else {
-		r = c.rebuild(t.Op, t.Width, args)
-	}
-	if r.IsConst() {
-		return r
-	}
-	// Facts are keyed on the original node; its rebuilt form satisfies
-	// the same constraints in every model.
-	f := a.Fact(t)
-	if f.IsConst() {
-		return c.Const(f.Val)
-	}
-	// Shift strength reduction: a determined shift amount turns a
-	// barrel shifter into wiring.
-	if r.Op == OpShl || r.Op == OpLshr || r.Op == OpAshr {
-		if af := a.Fact(r.Args[1]); af.IsConst() {
-			if red := c.reduceShift(r, af.Val); red != nil {
-				return red
-			}
-		}
-	}
-	return r
-}
-
-// reduceShift rewrites a shift by the constant amount amt as
-// extract/concat wiring. Returns nil when no reduction applies.
-func (c *Context) reduceShift(t *Term, amt bv.BV) *Term {
-	w := t.Width
-	x := t.Args[0]
-	k, ok := shiftAmount(amt, w)
-	if !ok {
-		k = w // saturate: shifts ≥ width have a fixed result
-	}
-	switch {
-	case k == 0:
-		return x
-	case k >= w:
-		switch t.Op {
-		case OpAshr:
-			return c.SignExt(c.Extract(x, w-1, w-1), w)
-		default:
-			return c.Const(bv.Zero(w))
-		}
-	}
+func (a *Abs) learnFalse(t *Term) {
 	switch t.Op {
-	case OpShl:
-		return c.Concat(c.Extract(x, w-1-k, 0), c.Const(bv.Zero(k)))
-	case OpLshr:
-		return c.ZeroExt(c.Extract(x, w-1, k), w)
-	case OpAshr:
-		return c.SignExt(c.Extract(x, w-1, k), w)
+	case OpConst:
+		return
+	case OpNot:
+		a.learnTrue(t.Args[0])
+		return
+	case OpOr:
+		if t.Width == 1 {
+			a.learnFalse(t.Args[0])
+			a.learnFalse(t.Args[1])
+			return
+		}
+	case OpRedOr:
+		a.learnEqConst(t.Args[0], bv.Zero(t.Args[0].Width))
+	case OpUlt:
+		// Not(Ult(x, y)) asserted means y ≤ x.
+		x, y := t.Args[0], t.Args[1]
+		if x.IsConst() {
+			f := topFact(y.Width)
+			f.Hi = x.Val
+			a.Learn(y, f)
+		}
+		if y.IsConst() {
+			f := topFact(x.Width)
+			f.Lo = y.Val
+			a.Learn(x, f)
+		}
+	case OpSlt:
+		// Not(Slt(x, y)) asserted means y ≤s x.
+		x, y := t.Args[0], t.Args[1]
+		if x.IsConst() {
+			f := topFact(y.Width)
+			f.SHi = x.Val
+			a.Learn(y, f)
+		}
+		if y.IsConst() {
+			f := topFact(x.Width)
+			f.SLo = y.Val
+			a.Learn(x, f)
+		}
+	case OpEq:
+		// A refuted equality with a width-1 constant pins the other side.
+		x, y := t.Args[0], t.Args[1]
+		if x.IsConst() {
+			x, y = y, x
+		}
+		if y.IsConst() && y.Width == 1 {
+			a.learnEqConst(x, y.Val.Not())
+		}
 	}
-	return nil
+	if t.Width == 1 && !t.IsConst() {
+		a.Learn(t, boolFact(false))
+	}
+}
+
+// learnEq records that x and y evaluate to the same value in every
+// model of the constraints.
+func (a *Abs) learnEq(x, y *Term) {
+	if x.IsConst() {
+		x, y = y, x
+	}
+	if y.IsConst() {
+		a.learnEqConst(x, y.Val)
+		return
+	}
+	a.learnEqual(x, y)
+}
+
+// learnEqConst records x = c and pushes the constant backwards through
+// invertible or partially-invertible structure.
+func (a *Abs) learnEqConst(x *Term, c bv.BV) {
+	if x.IsConst() {
+		return
+	}
+	a.Learn(x, constFact(c))
+	w := x.Width
+	switch x.Op {
+	case OpNot:
+		a.learnEqConst(x.Args[0], c.Not())
+	case OpNeg:
+		a.learnEqConst(x.Args[0], c.Neg())
+	case OpXor:
+		if x.Args[1].IsConst() {
+			a.learnEqConst(x.Args[0], c.Xor(x.Args[1].Val))
+		} else if x.Args[0].IsConst() {
+			a.learnEqConst(x.Args[1], c.Xor(x.Args[0].Val))
+		}
+	case OpAdd:
+		if x.Args[1].IsConst() {
+			a.learnEqConst(x.Args[0], c.Sub(x.Args[1].Val))
+		} else if x.Args[0].IsConst() {
+			a.learnEqConst(x.Args[1], c.Sub(x.Args[0].Val))
+		}
+	case OpSub:
+		if x.Args[1].IsConst() {
+			a.learnEqConst(x.Args[0], c.Add(x.Args[1].Val))
+		} else if x.Args[0].IsConst() {
+			a.learnEqConst(x.Args[1], x.Args[0].Val.Sub(c))
+		}
+	case OpAnd:
+		// x0 & mask = c pins the mask's one-bits of x0.
+		if x.Args[1].IsConst() {
+			mask := x.Args[1].Val
+			f := topFact(w)
+			f.Known, f.Val = mask, c.And(mask)
+			a.Learn(x.Args[0], f)
+		}
+	case OpOr:
+		// x0 | mask = c pins the mask's zero-bits of x0.
+		if x.Args[1].IsConst() {
+			inv := x.Args[1].Val.Not()
+			f := topFact(w)
+			f.Known, f.Val = inv, c.And(inv)
+			a.Learn(x.Args[0], f)
+		}
+	case OpConcat:
+		hiA, loA := x.Args[0], x.Args[1]
+		a.learnEqConst(hiA, c.Extract(w-1, loA.Width))
+		a.learnEqConst(loA, c.Extract(loA.Width-1, 0))
+	case OpZeroExt:
+		ow := x.Args[0].Width
+		if c.Lshr(ow).IsZero() { // otherwise the constraint is unsat
+			a.learnEqConst(x.Args[0], c.Extract(ow-1, 0))
+		}
+	case OpSignExt:
+		ow := x.Args[0].Width
+		tr := c.Extract(ow-1, 0)
+		if tr.SignExt(w).Eq(c) {
+			a.learnEqConst(x.Args[0], tr)
+		}
+	case OpExtract:
+		// A pinned slice is a partial known-bits fact about the source.
+		src := x.Args[0]
+		f := topFact(src.Width)
+		for i := x.Lo; i <= x.Hi; i++ {
+			f.Known = f.Known.WithBit(i, true)
+			f.Val = f.Val.WithBit(i, c.Bit(i-x.Lo))
+		}
+		a.Learn(src, f)
+	case OpIte:
+		// A mux pinned to a value only one branch can produce decides
+		// the condition and pins that branch.
+		cond, p, q := x.Args[0], x.Args[1], x.Args[2]
+		pAdmits := a.Fact(p).Admits(c)
+		qAdmits := a.Fact(q).Admits(c)
+		switch {
+		case !pAdmits && qAdmits:
+			a.learnFalse(cond)
+			a.learnEqConst(q, c)
+		case pAdmits && !qAdmits:
+			a.learnTrue(cond)
+			a.learnEqConst(p, c)
+		}
+	case OpEq, OpUlt, OpSlt, OpRedOr, OpRedAnd:
+		if w == 1 {
+			if !c.IsZero() {
+				a.learnTrue(x)
+			} else {
+				a.learnFalse(x)
+			}
+		}
+	}
 }

@@ -86,32 +86,31 @@ func TestLearnAssertedShapes(t *testing.T) {
 func TestSimplifyUnderFacts(t *testing.T) {
 	ctx := NewContext()
 	a := NewAbs()
-	memo := map[*Term]*Term{}
 	x := ctx.Var("x", 8)
 	y := ctx.Var("y", 8)
 	sel := ctx.Var("sel", 1)
 
 	a.LearnAsserted(ctx.Eq(x, ctx.ConstU(8, 3)))
 	// A pinned variable folds wherever it occurs.
-	if r := ctx.Simplify(ctx.Add(x, y), a, memo); r.Op != OpAdd || !r.Args[0].IsConst() {
+	if r := ctx.Simplify(ctx.Add(x, y), a); r.Op != OpAdd || !r.Args[0].IsConst() {
 		t.Fatalf("pinned operand not folded: %v", r)
 	}
 	// Comparisons decided by the domains fold to booleans.
 	a.LearnAsserted(ctx.Ult(y, ctx.ConstU(8, 16)))
-	if r := ctx.Simplify(ctx.Ult(y, ctx.ConstU(8, 200)), a, memo); !r.IsConst() || r.Val.IsZero() {
+	if r := ctx.Simplify(ctx.Ult(y, ctx.ConstU(8, 200)), a); !r.IsConst() || r.Val.IsZero() {
 		t.Fatalf("decided comparison not folded: %v", r)
 	}
 	// A decided mux condition drops the dead branch.
 	a.LearnAsserted(sel)
 	mux := ctx.Ite(sel, y, ctx.ConstU(8, 99))
-	if r := ctx.Simplify(mux, a, memo); r != y {
+	if r := ctx.Simplify(mux, a); r != y {
 		t.Fatalf("decided mux not pruned: %v", r)
 	}
 	// A shift by a determined amount reduces to wiring.
 	amt := ctx.Var("amt", 8)
 	a.LearnAsserted(ctx.Eq(amt, ctx.ConstU(8, 2)))
 	shift := ctx.Shl(y, amt)
-	r := ctx.Simplify(shift, a, memo)
+	r := ctx.Simplify(shift, a)
 	if r.Op == OpShl {
 		t.Fatalf("determined shift not reduced: %v", r)
 	}

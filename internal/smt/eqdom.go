@@ -1,0 +1,126 @@
+package smt
+
+// eqDom is the relational member of the product: a union-find over
+// terms asserted equal (congruence closure light — closure under
+// asserted Eq chains, not under operators, which the term-level
+// simplifier already provides by rebuilding on hash-consed arguments).
+//
+// Each class tracks its best substitution representative: a constant
+// beats a variable beats everything else; ties break on the smaller
+// hash-cons id so the choice is deterministic and acyclic (substituting
+// a term by a strictly-preferred representative can never loop).
+type eqDom struct {
+	parent map[*Term]*Term
+	size   map[*Term]int
+	best   map[*Term]*Term // root → preferred representative of its class
+}
+
+func newEqDom() *eqDom {
+	return &eqDom{
+		parent: map[*Term]*Term{},
+		size:   map[*Term]int{},
+		best:   map[*Term]*Term{},
+	}
+}
+
+func (e *eqDom) find(t *Term) *Term {
+	p, ok := e.parent[t]
+	if !ok {
+		return t
+	}
+	for p != t {
+		gp, ok := e.parent[p]
+		if !ok {
+			gp = p
+		}
+		e.parent[t] = gp
+		t, p = p, gp
+		if q, ok := e.parent[t]; ok {
+			p = q
+		} else {
+			p = t
+		}
+	}
+	return t
+}
+
+// better reports whether a is a strictly preferable substitution
+// representative than b.
+func better(a, b *Term) bool {
+	rank := func(t *Term) int {
+		switch t.Op {
+		case OpConst:
+			return 0
+		case OpVar:
+			return 1
+		default:
+			return 2
+		}
+	}
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	return a.ID() < b.ID()
+}
+
+// union merges the classes of x and y; it reports whether the structure
+// changed (false when they were already equal).
+func (e *eqDom) union(x, y *Term) bool {
+	rx, ry := e.find(x), e.find(y)
+	if rx == ry {
+		return false
+	}
+	if _, ok := e.parent[rx]; !ok {
+		e.parent[rx] = rx
+		e.size[rx] = 1
+		e.best[rx] = rx
+	}
+	if _, ok := e.parent[ry]; !ok {
+		e.parent[ry] = ry
+		e.size[ry] = 1
+		e.best[ry] = ry
+	}
+	if e.size[rx] < e.size[ry] {
+		rx, ry = ry, rx
+	}
+	e.parent[ry] = rx
+	e.size[rx] += e.size[ry]
+	if better(e.best[ry], e.best[rx]) {
+		e.best[rx] = e.best[ry]
+	}
+	delete(e.best, ry)
+	return true
+}
+
+// same reports whether x and y are in one class.
+func (e *eqDom) same(x, y *Term) bool {
+	if x == y {
+		return true
+	}
+	return e.find(x) == e.find(y)
+}
+
+// rep returns the preferred substitution representative for t, or nil
+// when t has none worth substituting (t is alone in its class, or the
+// best member is neither a constant nor a variable, or it is t itself).
+func (e *eqDom) rep(t *Term) *Term {
+	if _, ok := e.parent[t]; !ok {
+		return nil
+	}
+	b := e.best[e.find(t)]
+	if b == nil || b == t {
+		return nil
+	}
+	if b.Op != OpConst && b.Op != OpVar {
+		return nil
+	}
+	return b
+}
+
+// members iterates the terms that have entered the union-find.
+func (e *eqDom) members(visit func(t *Term)) {
+	for t := range e.parent {
+		visit(t)
+	}
+}

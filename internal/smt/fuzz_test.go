@@ -133,26 +133,50 @@ func FuzzBlastVsEval(f *testing.F) {
 }
 
 // FuzzAbsintSound checks the abstract domains against the concrete
-// semantics: facts constructed around the environment value must admit
-// it after every transfer, and simplification under those facts must
-// preserve the term's value in that environment.
+// semantics: facts constructed around the environment value — covering
+// every channel of the reduced product (known bits, unsigned and signed
+// intervals, congruence) plus the equality domain and the asserted-
+// constraint learner — must admit it after every transfer, and
+// simplification under those facts must preserve the term's value in
+// that environment.
 func FuzzAbsintSound(f *testing.F) {
 	f.Add([]byte{17, 42, 63, 0, 1, 2, 3, 10, 200, 3, 0}, byte(0x0F), byte(2))
 	f.Add([]byte{9, 30, 5, 5, 1, 17, 200, 11, 8, 14, 3}, byte(0xAA), byte(0))
 	f.Add([]byte{255, 0, 31, 2, 9, 4, 63, 21, 7, 19, 1}, byte(0xFF), byte(7))
+	// Congruence-heavy (slack picks CK near the width), signed-heavy
+	// (values straddling the sign bit), and equality (data[3]%3==0 pins
+	// b := a) seeds.
+	f.Add([]byte{8, 200, 40, 0, 3, 2, 9, 9, 1, 16, 2}, byte(0x00), byte(6))
+	f.Add([]byte{31, 33, 62, 12, 5, 16, 1, 9, 0, 12, 4}, byte(0x20), byte(3))
+	f.Add([]byte{7, 7, 7, 3, 2, 0, 5, 2, 6, 17, 9}, byte(0x03), byte(5))
 	f.Fuzz(func(t *testing.T, data []byte, mask, slack byte) {
 		ctx := NewContext()
+		if len(data) >= 4 && data[3]%3 == 0 {
+			// Pin b to a's value BEFORE building the term's environment,
+			// so the equality learned below holds concretely.
+			data = append([]byte{}, data...)
+			data[1] = data[0]
+		}
 		term, env := buildFuzzTerm(ctx, data)
 		if term == nil {
 			return
 		}
-		a := NewAbs()
+		cfgs := []DomainConfig{
+			{},
+			{NoSigned: true},
+			{NoCongruence: true},
+			{NoEq: true},
+			{NoSigned: true, NoCongruence: true, NoEq: true},
+		}
+		cfg := cfgs[int(slack)%len(cfgs)]
+		a := NewAbsWith(cfg)
 		for v, val := range env {
 			// Facts derived FROM the concrete value are sound by
-			// construction: mask some bits as known, widen the interval
-			// by `slack` on each side (saturating).
+			// construction: mask some bits as known, widen the unsigned
+			// and signed intervals by `slack` on each side (saturating),
+			// and take the congruence residue of the value itself.
 			known := bv.New(fuzzWidth, uint64(mask))
-			d := bv.New(fuzzWidth, uint64(slack))
+			d := bv.New(fuzzWidth, uint64(slack)%8)
 			lo := bv.Zero(fuzzWidth)
 			if !val.Ult(d) {
 				lo = val.Sub(d)
@@ -161,20 +185,54 @@ func FuzzAbsintSound(f *testing.F) {
 			if hi.Ult(val) {
 				hi = bv.Ones(fuzzWidth)
 			}
-			fact := Fact{Known: known, Val: val.And(known), Lo: lo, Hi: hi}.normalize()
+			slo := val.Sub(d)
+			if val.Slt(slo) {
+				slo = sMinBV(fuzzWidth)
+			}
+			shi := val.Add(d)
+			if shi.Slt(val) {
+				shi = sMaxBV(fuzzWidth)
+			}
+			ck := int(slack) % (fuzzWidth + 1)
+			fact := Fact{
+				Known: known, Val: val.And(known),
+				Lo: lo, Hi: hi,
+				SLo: slo, SHi: shi,
+				CK: ck, CR: val.And(lowMask(fuzzWidth, ck)),
+			}.normalize()
 			if !fact.Admits(val) {
 				t.Fatalf("constructed fact excludes its own value: %+v vs %s", fact, val)
 			}
 			a.Learn(v, fact)
 		}
+		va, vb := ctx.Var("a", fuzzWidth), ctx.Var("b", fuzzWidth)
+		if env[va].Eq(env[vb]) {
+			// Equality domain: a == b holds in env, so learning it must
+			// keep every fact sound.
+			a.LearnAsserted(ctx.Eq(va, vb))
+		}
 		ev := NewEvaluator(func(v *Term) bv.BV { return env[v] })
 		concrete := ev.Eval(term)
 		if fact := a.Fact(term); !fact.Admits(concrete) {
-			t.Fatalf("transfer result %+v excludes concrete value %s", fact, concrete)
+			t.Fatalf("cfg %s: transfer result %+v excludes concrete value %s", cfg, fact, concrete)
 		}
-		simplified := ctx.Simplify(term, a, map[*Term]*Term{})
+		simplified := ctx.Simplify(term, a)
 		if got := ev.Eval(simplified); !got.Eq(concrete) {
-			t.Fatalf("simplification changed the value: %s -> %s", concrete, got)
+			t.Fatalf("cfg %s: simplification changed the value: %s -> %s", cfg, concrete, got)
+		}
+		// Asserted-constraint learning: term == concrete is true in env,
+		// so the backward propagation must keep admitting env values.
+		a.LearnAsserted(ctx.Eq(term, ctx.Const(concrete)))
+		for v, val := range env {
+			if fact := a.Fact(v); !fact.Admits(val) {
+				t.Fatalf("cfg %s: asserted learning made var fact %+v exclude %s", cfg, fact, val)
+			}
+		}
+		if fact := a.Fact(term); !fact.Admits(concrete) {
+			t.Fatalf("cfg %s: asserted learning made term fact %+v exclude %s", cfg, fact, concrete)
+		}
+		if got := ev.Eval(ctx.Simplify(term, a)); !got.Eq(concrete) {
+			t.Fatalf("cfg %s: post-assert simplification changed the value: %s -> %s", cfg, concrete, got)
 		}
 	})
 }

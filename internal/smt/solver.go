@@ -26,10 +26,17 @@ type Solver struct {
 	model map[*Term]bv.BV // var snapshot after a Sat answer
 
 	// Abstract-interpretation state: facts harvested from hard asserts
-	// and a persistent original→simplified memo. nil when simplification
-	// is disabled (see DisableSimplify).
-	abs      *Abs
-	simpMemo map[*Term]*Term
+	// plus the simplifier memo (invalidated on environment tightening).
+	// nil when simplification is disabled (see SetDomains).
+	abs     *Abs
+	domains DomainConfig
+
+	// shadows are passive replica encoders fed the same original (pre-
+	// simplification) assert stream under different domain
+	// configurations. They blast but never solve, so their CNF sizes
+	// give apples-to-apples per-domain A/B measurements along the exact
+	// search path the live solver takes (see AddShadow).
+	shadows []*shadowEnc
 
 	// Self-certification state. asserted holds every (simplified) term
 	// handed to the bit-blaster, so a Sat model can be re-checked by the
@@ -70,6 +77,19 @@ type gateKey struct {
 	a, b sat.Lit
 }
 
+// shadowEnc pairs a shadow encoder with its report name.
+type shadowEnc struct {
+	name string
+	s    *Solver
+}
+
+// ShadowStats reports the CNF size a shadow configuration produced for
+// the same assert stream as the live solver.
+type ShadowStats struct {
+	Name string
+	SAT  sat.Statistics
+}
+
 // NewSolver returns a solver for terms of the given context. Model
 // validation (re-evaluating all asserted terms after every Sat answer)
 // is always on under `go test`; use EnableCertification to also get
@@ -81,9 +101,9 @@ func NewSolver(ctx *Context) *Solver {
 		bits:     map[*Term][]sat.Lit{},
 		gates:    map[gateKey]sat.Lit{},
 		abs:      NewAbs(),
-		simpMemo: map[*Term]*Term{},
 		validate: testing.Testing(),
 	}
+	s.abs.SetFree(s.isBlasted)
 	v := s.sat.NewVar()
 	s.t = sat.PosLit(v)
 	s.f = s.t.Not()
@@ -91,12 +111,77 @@ func NewSolver(ctx *Context) *Solver {
 	return s
 }
 
+func (s *Solver) isBlasted(t *Term) bool {
+	_, ok := s.bits[t]
+	return ok
+}
+
+// SetDomains selects which abstract domains run in this solver's
+// simplifier (cfg.Disable turns simplification off entirely). Must be
+// called before the first Assert.
+func (s *Solver) SetDomains(cfg DomainConfig) {
+	if len(s.asserted) > 0 {
+		panic("smt: SetDomains after Assert")
+	}
+	s.domains = cfg
+	if cfg.Disable {
+		s.abs = nil
+		return
+	}
+	s.abs = NewAbsWith(cfg)
+	s.abs.SetFree(s.isBlasted)
+}
+
 // DisableSimplify turns off the abstract-interpretation pre-blast
 // simplifier for this solver (used for A/B measurement of its CNF
 // impact). It should be called before the first Assert.
 func (s *Solver) DisableSimplify() {
-	s.abs = nil
-	s.simpMemo = nil
+	s.SetDomains(DomainConfig{Disable: true})
+}
+
+// SetFactCache attaches a shared base-fact cache (see FactCache) so
+// structure-only analysis work carries across the sequential solvers of
+// one synthesizer. The cache's domain configuration must match this
+// solver's; a mismatch is ignored. Call before the first Assert.
+func (s *Solver) SetFactCache(fc *FactCache) {
+	if s.abs != nil {
+		s.abs.SetCache(fc)
+	}
+}
+
+// AddShadow attaches a passive shadow encoder running the given domain
+// configuration. The shadow receives every original (pre-simplify)
+// asserted term and Check assumption, blasts them with its own analysis
+// state, and never solves; its CNF statistics (ShadowStats) measure
+// what this solver's encoding WOULD have been under cfg, along the
+// identical search path. Must be called before the first Assert.
+func (s *Solver) AddShadow(name string, cfg DomainConfig) {
+	if len(s.asserted) > 0 {
+		panic("smt: AddShadow after Assert")
+	}
+	sh := NewSolver(s.ctx)
+	sh.validate = false
+	sh.SetDomains(cfg)
+	s.shadows = append(s.shadows, &shadowEnc{name: name, s: sh})
+}
+
+// ShadowStats returns the CNF statistics of every attached shadow
+// encoder, in attachment order.
+func (s *Solver) ShadowStats() []ShadowStats {
+	out := make([]ShadowStats, 0, len(s.shadows))
+	for _, sh := range s.shadows {
+		out = append(out, ShadowStats{Name: sh.name, SAT: sh.s.SATStats()})
+	}
+	return out
+}
+
+// AbsStats returns the abstract-interpretation work counters (zero when
+// simplification is disabled).
+func (s *Solver) AbsStats() AbsStats {
+	if s.abs == nil {
+		return AbsStats{}
+	}
+	return s.abs.Stats
 }
 
 // EnableCertification switches the solver into self-certifying mode:
@@ -519,7 +604,8 @@ func (s *Solver) prepare(t *Term) *Term {
 	if s.abs == nil {
 		return t
 	}
-	return s.ctx.Simplify(t, s.abs, s.simpMemo)
+	s.abs.beginAssert()
+	return s.ctx.Simplify(t, s.abs)
 }
 
 // Assert adds a width-1 term as a hard constraint. The term is first
@@ -531,6 +617,9 @@ func (s *Solver) prepare(t *Term) *Term {
 func (s *Solver) Assert(t *Term) {
 	if t.Width != 1 {
 		panic("smt: assert of non-boolean term")
+	}
+	for _, sh := range s.shadows {
+		sh.s.Assert(t)
 	}
 	t = s.prepare(t)
 	if t.Op == OpConst && !t.Val.IsZero() {
@@ -557,6 +646,9 @@ func (s *Solver) Check(assumptions ...*Term) (sat.Status, error) {
 	for _, a := range assumptions {
 		if a.Width != 1 {
 			panic("smt: assumption of non-boolean term")
+		}
+		for _, sh := range s.shadows {
+			sh.s.blast(sh.s.prepare(a))
 		}
 		a = s.prepare(a)
 		terms = append(terms, a)

@@ -120,12 +120,33 @@ type Unrolling struct {
 	stateAt  []map[*smt.Term]*smt.Term // step -> state var -> expression
 	outputAt []map[string]*smt.Term    // step -> output name -> expression
 	obsScope obs.Scope                 // see SetObs
+	facts    *smt.FactCache            // see SetFactCache
 }
 
 // SetObs positions the unrolling in the observability layer: every
 // Extend records one "tsys.extend" span under the scope's span. The
 // zero Scope (the default) disables it.
 func (u *Unrolling) SetObs(sc obs.Scope) { u.obsScope = sc }
+
+// SetFactCache attaches a cross-window abstract-fact cache: after every
+// Extend, base facts for the newly built step expressions are derived
+// eagerly into the cache, so the owning solver's simplifier (and any
+// later rebuild over the same hash-consed terms) starts warm. A nil
+// cache disables prewarming.
+func (u *Unrolling) SetFactCache(fc *smt.FactCache) { u.facts = fc }
+
+// prewarm derives base facts for the given step's expressions.
+func (u *Unrolling) prewarm(k int) {
+	if u.facts == nil {
+		return
+	}
+	for _, expr := range u.stateAt[k] {
+		u.facts.Warm(expr)
+	}
+	for _, expr := range u.outputAt[k] {
+		u.facts.Warm(expr)
+	}
+}
 
 // Unroll unrolls sys for the given number of steps. init provides the
 // step-0 expression for each state variable; states missing from init
@@ -251,6 +272,7 @@ func (u *Unrolling) Extend(ctx *smt.Context, extraSteps int) {
 		u.inputAt = append(u.inputAt, ins)
 		u.outputAt = append(u.outputAt, outs)
 		u.stateAt = append(u.stateAt, stateCopy)
+		u.prewarm(k)
 	}
 	u.Steps += extraSteps
 }
