@@ -116,3 +116,49 @@ func (c *Context) Freeze() {
 		t.Fatalf("whitelisted writers flagged: %v", got)
 	}
 }
+
+func TestRecorderLeakDetected(t *testing.T) {
+	got := lintSrc(t, "a/b.go", `
+package x
+func leaky(r *obs.Recorder) {
+	h := r.BeginSpan(obs.Handle{}, "work", "scope", 0)
+	_ = h
+	cell := r.RegisterSolver("label", 0)
+	cell.Beat(1, 2, 3, 4)
+}`)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want rec-begin-leak for h and cell", got)
+	}
+	for _, g := range got {
+		if !strings.Contains(g, "rec-begin-leak") {
+			t.Fatalf("unexpected finding %q", g)
+		}
+	}
+}
+
+func TestRecorderPairedVariants(t *testing.T) {
+	got := lintSrc(t, "a/b.go", `
+package x
+func ok(r *obs.Recorder) {
+	h := r.BeginSpan(obs.Handle{}, "direct", "s", 0)
+	h.End()
+	g := r.BeginSpan(h, "attrs", "s", 0)
+	defer g.End(obs.Int("n", 1))
+	cell := r.RegisterSolver("label", 0)
+	defer func() { cell.Close() }()
+}`)
+	if len(got) != 0 {
+		t.Fatalf("false positives: %v", got)
+	}
+}
+
+func TestRecorderFieldTargetExempt(t *testing.T) {
+	got := lintSrc(t, "a/b.go", `
+package x
+func stash(sc *Scope, r *obs.Recorder) {
+	sc.Rh = r.BeginSpan(sc.Rh, "span", "s", 0)
+}`)
+	if len(got) != 0 {
+		t.Fatalf("field-stored handle flagged: %v", got)
+	}
+}

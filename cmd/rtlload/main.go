@@ -10,9 +10,16 @@
 // Requests cycle round-robin through the selected designs, so -n
 // larger than the design count produces exact resubmissions that must
 // be served by the result cache (the report includes the hit rate).
+//
+// Jobs are submitted asynchronously and followed over the per-job SSE
+// stream (GET /v1/jobs/{id}/events), so a load run also exercises the
+// flight-recorder fan-out; the report (serve.LoadReport) splits each
+// job's end-to-end latency into its queue-wait and run-time components
+// from the terminal JobView.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -31,34 +38,14 @@ import (
 	"rtlrepair/internal/serve"
 )
 
-// report is the BENCH_serve.json schema.
-type report struct {
-	Designs     []string         `json:"designs"`
-	Requests    int              `json:"requests"`
-	Concurrency int              `json:"concurrency"`
-	DurationMS  int64            `json:"duration_ms"`
-	Throughput  float64          `json:"throughput_rps"`
-	Latency     latencyMS        `json:"latency_ms"`
-	Statuses    map[string]int   `json:"statuses"`
-	Errors      int              `json:"errors"`
-	Mismatches  []string         `json:"mismatches"`
-	Resubmits   int              `json:"resubmissions"`
-	ResubmitHit float64          `json:"resubmit_hit_rate"`
-	Serve       map[string]int64 `json:"serve_counters"`
-}
-
-type latencyMS struct {
-	P50 float64 `json:"p50"`
-	P90 float64 `json:"p90"`
-	P99 float64 `json:"p99"`
-	Max float64 `json:"max"`
-}
-
 type outcome struct {
-	design  string
-	status  string
-	latency time.Duration
-	err     error
+	design    string
+	status    string
+	latency   time.Duration
+	queueWait time.Duration
+	run       time.Duration
+	events    int64
+	err       error
 }
 
 func main() {
@@ -141,7 +128,8 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := report{
+	rep := serve.LoadReport{
+		Version:     serve.LoadReportVersion,
 		Designs:     names,
 		Requests:    total,
 		Concurrency: *c,
@@ -151,7 +139,7 @@ func main() {
 		Mismatches:  []string{},
 		Serve:       map[string]int64{},
 	}
-	var lats []time.Duration
+	var lats, waits, runs []time.Duration
 	for _, o := range outcomes {
 		if o.err != nil {
 			rep.Errors++
@@ -159,17 +147,25 @@ func main() {
 			continue
 		}
 		lats = append(lats, o.latency)
+		waits = append(waits, o.queueWait)
+		runs = append(runs, o.run)
+		rep.SSEEvents += o.events
 		rep.Statuses[o.status]++
 		if exp, ok := want[o.design]; ok && o.status != exp {
 			rep.Mismatches = append(rep.Mismatches,
 				fmt.Sprintf("%s: got %q, golden %q", o.design, o.status, exp))
 		}
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	rep.Latency = latencyMS{
-		P50: pctMS(lats, 50), P90: pctMS(lats, 90), P99: pctMS(lats, 99),
-		Max: pctMS(lats, 100),
+	for _, l := range [][]time.Duration{lats, waits, runs} {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
 	}
+	pct := func(sorted []time.Duration) serve.LatencyMS {
+		return serve.LatencyMS{
+			P50: serve.Percentile(sorted, 50), P90: serve.Percentile(sorted, 90),
+			P99: serve.Percentile(sorted, 99), Max: serve.Percentile(sorted, 100),
+		}
+	}
+	rep.Latency, rep.QueueWait, rep.Run = pct(lats), pct(waits), pct(runs)
 
 	// Cache economics from the server's own counters (delta over the
 	// run, so earlier traffic on a shared server does not leak in).
@@ -203,6 +199,9 @@ func main() {
 		"rtlload: %d requests in %.2fs (%.1f rps)  p50=%.0fms p90=%.0fms p99=%.0fms max=%.0fms\n",
 		total, elapsed.Seconds(), rep.Throughput,
 		rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max)
+	fmt.Fprintf(os.Stderr,
+		"rtlload: queue-wait p90=%.0fms run p90=%.0fms  %d SSE events\n",
+		rep.QueueWait.P90, rep.Run.P90, rep.SSEEvents)
 	fmt.Fprintf(os.Stderr, "rtlload: statuses %v  resubmit hit rate %.0f%%  report %s\n",
 		rep.Statuses, rep.ResubmitHit*100, *out)
 	if len(rep.Mismatches) > 0 {
@@ -241,31 +240,87 @@ func buildRequest(b *bench.Benchmark, seed int64) ([]byte, error) {
 	})
 }
 
+// oneRequest submits a job asynchronously and follows its SSE stream
+// to the terminal state, reading the latency split off the final view.
 func oneRequest(client *http.Client, addr, design string, body []byte) outcome {
 	o := outcome{design: design}
 	start := time.Now()
-	resp, err := client.Post(addr+"/v1/repair?wait=1", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(addr+"/v1/repair", "application/json", bytes.NewReader(body))
 	if err != nil {
 		o.err = err
 		return o
 	}
-	defer resp.Body.Close()
-	o.latency = time.Since(start)
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		resp.Body.Close()
 		o.err = fmt.Errorf("http %d", resp.StatusCode)
 		return o
 	}
 	var v serve.JobView
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil {
 		o.err = err
 		return o
 	}
+	if v.State != serve.StateDone {
+		final, events, err := followEvents(client, addr, v.ID)
+		if err != nil {
+			o.err = err
+			return o
+		}
+		v, o.events = *final, events
+	}
+	o.latency = time.Since(start)
 	if v.State != serve.StateDone || v.Result == nil {
-		o.err = fmt.Errorf("job %s not done after wait", v.ID)
+		o.err = fmt.Errorf("job %s not done after event stream", v.ID)
 		return o
 	}
 	o.status = v.Result.Status
+	o.queueWait = time.Duration(v.QueueWaitMS) * time.Millisecond
+	o.run = time.Duration(v.RunMS) * time.Millisecond
 	return o
+}
+
+// followEvents consumes the job's SSE stream until the "done" event and
+// returns the terminal view plus the number of progress events seen.
+func followEvents(client *http.Client, addr, id string) (*serve.JobView, int64, error) {
+	resp, err := client.Get(addr + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("events: http %d", resp.StatusCode)
+	}
+	var events int64
+	var event, data string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			switch event {
+			case "event":
+				events++
+			case "done":
+				var v serve.JobView
+				if err := json.Unmarshal([]byte(data), &v); err != nil {
+					return nil, events, err
+				}
+				return &v, events, nil
+			}
+			event, data = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, events, err
+	}
+	return nil, events, fmt.Errorf("events: stream ended before done")
 }
 
 func goldenStatus(dir, name string) (string, error) {
@@ -296,21 +351,7 @@ func fetchCounters(client *http.Client, addr string) (map[string]int64, error) {
 	return doc.Counters, nil
 }
 
-func pctMS(sorted []time.Duration, p int) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := len(sorted)*p/100 - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return float64(sorted[idx]) / float64(time.Millisecond)
-}
-
-func writeReport(path string, rep *report) error {
+func writeReport(path string, rep *serve.LoadReport) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

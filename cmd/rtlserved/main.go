@@ -8,8 +8,16 @@
 //
 //	curl -s localhost:8080/v1/repair?wait=1 -d '{"source": "...", "trace": "..."}'
 //
-// See DESIGN.md "Serving" for the API, queue, cache, and lifecycle
-// semantics. SIGINT/SIGTERM drain gracefully: intake stops, accepted
+// Live introspection is always on (no flag): GET /debugz/spans shows
+// the open-span tree, /debugz/ring dumps the flight-recorder ring as
+// JSONL, /debugz/solvers lists every running SAT search with conflict
+// rates and heartbeat staleness, and GET /v1/jobs/{id}/events streams a
+// job's recorder events as Server-Sent Events. A running job whose
+// solvers all stop heartbeating for -stall-after trips the
+// serve.jobs.stalled watchdog gauge on /metricsz.
+//
+// See DESIGN.md "Serving" and "Live introspection" for the API, queue,
+// cache, and lifecycle semantics. SIGINT/SIGTERM drain gracefully: intake stops, accepted
 // jobs finish (cancelled if -drain-timeout expires — they still reach a
 // terminal state), and the observability outputs flush.
 //
@@ -46,6 +54,7 @@ func main() {
 		resultCache   = flag.Int("result-cache", 256, "result cache entries (-1 disables)")
 		artifactCache = flag.Int("artifact-cache", 64, "frontend artifact cache entries (-1 disables)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget before running jobs are cancelled")
+		stallAfter    = flag.Duration("stall-after", 10*time.Second, "solver heartbeat staleness behind the stalled-job watchdog (-1s disables)")
 	)
 	var ocli obs.CLI
 	ocli.RegisterFlags(flag.CommandLine)
@@ -65,6 +74,7 @@ func main() {
 		QueueTimeout:      *queueTimeout,
 		ResultCacheSize:   *resultCache,
 		ArtifactCacheSize: *artifactCache,
+		StallAfter:        *stallAfter,
 		Obs:               ocli.Scope(),
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -1,0 +1,387 @@
+// Command tracediff attributes performance movement between two repair
+// runs. It reads two scrubbed artifacts — BENCH_repair.json snapshots
+// or JSONL span journals (-trace-out) — and reports wall-clock and CNF
+// deltas broken down by (design, phase, domain), with a configurable
+// noise floor so CI regressions point at the phase that moved instead
+// of a bare total.
+//
+//	tracediff testdata/tracediff/BENCH_repair_base.json BENCH_repair.json
+//	tracediff -floor-ms 0.5 -floor-pct 2 base.jsonl head.jsonl
+//
+// Deltas are head-minus-base. A wall delta is reported when it clears
+// both -floor-ms and -floor-pct (new/removed phases always report); a
+// CNF delta when it is non-zero and clears -floor-pct. Identical
+// inputs produce "no deltas above the noise floor" — CI diffs a run
+// against itself to pin that invariant.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// cnfStats is one CNF size measurement (overall or per ablated domain).
+type cnfStats struct {
+	Vars    int64
+	Clauses int64
+}
+
+// designStats is everything tracediff attributes for one design.
+type designStats struct {
+	status string
+	wallMS map[string]float64 // phase → total milliseconds
+	cnf    map[string]cnfStats
+}
+
+// snapshot is one parsed artifact.
+type snapshot struct {
+	kind    string // "bench" | "journal"
+	designs map[string]*designStats
+}
+
+// benchFile mirrors the BENCH_repair.json fields tracediff consumes;
+// unknown fields are ignored so the tool tolerates schema growth.
+type benchFile struct {
+	Designs []struct {
+		Name         string             `json:"name"`
+		Status       string             `json:"status"`
+		SequentialMS float64            `json:"sequential_ms"`
+		ParallelMS   float64            `json:"parallel_ms"`
+		CNFVars      int64              `json:"cnf_vars"`
+		CNFClauses   int64              `json:"cnf_clauses"`
+		PhaseMS      map[string]float64 `json:"phase_ms"`
+		DomainCNF    map[string]struct {
+			Vars    int64 `json:"vars"`
+			Clauses int64 `json:"clauses"`
+		} `json:"domain_cnf"`
+	} `json:"designs"`
+}
+
+func parseBench(data []byte) (*snapshot, error) {
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, err
+	}
+	if len(bf.Designs) == 0 {
+		return nil, fmt.Errorf("no designs")
+	}
+	snap := &snapshot{kind: "bench", designs: map[string]*designStats{}}
+	for _, d := range bf.Designs {
+		ds := &designStats{status: d.Status, wallMS: map[string]float64{}, cnf: map[string]cnfStats{}}
+		for phase, ms := range d.PhaseMS {
+			ds.wallMS[phase] = ms
+		}
+		ds.wallMS["sequential"] = d.SequentialMS
+		ds.wallMS["parallel"] = d.ParallelMS
+		if d.CNFVars > 0 {
+			ds.cnf["overall"] = cnfStats{Vars: d.CNFVars, Clauses: d.CNFClauses}
+		}
+		for dom, c := range d.DomainCNF {
+			ds.cnf[dom] = cnfStats{Vars: c.Vars, Clauses: c.Clauses}
+		}
+		snap.designs[d.Name] = ds
+	}
+	return snap, nil
+}
+
+// journal line shapes (internal/obs WriteJSONL).
+type journalHeader struct {
+	Type    string `json:"type"`
+	Version int    `json:"version"`
+}
+
+type journalSpan struct {
+	Type  string         `json:"type"`
+	Name  string         `json:"name"`
+	Path  string         `json:"path"`
+	DurUS int64          `json:"dur_us"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+// parseJournal aggregates a span journal by (design, phase): each
+// "repair" root names a design (its design attr), every span under it
+// adds its duration to that design's phase bucket. Spans outside any
+// repair root land under design "(none)".
+func parseJournal(data []byte) (*snapshot, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("empty journal")
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Type != "trace" {
+		return nil, fmt.Errorf("not a trace journal header: %s", sc.Text())
+	}
+	var spans []journalSpan
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var sp journalSpan
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			return nil, fmt.Errorf("journal line: %v", err)
+		}
+		if sp.Type == "span" {
+			spans = append(spans, sp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Root "repair" spans carry the design name; longest-prefix match
+	// assigns every span to its enclosing repair.
+	roots := map[string]string{} // repair span path → design
+	for _, sp := range spans {
+		if sp.Name != "repair" {
+			continue
+		}
+		design := "(unnamed)"
+		if v, ok := sp.Attrs["design"].(string); ok && v != "" {
+			design = v
+		}
+		roots[sp.Path] = design
+	}
+	designFor := func(path string) string {
+		best, name := -1, "(none)"
+		for rp, d := range roots {
+			if (path == rp || strings.HasPrefix(path, rp+"/")) && len(rp) > best {
+				best, name = len(rp), d
+			}
+		}
+		return name
+	}
+	snap := &snapshot{kind: "journal", designs: map[string]*designStats{}}
+	for _, sp := range spans {
+		design := designFor(sp.Path)
+		ds := snap.designs[design]
+		if ds == nil {
+			ds = &designStats{wallMS: map[string]float64{}, cnf: map[string]cnfStats{}}
+			snap.designs[design] = ds
+		}
+		ds.wallMS[sp.Name] += float64(sp.DurUS) / 1000
+	}
+	if len(snap.designs) == 0 {
+		return nil, fmt.Errorf("journal has no spans")
+	}
+	return snap, nil
+}
+
+func parseFile(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("%s: empty", path)
+	}
+	// A journal is JSONL whose first line is a trace header; a bench
+	// snapshot is one indented JSON document.
+	first := trimmed
+	if i := bytes.IndexByte(trimmed, '\n'); i >= 0 {
+		first = trimmed[:i]
+	}
+	var hdr journalHeader
+	if json.Unmarshal(first, &hdr) == nil && hdr.Type == "trace" {
+		snap, err := parseJournal(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return snap, nil
+	}
+	snap, err := parseBench(trimmed)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return snap, nil
+}
+
+// delta is one reportable difference.
+type delta struct {
+	design, dim, key string // dim: "wall" | "cnf-vars" | "cnf-clauses"
+	base, head       float64
+}
+
+func (d delta) diff() float64 { return d.head - d.base }
+
+func (d delta) pct() float64 {
+	if d.base == 0 {
+		return math.Inf(1)
+	}
+	return (d.head - d.base) / d.base * 100
+}
+
+func pctLabel(d delta) string {
+	if d.base == 0 {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", d.pct())
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func union(a, b map[string]float64) []string {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	return sortedKeys(seen)
+}
+
+func run(w io.Writer, basePath, headPath string, floorMS, floorPct float64) error {
+	base, err := parseFile(basePath)
+	if err != nil {
+		return err
+	}
+	head, err := parseFile(headPath)
+	if err != nil {
+		return err
+	}
+	// Base names only: the report must not depend on where the tool was
+	// invoked from (the golden test runs from a different directory).
+	fmt.Fprintf(w, "tracediff: %s (%s) -> %s (%s)\n",
+		filepath.Base(basePath), base.kind, filepath.Base(headPath), head.kind)
+	fmt.Fprintf(w, "noise floor: %.2fms and %.1f%% (wall), %.1f%% (cnf)\n", floorMS, floorPct, floorPct)
+
+	names := map[string]bool{}
+	for n := range base.designs {
+		names[n] = true
+	}
+	for n := range head.designs {
+		names[n] = true
+	}
+
+	var reported []delta
+	suppressed := 0
+	var wallTotal float64
+	for _, name := range sortedKeys(names) {
+		b, h := base.designs[name], head.designs[name]
+		if b == nil {
+			fmt.Fprintf(w, "design %s: only in head\n", name)
+			continue
+		}
+		if h == nil {
+			fmt.Fprintf(w, "design %s: only in base\n", name)
+			continue
+		}
+		if b.status != h.status {
+			fmt.Fprintf(w, "design %s: STATUS %s -> %s\n", name, b.status, h.status)
+		}
+		for _, phase := range union(b.wallMS, h.wallMS) {
+			d := delta{design: name, dim: "wall", key: phase, base: b.wallMS[phase], head: h.wallMS[phase]}
+			wallTotal += d.diff()
+			isNew := b.wallMS[phase] == 0 || h.wallMS[phase] == 0
+			if math.Abs(d.diff()) >= floorMS && (isNew || math.Abs(d.pct()) >= floorPct) {
+				reported = append(reported, d)
+			} else if d.diff() != 0 {
+				suppressed++
+			}
+		}
+		cnfKeys := map[string]bool{}
+		for k := range b.cnf {
+			cnfKeys[k] = true
+		}
+		for k := range h.cnf {
+			cnfKeys[k] = true
+		}
+		for _, dom := range sortedKeys(cnfKeys) {
+			bc, hc := b.cnf[dom], h.cnf[dom]
+			for dim, pair := range map[string][2]int64{
+				"cnf-vars":    {bc.Vars, hc.Vars},
+				"cnf-clauses": {bc.Clauses, hc.Clauses},
+			} {
+				d := delta{design: name, dim: dim, key: dom,
+					base: float64(pair[0]), head: float64(pair[1])}
+				if d.diff() == 0 {
+					continue
+				}
+				if d.base == 0 || d.head == 0 || math.Abs(d.pct()) >= floorPct {
+					reported = append(reported, d)
+				} else {
+					suppressed++
+				}
+			}
+		}
+	}
+
+	sort.Slice(reported, func(i, j int) bool {
+		a, b := reported[i], reported[j]
+		if a.design != b.design {
+			return a.design < b.design
+		}
+		if a.dim != b.dim {
+			return a.dim > b.dim // wall before cnf-*
+		}
+		// Largest movement first within a dimension.
+		if ad, bd := math.Abs(a.diff()), math.Abs(b.diff()); ad != bd {
+			return ad > bd
+		}
+		return a.key < b.key
+	})
+	if len(reported) == 0 {
+		fmt.Fprintln(w, "no deltas above the noise floor")
+	}
+	for _, d := range reported {
+		switch d.dim {
+		case "wall":
+			fmt.Fprintf(w, "%-12s wall  %-14s %10.3f -> %10.3f ms  %+10.3f (%s)\n",
+				d.design, d.key, d.base, d.head, d.diff(), pctLabel(d))
+		default:
+			fmt.Fprintf(w, "%-12s %-11s %-8s %8.0f -> %8.0f     %+8.0f (%s)\n",
+				d.design, d.dim, d.key, d.base, d.head, d.diff(), pctLabel(d))
+		}
+	}
+	fmt.Fprintf(w, "attributed: %d deltas reported, %d below floor, net wall %+.3fms\n",
+		len(reported), suppressed, wallTotal)
+	return nil
+}
+
+func main() {
+	var (
+		floorMS  = flag.Float64("floor-ms", 1.0, "wall-clock noise floor in milliseconds")
+		floorPct = flag.Float64("floor-pct", 5.0, "relative noise floor in percent")
+		out      = flag.String("out", "", "write the report here instead of stdout")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracediff [flags] BASE HEAD")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(w, flag.Arg(0), flag.Arg(1), *floorMS, *floorPct); err != nil {
+		die(err)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "tracediff:", err)
+	os.Exit(1)
+}

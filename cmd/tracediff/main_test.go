@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	baseSnapshot = "../../testdata/tracediff/BENCH_repair_base.json"
+	headSnapshot = "../../BENCH_repair.json"
+	goldenReport = "../../testdata/tracediff/report.golden"
+)
+
+// TestDiffGolden pins the attribution report over the two committed
+// BENCH_repair.json snapshots byte-for-byte. Regenerate with:
+//
+//	go run ./cmd/tracediff -out testdata/tracediff/report.golden \
+//	    testdata/tracediff/BENCH_repair_base.json BENCH_repair.json
+func TestDiffGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, baseSnapshot, headSnapshot, 1.0, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(goldenReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report drifted from golden.\n--- got ---\n%s\n--- want ---\n%s",
+			buf.String(), want)
+	}
+	// The report must be stable across repeated runs (map iteration must
+	// never leak into the output order).
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := run(&again, baseSnapshot, headSnapshot, 1.0, 5.0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatal("report not deterministic across runs")
+		}
+	}
+}
+
+// TestSelfDiffZero: an artifact diffed against itself attributes
+// nothing — the invariant CI checks on every run.
+func TestSelfDiffZero(t *testing.T) {
+	for _, path := range []string{baseSnapshot, headSnapshot} {
+		var buf bytes.Buffer
+		if err := run(&buf, path, path, 1.0, 5.0); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "no deltas above the noise floor") {
+			t.Fatalf("self-diff of %s found deltas:\n%s", path, out)
+		}
+		if !strings.Contains(out, "attributed: 0 deltas reported, 0 below floor, net wall +0.000ms") {
+			t.Fatalf("self-diff summary wrong:\n%s", out)
+		}
+	}
+}
+
+// TestFloorSuppression: raising the floors far enough suppresses every
+// wall delta; dropping them to zero reports strictly more.
+func TestFloorSuppression(t *testing.T) {
+	var high, low bytes.Buffer
+	if err := run(&high, baseSnapshot, headSnapshot, 1e9, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(high.String(), " wall  ") {
+		t.Fatalf("wall deltas survived an enormous floor:\n%s", high.String())
+	}
+	if err := run(&low, baseSnapshot, headSnapshot, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(low.String(), "\n")) <= len(strings.Split(high.String(), "\n")) {
+		t.Fatal("zero floor reported no more than the enormous floor")
+	}
+}
+
+const baseJournal = `{"type":"trace","version":1,"spans":3}
+{"type":"span","id":1,"parent":0,"name":"repair","path":"/repair#0000","dur_us":10000,"attrs":{"design":"fsm_w1"}}
+{"type":"span","id":2,"parent":1,"name":"window","path":"/repair#0000/window#0000","dur_us":8000}
+{"type":"span","id":3,"parent":1,"name":"validate","path":"/repair#0000/validate#0000","dur_us":1000}
+`
+
+const headJournal = `{"type":"trace","version":1,"spans":3}
+{"type":"span","id":1,"parent":0,"name":"repair","path":"/repair#0000","dur_us":20000,"attrs":{"design":"fsm_w1"}}
+{"type":"span","id":2,"parent":1,"name":"window","path":"/repair#0000/window#0000","dur_us":17500}
+{"type":"span","id":3,"parent":1,"name":"validate","path":"/repair#0000/validate#0000","dur_us":1050}
+`
+
+// TestJournalDiff: JSONL span journals aggregate by (design, phase) and
+// diff with the same floor semantics as bench snapshots.
+func TestJournalDiff(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.jsonl")
+	head := filepath.Join(dir, "head.jsonl")
+	if err := os.WriteFile(base, []byte(baseJournal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(head, []byte(headJournal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, base, head, 1.0, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fsm_w1       wall  repair",
+		"fsm_w1       wall  window",
+		"+10.000 (+100.0%)",
+		"+9.500 (+118.8%)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("journal diff missing %q:\n%s", want, out)
+		}
+	}
+	// validate moved 0.05ms (+5%) — below the 1ms floor, so suppressed.
+	if strings.Contains(out, "wall  validate") {
+		t.Fatalf("sub-floor validate delta reported:\n%s", out)
+	}
+	if !strings.Contains(out, "1 below floor") {
+		t.Fatalf("suppression count missing:\n%s", out)
+	}
+}
+
+// TestParseErrors: malformed inputs fail with errors, not panics.
+func TestParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty.json":   "",
+		"garbage.json": "not json at all",
+		"nodesign":     `{"designs":[]}`,
+		"badline":      "{\"type\":\"trace\",\"version\":1}\nnot json\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := run(&buf, path, headSnapshot, 1, 5); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}

@@ -277,7 +277,10 @@ func (p *portfolio) runAttempt(at *attempt, worker int, stolen bool) {
 	// worker counts and scheduling — and carries the worker lane. Worker
 	// busy time accumulates on a per-worker counter so the registry shows
 	// the portfolio's load balance without any tracing enabled.
-	asc := p.obs.StartKeyed("attempt", fmt.Sprintf("p%d:%s", at.pass, at.tmpl.Name()))
+	key := fmt.Sprintf("p%d:%s", at.pass, at.tmpl.Name())
+	psc := p.obs.WithLabel(key)
+	psc.Worker = worker
+	asc := psc.StartKeyed("attempt", key)
 	asc.Span.SetWorker(worker)
 	defer func() {
 		at.tres.Duration = time.Since(start)

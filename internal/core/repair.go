@@ -391,7 +391,13 @@ func watchCancel(ctx context.Context, flag *atomic.Bool) (release func()) {
 // metrics registry. A context without a scope (or
 // context.Background()) runs with observability fully disabled.
 func RepairCtx(ctx context.Context, m *verilog.Module, tr *trace.Trace, opts Options) *Result {
-	sc := obs.FromContext(ctx).Start("repair")
+	sc := obs.FromContext(ctx)
+	if sc.Rec == nil {
+		// The flight recorder is always on: callers that did not thread a
+		// scope still feed the process-wide ring.
+		sc.Rec = obs.Default()
+	}
+	sc = sc.WithLabel(m.Name).Start("repair")
 	startTime := time.Now()
 	if opts.Timeout == 0 {
 		opts.Timeout = 60 * time.Second

@@ -620,11 +620,14 @@ func (s *Synthesizer) check(solver *smt.Solver, assumptions ...*smt.Term) (sat.S
 // solutions, or nil when the window is unsatisfiable.
 func (s *Synthesizer) solveWindow(start, end int, startState map[string]bv.XBV) (sols []*Solution, err error) {
 	s.Stats.Unrollings++
-	wsc := s.opts.Obs.Start("window")
+	wsc := s.opts.Obs.WithLabel(fmt.Sprintf("w%d-%d", start, end)).Start("window")
 	wsc.Span.SetInt("start", int64(start))
 	wsc.Span.SetInt("end", int64(end))
+	wsc.Event(obs.EvProgress, "window.solve",
+		obs.Int("cycle_start", int64(start)), obs.Int("cycle_end", int64(end)))
 	defer func() {
 		wsc.Span.SetInt("solutions", int64(len(sols)))
+		wsc.Event(obs.EvProgress, "window.done", obs.Int("solutions", int64(len(sols))))
 		wsc.End()
 	}()
 	s.sampling = samplingState{}
@@ -707,9 +710,10 @@ func (s *Synthesizer) moreSamples() (sols []*Solution, err error) {
 	if !s.sampling.ok || s.win == nil {
 		return nil, nil
 	}
-	xsc := s.opts.Obs.Start("window-extra")
+	xsc := s.opts.Obs.WithLabel(fmt.Sprintf("w%d-%d", s.win.start, s.win.end)).Start("window-extra")
 	defer func() {
 		xsc.Span.SetInt("solutions", int64(len(sols)))
+		xsc.Event(obs.EvProgress, "window.extra", obs.Int("solutions", int64(len(sols))))
 		xsc.End()
 	}()
 	solver := s.win.solver

@@ -14,12 +14,14 @@ type CLI struct {
 	TraceOut   string
 	ChromeOut  string
 	MetricsOut string
+	RingOut    string
 	PprofAddr  string
 	CPUProfile string
 	MemProfile string
 
 	Tracer  *Tracer
 	Metrics *Registry
+	Rec     *Recorder
 	prof    *Profiling
 }
 
@@ -28,6 +30,7 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write a JSONL span trace to this file")
 	fs.StringVar(&c.ChromeOut, "chrome-out", "", "write a Chrome trace_event file (chrome://tracing, Perfetto)")
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write the metrics registry as JSON to this file")
+	fs.StringVar(&c.RingOut, "ring-out", "", "write the flight-recorder ring as JSONL to this file on exit")
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
@@ -35,7 +38,9 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 
 // Start creates the tracer/registry demanded by the flags and starts the
 // profilers. Tracing stays strictly disabled (nil tracer) unless a trace
-// output was requested.
+// output was requested; the flight recorder, by contrast, is always on
+// (the process-wide Default ring), flag or no flag — -ring-out only
+// controls whether its contents are dumped at exit.
 func (c *CLI) Start() error {
 	if c.TraceOut != "" || c.ChromeOut != "" {
 		c.Tracer = New()
@@ -43,13 +48,14 @@ func (c *CLI) Start() error {
 	if c.MetricsOut != "" {
 		c.Metrics = NewRegistry()
 	}
+	c.Rec = Default()
 	var err error
 	c.prof, err = StartProfiling(c.PprofAddr, c.CPUProfile, c.MemProfile)
 	return err
 }
 
 // Scope returns the root scope commands thread through the pipeline.
-func (c *CLI) Scope() Scope { return Scope{Tracer: c.Tracer, Metrics: c.Metrics} }
+func (c *CLI) Scope() Scope { return Scope{Tracer: c.Tracer, Metrics: c.Metrics, Rec: c.Rec} }
 
 // Finish writes every requested output file and stops the profilers.
 func (c *CLI) Finish() error {
@@ -75,6 +81,9 @@ func (c *CLI) Finish() error {
 	}
 	if err := write(c.MetricsOut, func(f *os.File) error { return c.Metrics.WriteJSON(f) }); err != nil {
 		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := write(c.RingOut, func(f *os.File) error { return c.Rec.WriteRingJSONL(f) }); err != nil {
+		return fmt.Errorf("ring-out: %w", err)
 	}
 	return c.prof.Stop()
 }

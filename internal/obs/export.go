@@ -39,6 +39,11 @@ type jsonlSpan struct {
 	Attrs   map[string]any `json:"attrs,omitempty"`
 }
 
+// AttrMap renders attributes as a JSON-friendly map (nil when empty).
+// Serving layers use it to encode ring events without re-implementing
+// the Attr string/int split.
+func AttrMap(attrs []Attr) map[string]any { return attrMap(attrs) }
+
 func attrMap(attrs []Attr) map[string]any {
 	if len(attrs) == 0 {
 		return nil
@@ -179,6 +184,9 @@ var volatileTopLevel = map[string]bool{
 	"ts": true, "dur": true, "tid": true, // Chrome
 	"workers": true, // portfolio span attr: the configured worker count
 	"steals":  true, // portfolio span attr: scheduler steals vary with timing
+	"seq":     true, // ring events: global emission order varies with scheduling
+	"t_us":    true, // ring events: wall clock
+	"dropped": true, // ring header: wrap count varies with run length
 }
 
 // scrubValue removes volatile keys from a decoded JSON value, in place
@@ -252,6 +260,170 @@ func ScrubChromeTrace(data []byte) ([]byte, error) {
 		kept = append(kept, ev)
 	}
 	return json.Marshal(scrubValue(any(kept)))
+}
+
+// ringHeader is the first line of a flight-recorder ring dump.
+type ringHeader struct {
+	Type    string `json:"type"`
+	Version int    `json:"version"`
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// ringEvent is one event line of a ring dump.
+type ringEvent struct {
+	Type   string         `json:"type"`
+	Seq    uint64         `json:"seq"`
+	TUS    int64          `json:"t_us"`
+	Kind   string         `json:"kind"`
+	Name   string         `json:"name"`
+	Scope  string         `json:"scope,omitempty"`
+	Worker int            `json:"worker,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// ringKinds is the closed set of event kinds ValidateRingJSONL accepts.
+var ringKinds = map[string]bool{
+	EvSpanBegin: true, EvSpanEnd: true, EvHeartbeat: true,
+	EvQueue: true, EvProgress: true,
+}
+
+// WriteRingJSONL dumps the flight-recorder ring as a JSONL journal: one
+// header line, then one line per event, oldest first. This is the
+// /debugz/ring wire format and the input format cmd/tracediff accepts
+// alongside trace journals.
+func (r *Recorder) WriteRingJSONL(w io.Writer) error {
+	events := r.Events()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(ringHeader{Type: "ring", Version: 1, Events: len(events), Dropped: r.Dropped()}); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		line := ringEvent{
+			Type:   "event",
+			Seq:    ev.Seq,
+			TUS:    ev.T.Microseconds(),
+			Kind:   ev.Kind,
+			Name:   ev.Name,
+			Scope:  ev.Scope,
+			Worker: ev.Worker,
+			Attrs:  attrMap(ev.Attrs),
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidateRingJSONL schema-checks a ring dump: a well-formed header
+// whose event count matches, strictly increasing sequence numbers,
+// known event kinds, named events, and non-negative times. Heartbeat
+// events must carry their counter attrs (conflicts, propagations).
+func ValidateRingJSONL(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return fmt.Errorf("obs: empty ring dump")
+	}
+	var hdr ringHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return fmt.Errorf("obs: ring header: %w", err)
+	}
+	if hdr.Type != "ring" || hdr.Version != 1 {
+		return fmt.Errorf("obs: bad ring header %+v", hdr)
+	}
+	n := 0
+	lastSeq := uint64(0)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev ringEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("obs: ring event line %d: %w", n+1, err)
+		}
+		n++
+		if ev.Type != "event" {
+			return fmt.Errorf("obs: ring line %d: type %q", n, ev.Type)
+		}
+		if ev.Seq <= lastSeq {
+			return fmt.Errorf("obs: ring line %d: seq %d not after %d", n, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if !ringKinds[ev.Kind] {
+			return fmt.Errorf("obs: ring line %d: unknown kind %q", n, ev.Kind)
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("obs: ring line %d: empty name", n)
+		}
+		if ev.TUS < 0 {
+			return fmt.Errorf("obs: ring line %d: negative time", n)
+		}
+		if ev.Kind == EvHeartbeat {
+			for _, key := range []string{"conflicts", "propagations"} {
+				if _, ok := ev.Attrs[key]; !ok {
+					return fmt.Errorf("obs: ring line %d: heartbeat missing %q attr", n, key)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if n != hdr.Events {
+		return fmt.Errorf("obs: ring header says %d events, found %d", hdr.Events, n)
+	}
+	return nil
+}
+
+// ScrubRingJSONL canonicalizes a ring dump for byte comparison across
+// runs and worker counts: volatile fields (seq, t_us, worker, time_*
+// attrs, the header's drop count) are removed, and event lines are
+// sorted lexicographically — emission order is schedule-dependent, but
+// the scrubbed multiset of events is not, so the sorted form is the
+// deterministic export the cross-worker golden tests diff.
+func ScrubRingJSONL(data []byte) ([]byte, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var header []byte
+	var lines []string
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var v map[string]any
+		if err := json.Unmarshal(line, &v); err != nil {
+			return nil, fmt.Errorf("obs: scrub ring: %w", err)
+		}
+		b, err := json.Marshal(scrubValue(v))
+		if err != nil {
+			return nil, err
+		}
+		if header == nil {
+			header = b
+			continue
+		}
+		lines = append(lines, string(b))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if header == nil {
+		return nil, fmt.Errorf("obs: scrub ring: empty dump")
+	}
+	sort.Strings(lines)
+	var out bytes.Buffer
+	out.Write(header)
+	out.WriteByte('\n')
+	for _, l := range lines {
+		out.WriteString(l)
+		out.WriteByte('\n')
+	}
+	return out.Bytes(), nil
 }
 
 // ValidateJSONL schema-checks a JSONL trace export: a well-formed

@@ -1,6 +1,7 @@
 // Package obs is the pipeline-wide observability layer: span-based
-// tracing, a metrics registry, and deterministic exporters (JSONL event
-// journal, Chrome trace_event, plain-text summary).
+// tracing, a metrics registry, an always-on flight recorder (see
+// recorder.go), and deterministic exporters (JSONL event journal,
+// Chrome trace_event, ring dump, plain-text summary).
 //
 // The package is zero-dependency (standard library only) so every layer
 // of the repair pipeline — core, smt, sat, tsys, eval, the CLIs — can
@@ -251,30 +252,77 @@ func (t *Tracer) PhaseTotals() map[string]PhaseStat {
 	return out
 }
 
-// Scope bundles a tracer position (tracer + current span) with a metrics
-// registry, so one value threads the whole observability layer through
-// the pipeline. The zero Scope is fully disabled and free to pass around.
+// Scope bundles a tracer position (tracer + current span), a metrics
+// registry, and a flight-recorder position (recorder + current recorder
+// span + hierarchical label), so one value threads the whole
+// observability layer through the pipeline. The zero Scope is fully
+// disabled and free to pass around. Tracer and Recorder are
+// independent: production runs typically have a nil Tracer (tracing is
+// opt-in) but a live Recorder (the flight recorder is always on).
 type Scope struct {
 	Tracer  *Tracer
 	Span    *Span
 	Metrics *Registry
+
+	// Rec is the flight recorder; Scope.Start/End mirror their spans
+	// into it as span_begin/span_end events plus live-span-table
+	// entries. Label is the scope's hierarchical position (job id,
+	// design, attempt, window — grown with WithLabel) and becomes the
+	// events' Scope field; Worker tags events with a portfolio worker
+	// lane. Rh is the recorder span opened by the last Start.
+	Rec    *Recorder
+	Rh     Handle
+	Label  string
+	Worker int
 }
 
 // Enabled reports whether the scope records spans.
 func (sc Scope) Enabled() bool { return sc.Tracer != nil }
 
+// WithLabel returns the scope with part appended to its hierarchical
+// label ("a" + "b" → "a/b"). Labels scope flight-recorder events, so
+// /debugz consumers and SSE subscribers can filter by job, design, or
+// attempt prefix.
+func (sc Scope) WithLabel(part string) Scope {
+	if part == "" {
+		return sc
+	}
+	if sc.Label == "" {
+		sc.Label = part
+	} else {
+		sc.Label = sc.Label + "/" + part
+	}
+	return sc
+}
+
 // Start opens a child span and returns the scope positioned on it.
 func (sc Scope) Start(name string) Scope {
-	return Scope{Tracer: sc.Tracer, Span: sc.Tracer.Start(sc.Span, name), Metrics: sc.Metrics}
+	out := sc
+	out.Span = sc.Tracer.Start(sc.Span, name)
+	out.Rh = sc.Rec.BeginSpan(sc.Rh, name, sc.Label, sc.Worker)
+	return out
 }
 
 // StartKeyed opens a keyed child span (see Tracer.StartKeyed).
 func (sc Scope) StartKeyed(name, key string) Scope {
-	return Scope{Tracer: sc.Tracer, Span: sc.Tracer.StartKeyed(sc.Span, name, key), Metrics: sc.Metrics}
+	out := sc
+	out.Span = sc.Tracer.StartKeyed(sc.Span, name, key)
+	out.Rh = sc.Rec.BeginSpan(sc.Rh, name, sc.Label, sc.Worker)
+	return out
 }
 
-// End closes the scope's span.
-func (sc Scope) End() { sc.Span.End() }
+// End closes the scope's span (tracer and recorder sides).
+func (sc Scope) End() {
+	sc.Span.End()
+	sc.Rh.End()
+}
+
+// Event emits a flight-recorder event at the scope's position. A scope
+// without a recorder no-ops, so progress markers are free when the
+// recorder is disabled (tests with private pipelines).
+func (sc Scope) Event(kind, name string, attrs ...Attr) {
+	sc.Rec.Emit(kind, name, sc.Label, sc.Worker, attrs...)
+}
 
 type ctxKey struct{}
 

@@ -150,7 +150,34 @@ type Solver struct {
 	// counter deltas, and restarts tick the "sat.restarts" counter. The
 	// zero Scope (the default) disables all of it; the hot loop then pays
 	// only nil checks on the rare restart path (see BenchmarkNilTracer).
+	//
+	// When Obs.Rec is set (the always-on flight recorder), each Solve
+	// additionally registers a live SolverCell — updated with atomic
+	// heartbeats from the periodic poll block, surfaced by
+	// /debugz/solvers and the stall watchdog — and emits a "heartbeat"
+	// ring event every heartbeatConflicts conflicts. Emission is keyed
+	// on the cumulative conflict count, not wall clock, so the event
+	// multiset is deterministic across worker counts (see
+	// TestRecorderOverheadBudget for the pinned ≤2% cost).
 	Obs obs.Scope
+}
+
+// heartbeatConflicts is the ring-event cadence: one heartbeat per this
+// many conflicts. Power of two so the hot-loop check is a mask.
+const heartbeatConflicts = 1024
+
+// heartbeat publishes the live counters onto the cell and, at conflict
+// milestones, into the flight-recorder ring.
+func (s *Solver) heartbeat(cell *obs.SolverCell, emit bool) {
+	cell.Beat(s.conflicts, s.decisions, s.props, s.learned)
+	if emit {
+		s.Obs.Rec.Emit(obs.EvHeartbeat, "sat.solve", s.Obs.Label, s.Obs.Worker,
+			obs.Int("conflicts", s.conflicts),
+			obs.Int("decisions", s.decisions),
+			obs.Int("propagations", s.props),
+			obs.Int("learned", s.learned),
+			obs.Int("restarts", s.restarts))
+	}
 }
 
 // New returns an empty solver.
@@ -555,6 +582,19 @@ func (s *Solver) Solve(assumptions ...Lit) (st Status, err error) {
 			span.End()
 		}()
 	}
+	// Flight recorder: a live cell for /debugz/solvers and the stall
+	// watchdog. Registered per Solve call so the cell's lifetime is
+	// exactly "a search is running"; a solver stuck inside this call is
+	// a cell whose heartbeat goes quiet.
+	var cell *obs.SolverCell
+	if rec := s.Obs.Rec; rec != nil {
+		cell = rec.RegisterSolver(s.Obs.Label, s.Obs.Worker)
+		cell.SetCNF(int64(len(s.assigns)), s.added)
+		defer func() {
+			s.heartbeat(cell, false)
+			cell.Close()
+		}()
+	}
 	if !s.ok {
 		return Unsat, nil
 	}
@@ -593,10 +633,21 @@ func (s *Solver) Solve(assumptions ...Lit) (st Status, err error) {
 			if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
 				return Unknown, ErrTimeout
 			}
+			if cell != nil {
+				// Atomic stores only — the poll block stays lock-free.
+				s.heartbeat(cell, false)
+			}
 		}
 		confl := s.propagate()
 		if confl != nil {
 			s.conflicts++
+			if cell != nil && s.conflicts&(heartbeatConflicts-1) == 0 {
+				// Ring heartbeat at a conflict milestone: cumulative
+				// counts are deterministic per solver lineage, so
+				// scrubbed ring dumps stay byte-identical across worker
+				// counts.
+				s.heartbeat(cell, true)
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat, nil

@@ -11,16 +11,24 @@ const maxBodyBytes = 64 << 20
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/repair        submit a job (``?wait=1`` blocks until done)
-//	GET  /v1/jobs/{id}     poll a job (``?wait=1`` blocks until done)
-//	GET  /healthz          liveness + queue stats
-//	GET  /metricsz         the obs metrics registry as JSON
+//	POST /v1/repair             submit a job (``?wait=1`` blocks until done)
+//	GET  /v1/jobs/{id}          poll a job (``?wait=1`` blocks until done)
+//	GET  /v1/jobs/{id}/events   stream the job's flight-recorder events (SSE)
+//	GET  /healthz               liveness + queue stats
+//	GET  /metricsz              the obs metrics registry as JSON
+//	GET  /debugz/spans          live span tree (what is in flight right now)
+//	GET  /debugz/ring           flight-recorder ring dump as JSONL (?scope=)
+//	GET  /debugz/solvers        live SAT searches + stalled-job watchdog
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/repair", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	mux.HandleFunc("GET /debugz/spans", s.handleDebugSpans)
+	mux.HandleFunc("GET /debugz/ring", s.handleDebugRing)
+	mux.HandleFunc("GET /debugz/solvers", s.handleDebugSolvers)
 	return mux
 }
 

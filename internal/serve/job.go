@@ -157,20 +157,24 @@ type Job struct {
 
 	parsed *parsedRequest
 
-	mu      sync.Mutex
-	state   JobState
-	started time.Time
-	cached  bool
-	result  *RepairResult
-	done    chan struct{}
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	cached   bool
+	result   *RepairResult
+	done     chan struct{}
 }
 
-// JobView is the wire form of a job for GET /v1/jobs/{id}.
+// JobView is the wire form of a job for GET /v1/jobs/{id}. QueueWaitMS
+// and RunMS split the end-to-end latency into its queue-wait and
+// run-time components (both still ticking for non-terminal jobs).
 type JobView struct {
 	ID          string        `json:"id"`
 	State       JobState      `json:"state"`
 	Cached      bool          `json:"cached,omitempty"`
 	QueueWaitMS int64         `json:"queue_wait_ms"`
+	RunMS       int64         `json:"run_ms"`
 	Result      *RepairResult `json:"result,omitempty"`
 }
 
@@ -211,9 +215,35 @@ func (j *Job) finish(rr *RepairResult, cached bool) {
 		panic("serve: job finished twice")
 	}
 	j.state = StateDone
+	j.finished = time.Now()
 	j.cached = cached
 	j.result = rr
 	close(j.done)
+}
+
+// state returns the job's current lifecycle position.
+func (j *Job) currentState() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// runTime reports how long the job has been (or was) executing; zero
+// for jobs that never left the queue (cache hits, queue timeouts).
+func (j *Job) runTime() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.runTimeLocked()
+}
+
+func (j *Job) runTimeLocked() time.Duration {
+	if j.started.IsZero() {
+		return 0
+	}
+	if j.finished.IsZero() {
+		return time.Since(j.started)
+	}
+	return j.finished.Sub(j.started)
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -232,5 +262,6 @@ func (j *Job) View() JobView {
 			v.QueueWaitMS = j.started.Sub(j.created).Milliseconds()
 		}
 	}
+	v.RunMS = j.runTimeLocked().Milliseconds()
 	return v
 }

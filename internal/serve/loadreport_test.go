@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func validLoadReport() *LoadReport {
+	return &LoadReport{
+		Version:     LoadReportVersion,
+		Designs:     []string{"counter", "fsm_full"},
+		Requests:    10,
+		Concurrency: 4,
+		DurationMS:  1234,
+		Throughput:  8.1,
+		Latency:     LatencyMS{P50: 10, P90: 20, P99: 30, Max: 40},
+		QueueWait:   LatencyMS{P50: 1, P90: 2, P99: 3, Max: 4},
+		Run:         LatencyMS{P50: 9, P90: 18, P99: 27, Max: 36},
+		Statuses:    map[string]int{"repaired": 9},
+		Errors:      1,
+		Mismatches:  []string{},
+		Resubmits:   8,
+		ResubmitHit: 1,
+		SSEEvents:   120,
+		Serve:       map[string]int64{"serve.jobs.accepted": 2},
+	}
+}
+
+func TestLoadReportValidate(t *testing.T) {
+	if err := validLoadReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	bad := map[string]func(*LoadReport){
+		"version":          func(r *LoadReport) { r.Version = 2 },
+		"no designs":       func(r *LoadReport) { r.Designs = nil },
+		"empty design":     func(r *LoadReport) { r.Designs = []string{""} },
+		"zero requests":    func(r *LoadReport) { r.Requests = 0 },
+		"zero concurrency": func(r *LoadReport) { r.Concurrency = 0 },
+		"negative p50":     func(r *LoadReport) { r.Latency.P50 = -1 },
+		"non-monotone":     func(r *LoadReport) { r.QueueWait.P90 = 100 },
+		"nil statuses":     func(r *LoadReport) { r.Statuses = nil },
+		"count mismatch":   func(r *LoadReport) { r.Statuses["repaired"] = 3 },
+		"nil mismatches":   func(r *LoadReport) { r.Mismatches = nil },
+		"hit rate":         func(r *LoadReport) { r.ResubmitHit = 1.5 },
+		"resubmits":        func(r *LoadReport) { r.Resubmits = 10 },
+		"sse negative":     func(r *LoadReport) { r.SSEEvents = -1 },
+		"nil counters":     func(r *LoadReport) { r.Serve = nil },
+	}
+	for name, mutate := range bad {
+		r := validLoadReport()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: mutation accepted", name)
+		}
+	}
+}
+
+func TestParseLoadReportRoundTrip(t *testing.T) {
+	data := []byte(`{"version":1,"designs":["d"],"requests":1,"concurrency":1,
+		"duration_ms":5,"throughput_rps":1,"latency_ms":{"p50":1,"p90":1,"p99":1,"max":1},
+		"queue_wait_ms":{"p50":0,"p90":0,"p99":0,"max":0},
+		"run_ms":{"p50":1,"p90":1,"p99":1,"max":1},
+		"statuses":{"repaired":1},"errors":0,"mismatches":[],"resubmissions":0,
+		"resubmit_hit_rate":0,"sse_events":3,"serve_counters":{}}`)
+	r, err := ParseLoadReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests != 1 || r.SSEEvents != 3 {
+		t.Fatalf("parsed = %+v", r)
+	}
+	if _, err := ParseLoadReport([]byte(`{"version":1}`)); err == nil {
+		t.Fatal("invalid report parsed")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	lats := []time.Duration{time.Millisecond, 2 * time.Millisecond, 10 * time.Millisecond}
+	if got := Percentile(lats, 100); got != 10 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := Percentile(lats, 50); got != 1 {
+		t.Fatalf("p50 = %v", got)
+	}
+}

@@ -62,8 +62,14 @@ type Config struct {
 	// ArtifactCacheSize bounds the frontend artifact cache. Default 64
 	// entries; < 0 disables it.
 	ArtifactCacheSize int
-	// Obs supplies the tracer/metrics registry. A nil Metrics is
-	// replaced with a fresh registry so /metricsz always works.
+	// StallAfter is the solver-heartbeat staleness threshold behind the
+	// serve.jobs.stalled watchdog gauge and /debugz/solvers stall
+	// reporting. Default 10s; < 0 disables the watchdog.
+	StallAfter time.Duration
+	// Obs supplies the tracer/metrics registry and the flight recorder.
+	// A nil Metrics is replaced with a fresh registry so /metricsz
+	// always works; a nil Rec with the process-wide obs.Default()
+	// recorder, so /debugz/* and per-job SSE are always live.
 	Obs obs.Scope
 }
 
@@ -92,8 +98,14 @@ func (c Config) withDefaults() Config {
 	if c.ArtifactCacheSize == 0 {
 		c.ArtifactCacheSize = 64
 	}
+	if c.StallAfter == 0 {
+		c.StallAfter = 10 * time.Second
+	}
 	if c.Obs.Metrics == nil {
 		c.Obs.Metrics = obs.NewRegistry()
+	}
+	if c.Obs.Rec == nil {
+		c.Obs.Rec = obs.Default()
 	}
 	return c
 }
@@ -113,6 +125,7 @@ type repairFunc func(ctx context.Context, job *Job) *RepairResult
 type Server struct {
 	cfg     Config
 	metrics *obs.Registry
+	rec     *obs.Recorder
 
 	queue  chan *Job
 	repair repairFunc
@@ -136,6 +149,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		metrics:  cfg.Obs.Metrics,
+		rec:      cfg.Obs.Rec,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		inflight: map[string]*Job{},
 		jobs:     map[string]*Job{},
@@ -148,6 +162,9 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Slots; i++ {
 		s.workers.Add(1)
 		go s.worker()
+	}
+	if cfg.StallAfter > 0 {
+		go s.watchdog()
 	}
 	return s
 }
@@ -176,10 +193,15 @@ func (s *Server) Submit(req *Request) (*Job, error) {
 		job.finish(rr, true)
 		s.jobs[job.ID] = job
 		s.metrics.Add("serve.jobs.cached", 1)
+		s.rec.Emit(obs.EvQueue, "job.admit", job.ID, 0,
+			obs.Str("design", parsed.top.Name), obs.Int("cached", 1))
+		s.rec.Emit(obs.EvQueue, "job.done", job.ID, 0,
+			obs.Str("status", rr.Status), obs.Int("cached", 1))
 		return job, nil
 	}
 	if job, ok := s.inflight[key]; ok {
 		s.metrics.Add("serve.jobs.deduped", 1)
+		s.rec.Emit(obs.EvQueue, "job.dedup", job.ID, 0)
 		return job, nil
 	}
 	job := newJob(key, parsed)
@@ -193,6 +215,8 @@ func (s *Server) Submit(req *Request) (*Job, error) {
 	s.jobs[job.ID] = job
 	s.metrics.Add("serve.jobs.accepted", 1)
 	s.metrics.SetGauge("serve.queue.depth", float64(len(s.queue)))
+	s.rec.Emit(obs.EvQueue, "job.admit", job.ID, 0,
+		obs.Str("design", parsed.top.Name), obs.Int("queue_depth", int64(len(s.queue))))
 	return job, nil
 }
 
@@ -279,6 +303,8 @@ func (s *Server) runJob(job *Job) {
 	wait := job.markRunning()
 	s.metrics.Observe("serve.queue_wait_ms", float64(wait.Milliseconds()))
 	s.metrics.SetGauge("serve.queue.depth", float64(len(s.queue)))
+	s.rec.Emit(obs.EvQueue, "job.start", job.ID, 0,
+		obs.Int("time_wait_us", wait.Microseconds()))
 
 	var rr *RepairResult
 	if s.cfg.QueueTimeout > 0 && wait > s.cfg.QueueTimeout {
@@ -301,6 +327,8 @@ func (s *Server) runJob(job *Job) {
 	s.metrics.Add("serve.jobs.completed", 1)
 	s.metrics.Add("serve.jobs.status."+rr.Status, 1)
 	s.metrics.Observe("serve.job_ms", float64(rr.DurationMS))
+	s.rec.Emit(obs.EvQueue, "job.done", job.ID, 0,
+		obs.Str("status", rr.Status), obs.Int("time_run_us", job.runTime().Microseconds()))
 }
 
 // jobTimeout resolves the effective budget: the client may only shrink
@@ -343,7 +371,11 @@ func (s *Server) runRepair(ctx context.Context, job *Job) *RepairResult {
 	if o.ZeroInit {
 		policy = sim.Zero
 	}
-	res := core.RepairCtx(obs.NewContext(ctx, s.cfg.Obs), art.parsed.top, job.parsed.tr, core.Options{
+	// Label the scope with the job id so every flight-recorder event the
+	// pipeline emits (spans, heartbeats, window progress) lands under
+	// this job's scope — the SSE stream and watchdog key off that.
+	sc := s.cfg.Obs.WithLabel(job.ID)
+	res := core.RepairCtx(obs.NewContext(ctx, sc), art.parsed.top, job.parsed.tr, core.Options{
 		Policy:       policy,
 		Seed:         o.Seed,
 		Timeout:      s.jobTimeout(job),

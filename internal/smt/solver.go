@@ -640,7 +640,8 @@ func (s *Solver) Assert(t *Term) {
 // solver soundness bug and panics.
 func (s *Solver) Check(assumptions ...*Term) (sat.Status, error) {
 	span := s.obs.Tracer.Start(s.obs.Span, "smt.check")
-	s.sat.Obs = obs.Scope{Tracer: s.obs.Tracer, Span: span, Metrics: s.obs.Metrics}
+	s.sat.Obs = obs.Scope{Tracer: s.obs.Tracer, Span: span, Metrics: s.obs.Metrics,
+		Rec: s.obs.Rec, Label: s.obs.Label, Worker: s.obs.Worker}
 	lits := make([]sat.Lit, 0, len(assumptions))
 	terms := make([]*Term, 0, len(assumptions))
 	for _, a := range assumptions {

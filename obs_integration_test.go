@@ -107,6 +107,55 @@ func TestTraceBytesIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRingBytesIdenticalAcrossWorkers is the flight-recorder twin of
+// the trace test above: the scrubbed ring dump — span begin/end pairs,
+// window progress events, and SAT heartbeats — must be byte-identical
+// across worker counts. Heartbeats are keyed on cumulative conflicts
+// (not wall clock), so with clause sharing disabled every attempt's
+// beat sequence depends only on the seed; ScrubRingJSONL strips the
+// volatile fields (seq, t_us, worker, time_*) and sorts lines, making
+// the remainder a deterministic multiset.
+func TestRingBytesIdenticalAcrossWorkers(t *testing.T) {
+	m, err := verilog.ParseModule(obsCounterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rings := func(workers int) []byte {
+		rec := obs.NewRecorder(obs.DefaultRingCapacity)
+		ctx := obs.NewContext(context.Background(), obs.Scope{Rec: rec})
+		res := core.RepairCtx(ctx, m, impossibleTrace(), core.Options{
+			Policy:        sim.Randomize,
+			Seed:          7,
+			Timeout:       120 * time.Second,
+			Workers:       workers,
+			NoClauseShare: true,
+		})
+		if res.Status != core.StatusCannotRepair {
+			t.Fatalf("workers=%d: status = %v, want cannot-repair (fixture must stay unrepairable)", workers, res.Status)
+		}
+		if dropped := rec.Dropped(); dropped != 0 {
+			t.Fatalf("workers=%d: recorder dropped %d events (grow the ring)", workers, dropped)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteRingJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateRingJSONL(buf.Bytes()); err != nil {
+			t.Fatalf("workers=%d: invalid ring dump: %v", workers, err)
+		}
+		scrubbed, err := obs.ScrubRingJSONL(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scrubbed
+	}
+	r1 := rings(1)
+	r4 := rings(4)
+	if !bytes.Equal(r1, r4) {
+		t.Errorf("scrubbed ring differs between workers=1 and workers=4:\n--- w1 ---\n%s\n--- w4 ---\n%s", r1, r4)
+	}
+}
+
 // TestPhaseCoverage checks the acceptance bar that the phase spans
 // account for >=95% of the repair wall clock: the root "repair" span's
 // direct children must own (nearly) all of its duration, so a trace
