@@ -11,11 +11,19 @@ import (
 // TestBenchServeArtifact pins the committed BENCH_serve.json to the
 // serve.LoadReport schema: CI re-validates the artifact on every run so
 // a schema change that forgets to regenerate the snapshot fails fast.
-// Regenerate with:
+// The committed artifact is a 3-node fleet run over the full corpus;
+// regenerate with (raise -job-timeout when the nodes share one box):
 //
-//	rtlserved -addr localhost:8124 &
-//	rtlload -addr http://localhost:8124 -benches counter_k1,sdram_w1,fsm_w1,i2c_w2 \
-//	        -n 12 -c 4 -goldens testdata/repair_goldens -out BENCH_serve.json
+//	rtlserved -addr localhost:8181 -name n1 -wal /tmp/f/n1.wal -artifacts /tmp/f/cas &
+//	rtlserved -addr localhost:8182 -name n2 -wal /tmp/f/n2.wal -artifacts /tmp/f/cas &
+//	rtlserved -addr localhost:8183 -name n3 -wal /tmp/f/n3.wal -artifacts /tmp/f/cas &
+//	rtlserved -addr localhost:8180 -router \
+//	        -nodes n1=http://localhost:8181,n2=http://localhost:8182,n3=http://localhost:8183 &
+//	rtlload -addr http://localhost:8180 -cluster -n 90 -c 2 \
+//	        -goldens testdata/repair_goldens -out BENCH_serve.json
+//
+// A single-node regeneration also validates (the fleet section is
+// optional), but drops the cluster's per-node split from the artifact.
 func TestBenchServeArtifact(t *testing.T) {
 	data, err := os.ReadFile("BENCH_serve.json")
 	if err != nil {

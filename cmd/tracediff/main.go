@@ -1,18 +1,26 @@
 // Command tracediff attributes performance movement between two repair
-// runs. It reads two scrubbed artifacts — BENCH_repair.json snapshots
-// or JSONL span journals (-trace-out) — and reports wall-clock and CNF
+// runs. It reads two scrubbed artifacts — BENCH_repair.json snapshots,
+// JSONL span journals (-trace-out), or flight-recorder ring dumps
+// (GET /debugz/ring) — and reports wall-clock, CNF, and solver-conflict
 // deltas broken down by (design, phase, domain), with a configurable
 // noise floor so CI regressions point at the phase that moved instead
 // of a bare total.
 //
 //	tracediff testdata/tracediff/BENCH_repair_base.json BENCH_repair.json
 //	tracediff -floor-ms 0.5 -floor-pct 2 base.jsonl head.jsonl
+//	curl -s node:8081/debugz/ring > head_ring.jsonl && tracediff base_ring.jsonl head_ring.jsonl
+//
+// Ring dumps aggregate span_end events into per-design wall time and
+// heartbeat events into per-solver conflict totals. Scopes are the
+// recorder's hierarchical labels (job-id/design/pN:template/wS-E); the
+// 16-hex job-id component is stripped so two runs of the same design
+// line up even though every job gets a fresh id.
 //
 // Deltas are head-minus-base. A wall delta is reported when it clears
 // both -floor-ms and -floor-pct (new/removed phases always report); a
-// CNF delta when it is non-zero and clears -floor-pct. Identical
-// inputs produce "no deltas above the noise floor" — CI diffs a run
-// against itself to pin that invariant.
+// CNF or conflicts delta when it is non-zero and clears -floor-pct.
+// Identical inputs produce "no deltas above the noise floor" — CI diffs
+// a run against itself to pin that invariant.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -37,9 +46,10 @@ type cnfStats struct {
 
 // designStats is everything tracediff attributes for one design.
 type designStats struct {
-	status string
-	wallMS map[string]float64 // phase → total milliseconds
-	cnf    map[string]cnfStats
+	status    string
+	wallMS    map[string]float64 // phase → total milliseconds
+	cnf       map[string]cnfStats
+	conflicts map[string]float64 // solver scope remainder → total conflicts (ring dumps)
 }
 
 // snapshot is one parsed artifact.
@@ -175,6 +185,118 @@ func parseJournal(data []byte) (*snapshot, error) {
 	return snap, nil
 }
 
+// ringEvent mirrors one event line of a /debugz/ring dump
+// (internal/obs WriteRingJSONL).
+type ringEvent struct {
+	Type   string         `json:"type"`
+	Kind   string         `json:"kind"`
+	Name   string         `json:"name"`
+	Scope  string         `json:"scope"`
+	Worker int            `json:"worker"`
+	Attrs  map[string]any `json:"attrs"`
+}
+
+// jobIDComp matches the 16-hex job ids the serving layer prefixes onto
+// recorder scopes. They differ on every submission, so they must not
+// participate in cross-run attribution.
+var jobIDComp = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// splitScope decomposes a recorder scope label into the design (the
+// first component after any job ids) and the remainder (attempt and
+// window components), e.g. "3f..a1/fsm_w1/p0:cond/w0-3" → ("fsm_w1",
+// "p0:cond/w0-3").
+func splitScope(scope string) (design, rest string) {
+	parts := strings.Split(scope, "/")
+	for len(parts) > 0 && (parts[0] == "" || jobIDComp.MatchString(parts[0])) {
+		parts = parts[1:]
+	}
+	if len(parts) == 0 {
+		return "(none)", ""
+	}
+	return parts[0], strings.Join(parts[1:], "/")
+}
+
+func numAttr(attrs map[string]any, key string) (float64, bool) {
+	v, ok := attrs[key].(float64)
+	return v, ok
+}
+
+// parseRing aggregates a flight-recorder ring dump: span_end events add
+// their duration to the enclosing design's phase bucket, and heartbeat
+// events contribute solver conflicts. Heartbeat counters are cumulative
+// per solver cell, so only each (scope, worker) peak counts.
+func parseRing(data []byte) (*snapshot, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("empty ring dump")
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Type != "ring" {
+		return nil, fmt.Errorf("not a ring header: %s", sc.Text())
+	}
+	snap := &snapshot{kind: "ring", designs: map[string]*designStats{}}
+	ensure := func(design string) *designStats {
+		ds := snap.designs[design]
+		if ds == nil {
+			ds = &designStats{wallMS: map[string]float64{},
+				cnf: map[string]cnfStats{}, conflicts: map[string]float64{}}
+			snap.designs[design] = ds
+		}
+		return ds
+	}
+	type cell struct {
+		scope  string
+		worker int
+	}
+	peak := map[cell]float64{}
+	events := 0
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev ringEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("ring line: %v", err)
+		}
+		if ev.Type != "event" {
+			return nil, fmt.Errorf("ring line: type %q", ev.Type)
+		}
+		events++
+		switch ev.Kind {
+		case "span_end":
+			if us, ok := numAttr(ev.Attrs, "time_dur_us"); ok {
+				design, _ := splitScope(ev.Scope)
+				ensure(design).wallMS[ev.Name] += us / 1000
+			}
+		case "heartbeat":
+			if c, ok := numAttr(ev.Attrs, "conflicts"); ok {
+				k := cell{ev.Scope, ev.Worker}
+				if c > peak[k] {
+					peak[k] = c
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for k, c := range peak {
+		design, rest := splitScope(k.scope)
+		if rest == "" {
+			rest = "(solve)"
+		}
+		ensure(design).conflicts[rest] += c
+	}
+	if events == 0 {
+		return nil, fmt.Errorf("ring dump has no events")
+	}
+	if len(snap.designs) == 0 {
+		return nil, fmt.Errorf("ring dump has no attributable events")
+	}
+	return snap, nil
+}
+
 func parseFile(path string) (*snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -191,12 +313,21 @@ func parseFile(path string) (*snapshot, error) {
 		first = trimmed[:i]
 	}
 	var hdr journalHeader
-	if json.Unmarshal(first, &hdr) == nil && hdr.Type == "trace" {
-		snap, err := parseJournal(trimmed)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", path, err)
+	if json.Unmarshal(first, &hdr) == nil {
+		switch hdr.Type {
+		case "trace":
+			snap, err := parseJournal(trimmed)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", path, err)
+			}
+			return snap, nil
+		case "ring":
+			snap, err := parseRing(trimmed)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", path, err)
+			}
+			return snap, nil
 		}
-		return snap, nil
 	}
 	snap, err := parseBench(trimmed)
 	if err != nil {
@@ -296,6 +427,18 @@ func run(w io.Writer, basePath, headPath string, floorMS, floorPct float64) erro
 				suppressed++
 			}
 		}
+		for _, key := range union(b.conflicts, h.conflicts) {
+			d := delta{design: name, dim: "conflicts", key: key,
+				base: b.conflicts[key], head: h.conflicts[key]}
+			if d.diff() == 0 {
+				continue
+			}
+			if d.base == 0 || d.head == 0 || math.Abs(d.pct()) >= floorPct {
+				reported = append(reported, d)
+			} else {
+				suppressed++
+			}
+		}
 		cnfKeys := map[string]bool{}
 		for k := range b.cnf {
 			cnfKeys[k] = true
@@ -329,7 +472,7 @@ func run(w io.Writer, basePath, headPath string, floorMS, floorPct float64) erro
 			return a.design < b.design
 		}
 		if a.dim != b.dim {
-			return a.dim > b.dim // wall before cnf-*
+			return a.dim > b.dim // wall before conflicts before cnf-*
 		}
 		// Largest movement first within a dimension.
 		if ad, bd := math.Abs(a.diff()), math.Abs(b.diff()); ad != bd {

@@ -346,6 +346,40 @@ func newFrontend(sc obs.Scope, m *verilog.Module, lib map[string]*verilog.Module
 	return fe
 }
 
+// RehydrateFrontend rebuilds a Frontend from a previously preprocessed
+// design — e.g. one deserialized from a fleet's shared artifact store.
+// The lint transform is skipped: fixed and fixes come verbatim from the
+// original preprocessing (they are inputs to the repair verdict), while
+// the static-analysis report and the elaboration are recomputed here.
+// Both are pure functions of the preprocessed module, so a rehydrated
+// frontend behaves byte-for-byte like the one NewFrontend built. A
+// non-empty reason short-circuits to a failed frontend (fixed may be
+// nil in that case), mirroring how the failure was first recorded.
+func RehydrateFrontend(fixed *verilog.Module, lib map[string]*verilog.Module, fixes []lint.Fix, reason string) *Frontend {
+	fe := &Frontend{Fixed: fixed, Fixes: fixes, Lib: lib}
+	if fixed != nil {
+		fe.Diagnostics = analysis.Analyze(fixed, analysis.Options{Lib: lib})
+	}
+	if reason != "" {
+		fe.Reason = reason
+		return fe
+	}
+	sctx := smt.NewContext()
+	sys, info, err := synth.Elaborate(sctx, fixed, synth.Options{Lib: lib})
+	if err != nil {
+		// Unreachable for docs written by a healthy node (elaboration
+		// failures are stored with their reason), but a recomputed
+		// failure must still match the cold path's reporting.
+		fe.Reason = "not synthesizable: " + err.Error()
+		return fe
+	}
+	fe.Sys = sys
+	fe.Info = info
+	sctx.Freeze()
+	fe.ctx = sctx
+	return fe
+}
+
 // Repair runs the full RTL-Repair flow of Figure 3 on a buggy module and
 // an I/O trace.
 func Repair(m *verilog.Module, tr *trace.Trace, opts Options) *Result {

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// CAS is a filesystem content-addressed blob store implementing
+// serve.BlobStore. Keys are the serve cache keys (SHA-256 hex), values
+// are immutable once written, and the directory may be shared by every
+// node in a fleet (typically on NFS or a shared volume): writes land in
+// a temp file first and are published by rename, so readers never see a
+// torn blob, and concurrent writers of the same key are harmless — the
+// content under one address is by construction identical.
+//
+// Layout fans blobs out by the first two hex characters so a large
+// store does not put a million entries in one directory:
+//
+//	<dir>/ab/ab3f…e1
+type CAS struct {
+	dir string
+
+	gets, hits, puts, putErrs atomic.Int64
+}
+
+// OpenCAS opens (creating if needed) a content-addressed store rooted
+// at dir.
+func OpenCAS(dir string) (*CAS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: open cas: %w", err)
+	}
+	return &CAS{dir: dir}, nil
+}
+
+// validKey rejects anything that is not a plain lowercase-hex content
+// hash, so a corrupted or hostile key can never traverse outside dir.
+func validKey(key string) bool {
+	if len(key) < 8 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *CAS) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key)
+}
+
+// GetBlob reads a blob; false means absent (or unreadable, which for a
+// cache tier is the same thing).
+func (c *CAS) GetBlob(key string) ([]byte, bool) {
+	c.gets.Add(1)
+	if !validKey(key) {
+		return nil, false
+	}
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	c.hits.Add(1)
+	return blob, true
+}
+
+// PutBlob publishes a blob under its content address. Idempotent: if
+// the key already exists the write is skipped (same address, same
+// bytes). The temp-then-rename dance makes publication atomic even on
+// a shared directory.
+func (c *CAS) PutBlob(key string, blob []byte) error {
+	c.puts.Add(1)
+	if !validKey(key) {
+		c.putErrs.Add(1)
+		return fmt.Errorf("fleet: cas: invalid key %q", key)
+	}
+	dst := c.path(key)
+	if _, err := os.Stat(dst); err == nil {
+		return nil
+	}
+	if err := c.put(dst, blob); err != nil {
+		c.putErrs.Add(1)
+		return err
+	}
+	return nil
+}
+
+func (c *CAS) put(dst string, blob []byte) error {
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("fleet: cas: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fleet: cas: %w", err)
+	}
+	_, werr := tmp.Write(blob)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), dst)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: cas: %w", werr)
+	}
+	return nil
+}
+
+// CASStats is the store's counter snapshot for /debugz/fleet.
+type CASStats struct {
+	Gets      int64 `json:"gets"`
+	Hits      int64 `json:"hits"`
+	Puts      int64 `json:"puts"`
+	PutErrors int64 `json:"put_errors"`
+}
+
+// Stats snapshots the store's counters.
+func (c *CAS) Stats() CASStats {
+	return CASStats{
+		Gets: c.gets.Load(), Hits: c.hits.Load(),
+		Puts: c.puts.Load(), PutErrors: c.putErrs.Load(),
+	}
+}

@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestCASRoundTrip(t *testing.T) {
+	cas, err := OpenCAS(filepath.Join(t.TempDir(), "cas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("hello")
+	if _, ok := cas.GetBlob(key); ok {
+		t.Fatal("blob present before put")
+	}
+	if err := cas.PutBlob(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	blob, ok := cas.GetBlob(key)
+	if !ok || !bytes.Equal(blob, []byte("payload")) {
+		t.Fatalf("got (%q, %t), want (payload, true)", blob, ok)
+	}
+	// Fanout layout: <dir>/<first two hex>/<key>.
+	if _, err := os.Stat(filepath.Join(cas.dir, key[:2], key)); err != nil {
+		t.Fatalf("fanout path missing: %v", err)
+	}
+	st := cas.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Gets != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCASPutIsIdempotent(t *testing.T) {
+	cas, err := OpenCAS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("x")
+	if err := cas.PutBlob(key, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// Same address means same content by construction; the second write
+	// is skipped rather than re-published.
+	if err := cas.PutBlob(key, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := cas.GetBlob(key)
+	if string(blob) != "first" {
+		t.Fatalf("blob = %q", blob)
+	}
+}
+
+func TestCASRejectsHostileKeys(t *testing.T) {
+	cas, err := OpenCAS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", "../../etc/passwd", "ABCDEF0123456789", "aaaa/bbbb"} {
+		if err := cas.PutBlob(key, []byte("x")); err == nil {
+			t.Errorf("PutBlob(%q) accepted", key)
+		}
+		if _, ok := cas.GetBlob(key); ok {
+			t.Errorf("GetBlob(%q) hit", key)
+		}
+	}
+}
+
+func TestCASConcurrentWritersSameKey(t *testing.T) {
+	cas, err := OpenCAS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("contended")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cas.PutBlob(key, []byte("same bytes")); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	blob, ok := cas.GetBlob(key)
+	if !ok || string(blob) != "same bytes" {
+		t.Fatalf("got (%q, %t)", blob, ok)
+	}
+	// No stray temp files survive the race.
+	entries, _ := os.ReadDir(filepath.Join(cas.dir, key[:2]))
+	for _, e := range entries {
+		if e.Name() != key {
+			t.Fatalf("stray file %s", e.Name())
+		}
+	}
+}
+
+func TestCASDistinctKeysDoNotCollide(t *testing.T) {
+	cas, err := OpenCAS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := cas.PutBlob(testKey(fmt.Sprint(i)), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		blob, ok := cas.GetBlob(testKey(fmt.Sprint(i)))
+		if !ok || string(blob) != fmt.Sprint(i) {
+			t.Fatalf("key %d: got (%q, %t)", i, blob, ok)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// FleetNodeView is one member in the /debugz/fleet payload: the
+// router's view (reachability, last probe error) plus the node's own
+// /debugz/node snapshot when it answered.
+type FleetNodeView struct {
+	Name      string     `json:"name"`
+	Base      string     `json:"base"`
+	Reachable bool       `json:"reachable"`
+	Ready     bool       `json:"ready"`
+	Error     string     `json:"error,omitempty"`
+	Debug     *NodeDebug `json:"debug,omitempty"`
+}
+
+// FleetTotals aggregates the per-node gauges the operators grep for
+// first: fleet queue pressure, stalled jobs, WAL backlog.
+type FleetTotals struct {
+	Nodes       int     `json:"nodes"`
+	NodesReady  int     `json:"nodes_ready"`
+	QueueDepth  int     `json:"queue_depth"`
+	QueueCap    int     `json:"queue_cap"`
+	Inflight    int     `json:"inflight"`
+	Stalled     float64 `json:"stalled"`
+	WALPending  int     `json:"wal_pending"`
+	WALReplayed int64   `json:"wal_replayed"`
+	Completed   int64   `json:"completed"`
+	Cached      int64   `json:"cached"`
+	Deduped     int64   `json:"deduped"`
+}
+
+// RouterView is the router's own counters in the fleet payload.
+type RouterView struct {
+	Forwarded     int64 `json:"forwarded"`
+	Retries       int64 `json:"retries"`
+	ForwardErrors int64 `json:"forward_errors"`
+	Exhausted     int64 `json:"exhausted"`
+	QuotaRejected int64 `json:"quota_rejected"`
+	ShedBatch     int64 `json:"shed_batch"`
+}
+
+// FleetDebug is the GET /debugz/fleet payload.
+type FleetDebug struct {
+	Totals FleetTotals     `json:"totals"`
+	Router RouterView      `json:"router"`
+	Nodes  []FleetNodeView `json:"nodes"`
+}
+
+// Fleet snapshots the whole cluster: every member's /debugz/node is
+// fetched concurrently (bounded by the probe timeout) and merged with
+// the router's probe state and its own counters.
+func (rt *Router) Fleet(ctx context.Context) FleetDebug {
+	views := make([]FleetNodeView, len(rt.members))
+	var wg sync.WaitGroup
+	for i, m := range rt.members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			views[i] = rt.nodeView(ctx, m)
+		}(i, m)
+	}
+	wg.Wait()
+
+	fd := FleetDebug{Nodes: views}
+	fd.Totals.Nodes = len(views)
+	for _, v := range views {
+		if v.Ready {
+			fd.Totals.NodesReady++
+		}
+		if v.Debug == nil {
+			continue
+		}
+		fd.Totals.QueueDepth += v.Debug.Stats.QueueDepth
+		fd.Totals.QueueCap += v.Debug.Stats.QueueCap
+		fd.Totals.Inflight += v.Debug.Stats.Inflight
+		fd.Totals.Stalled += v.Debug.Stalled
+		fd.Totals.WALReplayed += v.Debug.Replayed
+		fd.Totals.Completed += v.Debug.Completed
+		fd.Totals.Cached += v.Debug.Cached
+		fd.Totals.Deduped += v.Debug.Deduped
+		if v.Debug.WAL != nil {
+			fd.Totals.WALPending += v.Debug.WAL.Pending
+		}
+	}
+	fd.Router = RouterView{
+		Forwarded:     rt.metrics.Counter("fleet.router.forwarded"),
+		Retries:       rt.metrics.Counter("fleet.router.retries"),
+		ForwardErrors: rt.metrics.Counter("fleet.router.forward_errors"),
+		Exhausted:     rt.metrics.Counter("fleet.router.exhausted"),
+		QuotaRejected: rt.metrics.Counter("fleet.router.quota_rejected"),
+		ShedBatch:     rt.metrics.Counter("fleet.router.shed_batch"),
+	}
+	return fd
+}
+
+// nodeView fetches one member's /debugz/node, falling back to the
+// router's last probe state when the node does not answer.
+func (rt *Router) nodeView(ctx context.Context, m *member) FleetNodeView {
+	reach, rdy, _, lastErr := m.snapshot()
+	view := FleetNodeView{Name: m.name, Base: m.base, Reachable: reach, Ready: rdy, Error: lastErr}
+	cctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, m.base+"/debugz/node", nil)
+	if err != nil {
+		view.Error = err.Error()
+		return view
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		view.Reachable = false
+		view.Error = err.Error()
+		return view
+	}
+	defer resp.Body.Close()
+	var nd NodeDebug
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&nd); err != nil {
+		view.Error = "decode: " + err.Error()
+		return view
+	}
+	view.Reachable = true
+	view.Ready = nd.Stats.Ready
+	view.Debug = &nd
+	return view
+}
+
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Fleet(r.Context()))
+}

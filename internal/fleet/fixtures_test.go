@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"rtlrepair/internal/serve"
+)
+
+// The fixture is serve's buggy counter (Figure 1a's missing reset):
+// small enough that a real repair finishes in well under a second, so
+// fleet tests exercise the production pipeline end to end.
+
+const buggyCounterSrc = `
+module first_counter(input clock, input reset, input enable,
+                     output reg [3:0] count, output reg overflow);
+always @(posedge clock) begin
+  if (reset == 1'b1) begin
+    overflow <= 1'b0;
+  end else if (enable == 1'b1) begin
+    count <= count + 1;
+  end
+  if (count == 4'b1111) begin
+    overflow <= 1'b1;
+  end
+end
+endmodule`
+
+const counterTraceCSV = `reset:1:in,enable:1:in,count:4:out,overflow:1:out
+1,0,x,x
+0,1,0,0
+0,1,1,0
+0,1,2,0
+0,0,3,0
+0,0,3,0
+`
+
+// counterTraceShortCSV is the same testbench minus its last step: a
+// different result key (new trace) over the same design, so it shares
+// the frontend artifact but not the result cache entry.
+const counterTraceShortCSV = `reset:1:in,enable:1:in,count:4:out,overflow:1:out
+1,0,x,x
+0,1,0,0
+0,1,1,0
+0,1,2,0
+0,0,3,0
+`
+
+func testRequest(seed int64) *serve.Request {
+	return &serve.Request{Source: buggyCounterSrc, Trace: counterTraceCSV,
+		Options: serve.ReqOptions{Seed: seed}}
+}

@@ -1,0 +1,58 @@
+// Package fleet turns internal/serve from one process into an N-node
+// repair cluster: a router that shards jobs across nodes by their
+// SHA-256 result-cache key (rendezvous hashing, so membership changes
+// only remap 1/N of the keyspace), per-node crash safety via an
+// append-only write-ahead job log, and a filesystem content-addressed
+// artifact store shared by every node so one node's results and
+// frontend artifacts warm the whole fleet. See DESIGN.md "Fleet".
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// hrwScore is the rendezvous (highest-random-weight) score of one
+// (node, key) pair: the first 8 bytes of SHA-256 over the
+// length-prefixed pair. Length prefixing keeps ("ab","c") and
+// ("a","bc") distinct, mirroring serve's content keys.
+func hrwScore(node, key string) uint64 {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, f := range []string{node, key} {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(f)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(f))
+	}
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// RankNodes orders node names by descending rendezvous score for key:
+// index 0 is the key's home shard, the rest is its deterministic
+// failover sequence. Every client that knows the member list computes
+// the same order, with no coordination; adding or removing one of N
+// nodes remaps only ~1/N of the keyspace (the keys whose top score
+// belonged to the changed node). Ties break on name so the order is a
+// total one.
+func RankNodes(names []string, key string) []string {
+	type scored struct {
+		name  string
+		score uint64
+	}
+	ranked := make([]scored, len(names))
+	for i, n := range names {
+		ranked[i] = scored{name: n, score: hrwScore(n, key)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	out := make([]string, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.name
+	}
+	return out
+}

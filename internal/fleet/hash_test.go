@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRankNodesIsDeterministicAndComplete(t *testing.T) {
+	names := []string{"node-a", "node-b", "node-c"}
+	a := RankNodes(names, "somekey")
+	b := RankNodes([]string{"node-c", "node-a", "node-b"}, "somekey")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("ranking depends on input order: %v vs %v", a, b)
+	}
+	seen := map[string]bool{}
+	for _, n := range a {
+		seen[n] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("ranking lost nodes: %v", a)
+	}
+}
+
+func TestRankNodesSpreadsKeys(t *testing.T) {
+	names := []string{"node-a", "node-b", "node-c"}
+	counts := map[string]int{}
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		counts[RankNodes(names, fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for _, n := range names {
+		// A uniform hash puts ~100 keys on each of 3 nodes; anything
+		// under a third of that share signals broken mixing.
+		if counts[n] < keys/9 {
+			t.Fatalf("node %s owns only %d/%d keys: %v", n, counts[n], keys, counts)
+		}
+	}
+}
+
+// Removing one node must remap only the keys it owned: every key whose
+// home shard survives keeps that home. This is the rendezvous-hashing
+// property the fleet's cache locality depends on.
+func TestRankNodesMinimalRemapOnMembershipChange(t *testing.T) {
+	all := []string{"node-a", "node-b", "node-c", "node-d"}
+	without := []string{"node-a", "node-b", "node-d"}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := RankNodes(all, key)[0]
+		after := RankNodes(without, key)[0]
+		if before != "node-c" && after != before {
+			t.Fatalf("key %s moved %s -> %s though its home survived", key, before, after)
+		}
+		if before == "node-c" && RankNodes(all, key)[1] != after {
+			t.Fatalf("key %s failed over to %s, want second-ranked %s",
+				key, after, RankNodes(all, key)[1])
+		}
+	}
+}

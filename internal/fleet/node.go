@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rtlrepair/internal/obs"
+	"rtlrepair/internal/serve"
+)
+
+// NodeConfig tunes one fleet node: a serve.Server plus its durability
+// layers.
+type NodeConfig struct {
+	// Name identifies the node to the router's rendezvous hash and in
+	// /debugz/fleet. Required when the node joins a fleet; a router and
+	// its nodes must agree on names or routing degenerates to random.
+	Name string
+	// Serve configures the wrapped repair server. Queue/Results/Artifacts
+	// are normally left nil — the node installs shared stores itself when
+	// ArtifactDir is set.
+	Serve serve.Config
+	// WALPath enables the write-ahead job log ("" disables): every
+	// admitted job is durably logged before acknowledgement and replayed
+	// after a crash.
+	WALPath string
+	// ArtifactDir enables the shared content-addressed store (""
+	// disables): results and frontend artifacts are published there, so
+	// every node sharing the directory — and this node after a restart —
+	// is warmed by any node's work.
+	ArtifactDir string
+	// ReplayRetry is the backoff between submission retries while
+	// replaying a WAL into a full queue. Default 50ms.
+	ReplayRetry time.Duration
+}
+
+// Node is one cluster member: a serve.Server wrapped with a write-ahead
+// job log and a shared artifact store. Create with NewNode, serve its
+// Handler, stop with Shutdown.
+type Node struct {
+	name    string
+	srv     *serve.Server
+	wal     *WAL
+	cas     *CAS
+	metrics *obs.Registry
+	retry   time.Duration
+}
+
+// NewNode builds the node: opens the CAS (if any), layers the shared
+// stores under the serve caches, opens the WAL, and kicks off replay of
+// any jobs a previous process accepted but never finished. The node
+// reports not-ready until replay has re-admitted every pending job.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Serve.Obs.Metrics == nil {
+		cfg.Serve.Obs.Metrics = obs.NewRegistry()
+	}
+	metrics := cfg.Serve.Obs.Metrics
+	n := &Node{name: cfg.Name, metrics: metrics, retry: cfg.ReplayRetry}
+	if n.retry <= 0 {
+		n.retry = 50 * time.Millisecond
+	}
+	if cfg.ArtifactDir != "" {
+		cas, err := OpenCAS(cfg.ArtifactDir)
+		if err != nil {
+			return nil, err
+		}
+		n.cas = cas
+		// Mirror serve's cache-size defaults (serve.Config.withDefaults
+		// only applies them when the store fields are nil, and we are
+		// about to fill them in).
+		resultSize, artifactSize := cfg.Serve.ResultCacheSize, cfg.Serve.ArtifactCacheSize
+		if resultSize == 0 {
+			resultSize = 256
+		}
+		if artifactSize == 0 {
+			artifactSize = 64
+		}
+		if cfg.Serve.Results == nil {
+			cfg.Serve.Results = serve.NewSharedResultStore(
+				serve.NewLRUResultStore(resultSize, metrics), cas, metrics)
+		}
+		if cfg.Serve.Artifacts == nil {
+			cfg.Serve.Artifacts = serve.NewSharedArtifactStore(
+				serve.NewLRUArtifactStore(artifactSize, metrics), cas, metrics)
+		}
+	}
+	n.srv = serve.New(cfg.Serve)
+	if cfg.WALPath != "" {
+		wal, pending, err := OpenWAL(cfg.WALPath)
+		if err != nil {
+			n.srv.Shutdown(context.Background())
+			return nil, err
+		}
+		n.wal = wal
+		metrics.SetGauge("fleet.wal.recovered", float64(len(pending)))
+		if len(pending) > 0 {
+			n.srv.SetReady(false)
+			go n.replay(pending)
+		}
+	}
+	return n, nil
+}
+
+// Server exposes the wrapped serve.Server (tests and embedders).
+func (n *Node) Server() *serve.Server { return n.srv }
+
+// Submit admits a job WAL-first: the accept record is durable before
+// the server sees the job, so a crash at any later point replays it.
+// Submission failures append a cancelling done record.
+func (n *Node) Submit(req *serve.Request) (*serve.Job, error) {
+	if n.wal == nil {
+		return n.srv.Submit(req)
+	}
+	key := serve.ResultKey(req)
+	if err := n.wal.Accept(key, req); err != nil {
+		return nil, err
+	}
+	job, err := n.srv.Submit(req)
+	if err != nil {
+		// The job never entered the server; cancel the accept so restart
+		// does not replay a rejected submission.
+		n.wal.Done(key)
+		return nil, err
+	}
+	n.watch(job, key)
+	return job, nil
+}
+
+// watch appends the done record once the job is terminal. Cached jobs
+// are terminal at admission, so the goroutine exits immediately.
+func (n *Node) watch(job *serve.Job, key string) {
+	go func() {
+		<-job.Done()
+		n.wal.Done(key)
+	}()
+}
+
+// replay re-admits pending jobs in their original order. A full queue
+// is retried with backoff — these jobs survived a crash, they are not
+// dropped for transient backpressure. Unreplayable jobs (validation
+// failures from an older wire format, a draining server) are cancelled
+// and counted. Readiness returns once every pending job is re-admitted.
+func (n *Node) replay(pending []*serve.Request) {
+	for _, req := range pending {
+		key := serve.ResultKey(req)
+		for {
+			job, err := n.srv.Submit(req)
+			if err == nil {
+				n.metrics.Add("fleet.wal.replayed", 1)
+				n.watch(job, key)
+				break
+			}
+			if errors.Is(err, serve.ErrQueueFull) {
+				time.Sleep(n.retry)
+				continue
+			}
+			n.wal.Done(key)
+			n.metrics.Add("fleet.wal.replay_dropped", 1)
+			break
+		}
+	}
+	n.srv.SetReady(true)
+}
+
+// Shutdown drains the server, then closes the WAL. Jobs still pending
+// at a deadline-forced shutdown stay in the log for the next open.
+func (n *Node) Shutdown(ctx context.Context) error {
+	err := n.srv.Shutdown(ctx)
+	if n.wal != nil {
+		if werr := n.wal.Close(); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// NodeDebug is the GET /debugz/node payload: everything the router's
+// /debugz/fleet aggregates about one member.
+type NodeDebug struct {
+	Name      string      `json:"name"`
+	Stats     serve.Stats `json:"stats"`
+	WAL       *WALStats   `json:"wal,omitempty"`
+	CAS       *CASStats   `json:"cas,omitempty"`
+	Stalled   float64     `json:"stalled"`
+	Accepted  int64       `json:"accepted"`
+	Completed int64       `json:"completed"`
+	Cached    int64       `json:"cached"`
+	Deduped   int64       `json:"deduped"`
+	Replayed  int64       `json:"replayed"`
+}
+
+// Debug snapshots the node for /debugz/node.
+func (n *Node) Debug() NodeDebug {
+	d := NodeDebug{
+		Name:      n.name,
+		Stats:     n.srv.Snapshot(),
+		Stalled:   n.metrics.Gauge("serve.jobs.stalled"),
+		Accepted:  n.metrics.Counter("serve.jobs.accepted"),
+		Completed: n.metrics.Counter("serve.jobs.completed"),
+		Cached:    n.metrics.Counter("serve.jobs.cached"),
+		Deduped:   n.metrics.Counter("serve.jobs.deduped"),
+		Replayed:  n.metrics.Counter("fleet.wal.replayed"),
+	}
+	if n.wal != nil {
+		ws := n.wal.Stats()
+		d.WAL = &ws
+	}
+	if n.cas != nil {
+		cs := n.cas.Stats()
+		d.CAS = &cs
+	}
+	return d
+}
+
+// maxBodyBytes mirrors serve's submission body bound.
+const maxBodyBytes = 64 << 20
+
+// Handler returns the node's HTTP API: the full serve API with the
+// submission path rerouted through the WAL, plus GET /debugz/node.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/repair", n.handleSubmit)
+	mux.HandleFunc("GET /debugz/node", n.handleDebug)
+	mux.Handle("/", n.srv.Handler())
+	return mux
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.Request
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"body: " + err.Error()})
+		return
+	}
+	job, err := n.Submit(&req)
+	switch {
+	case err == nil:
+	case serve.IsBadRequest(err):
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	case errors.Is(err, serve.ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(n.srv.RetryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{err.Error()})
+		return
+	case errors.Is(err, serve.ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorJSON{err.Error()})
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+		}
+	}
+	v := job.View()
+	status := http.StatusOK
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	if v.State != serve.StateDone {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, v)
+}
+
+func (n *Node) handleDebug(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, n.Debug())
+}

@@ -1,0 +1,554 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"rtlrepair/internal/obs"
+	"rtlrepair/internal/serve"
+)
+
+// RouterConfig tunes the fleet router.
+type RouterConfig struct {
+	// Nodes maps node name → base URL (e.g. "node-a" →
+	// "http://10.0.0.1:8080"). Names feed the rendezvous hash, so they
+	// must be stable across router restarts or the keyspace remaps.
+	Nodes map[string]string
+	// ProbeInterval is the health-probe period. Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request. Default 2s.
+	ProbeTimeout time.Duration
+	// RetryBackoff is the pause before trying the next replica after a
+	// failed forward. Default 100ms.
+	RetryBackoff time.Duration
+	// TenantQuota caps submissions per tenant per minute (fixed window);
+	// 0 disables quotas. Requests without a tenant share one anonymous
+	// bucket.
+	TenantQuota int
+	// BatchShedUtil sheds priority=batch submissions once fleet-wide
+	// queue utilization (sum depth / sum cap over reachable nodes)
+	// exceeds it, keeping latency headroom for interactive traffic.
+	// Default 0.75; >= 1 disables shedding.
+	BatchShedUtil float64
+	// Metrics receives fleet.router.* counters. Default: fresh registry.
+	Metrics *obs.Registry
+	// Client issues forwards; default has no timeout (submissions may
+	// legitimately block on ?wait=1). Probes bound themselves with
+	// ProbeTimeout.
+	Client *http.Client
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.BatchShedUtil == 0 {
+		c.BatchShedUtil = 0.75
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// member is one node as the router sees it.
+type member struct {
+	name string
+	base string
+
+	mu        sync.Mutex
+	reachable bool
+	ready     bool
+	stats     serve.Stats
+	lastErr   string
+}
+
+func (m *member) snapshot() (reachable, ready bool, stats serve.Stats, lastErr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reachable, m.ready, m.stats, m.lastErr
+}
+
+// tenantWindow is one tenant's fixed-window submission counter.
+type tenantWindow struct {
+	start time.Time
+	count int
+}
+
+// Router shards repair submissions across fleet nodes by their result
+// key: rendezvous hashing picks the home node (so identical requests
+// always land where their cache entry lives), the rest of the ranking
+// is the failover order. Create with NewRouter, serve its Handler,
+// stop with Close.
+type Router struct {
+	cfg     RouterConfig
+	metrics *obs.Registry
+	members []*member // sorted by name
+	names   []string
+
+	mu      sync.Mutex
+	jobNode map[string]*member // routed job id → owning node
+	jobIDs  []string           // FIFO of routed ids, bounds jobNode
+	tenants map[string]*tenantWindow
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	probes   sync.WaitGroup
+}
+
+// maxRoutedJobs bounds the job→node table; the oldest routing entries
+// are dropped first (their jobs are long terminal).
+const maxRoutedJobs = 16384
+
+// NewRouter builds a router and synchronously probes every node once,
+// so routing decisions are informed from the first request.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("fleet: router needs at least one node")
+	}
+	rt := &Router{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		jobNode: map[string]*member{},
+		tenants: map[string]*tenantWindow{},
+		stop:    make(chan struct{}),
+	}
+	for name, base := range cfg.Nodes {
+		rt.members = append(rt.members, &member{name: name, base: base})
+		rt.names = append(rt.names, name)
+	}
+	sort.Slice(rt.members, func(i, j int) bool { return rt.members[i].name < rt.members[j].name })
+	sort.Strings(rt.names)
+	rt.probeAll()
+	rt.probes.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Close stops the probe loop.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.probes.Wait()
+}
+
+func (rt *Router) probeLoop() {
+	defer rt.probes.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll refreshes every member concurrently. One failed probe marks
+// a node unreachable — the forwarder deprioritizes it but still tries
+// it as a last resort, so a flapping probe cannot black-hole traffic.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, m := range rt.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			rt.probe(m)
+		}(m)
+	}
+	wg.Wait()
+	depth, capacity, ready := 0, 0, 0
+	for _, m := range rt.members {
+		reach, rdy, stats, _ := m.snapshot()
+		if !reach {
+			continue
+		}
+		depth += stats.QueueDepth
+		capacity += stats.QueueCap
+		if rdy {
+			ready++
+		}
+	}
+	rt.metrics.SetGauge("fleet.router.nodes_ready", float64(ready))
+	rt.metrics.SetGauge("fleet.router.queue_depth", float64(depth))
+	rt.metrics.SetGauge("fleet.router.queue_cap", float64(capacity))
+}
+
+func (rt *Router) probe(m *member) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.base+"/healthz/ready", nil)
+	if err != nil {
+		rt.markProbe(m, false, false, serve.Stats{}, err.Error())
+		return
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		rt.markProbe(m, false, false, serve.Stats{}, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	var stats serve.Stats
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&stats); err != nil {
+		rt.markProbe(m, false, false, serve.Stats{}, "decode: "+err.Error())
+		return
+	}
+	rt.markProbe(m, true, resp.StatusCode == http.StatusOK && stats.Ready, stats, "")
+}
+
+func (rt *Router) markProbe(m *member, reachable, ready bool, stats serve.Stats, errMsg string) {
+	m.mu.Lock()
+	m.reachable = reachable
+	m.ready = ready
+	m.stats = stats
+	m.lastErr = errMsg
+	m.mu.Unlock()
+}
+
+// utilization is fleet-wide queue pressure: sum depth / sum cap over
+// reachable nodes (1.0 when nothing is reachable — fail closed for
+// batch shedding).
+func (rt *Router) utilization() float64 {
+	depth, capacity := 0, 0
+	for _, m := range rt.members {
+		reach, _, stats, _ := m.snapshot()
+		if !reach {
+			continue
+		}
+		depth += stats.QueueDepth
+		capacity += stats.QueueCap
+	}
+	if capacity == 0 {
+		return 1
+	}
+	return float64(depth) / float64(capacity)
+}
+
+// admit runs fleet-wide admission control. A non-nil response means
+// the submission was rejected; (status, retryAfter seconds, message).
+func (rt *Router) admit(req *serve.Request) (int, int, string) {
+	if !serve.ValidPriority(req.Priority) {
+		return http.StatusBadRequest, 0, fmt.Sprintf("unknown priority %q", req.Priority)
+	}
+	if rt.cfg.TenantQuota > 0 {
+		rt.mu.Lock()
+		tw := rt.tenants[req.Tenant]
+		now := time.Now()
+		if tw == nil || now.Sub(tw.start) >= time.Minute {
+			tw = &tenantWindow{start: now}
+			rt.tenants[req.Tenant] = tw
+		}
+		if tw.count >= rt.cfg.TenantQuota {
+			retry := int(time.Minute.Seconds() - now.Sub(tw.start).Seconds())
+			rt.mu.Unlock()
+			if retry < 1 {
+				retry = 1
+			}
+			rt.metrics.Add("fleet.router.quota_rejected", 1)
+			return http.StatusTooManyRequests, retry,
+				fmt.Sprintf("tenant %q over quota (%d/min)", req.Tenant, rt.cfg.TenantQuota)
+		}
+		tw.count++
+		rt.mu.Unlock()
+	}
+	if req.Priority == serve.PriorityBatch && rt.cfg.BatchShedUtil < 1 {
+		if util := rt.utilization(); util > rt.cfg.BatchShedUtil {
+			rt.metrics.Add("fleet.router.shed_batch", 1)
+			return http.StatusTooManyRequests, 5,
+				fmt.Sprintf("batch traffic shed: fleet queue utilization %.0f%%", util*100)
+		}
+	}
+	return 0, 0, ""
+}
+
+// candidates returns the members to try for key, best first: the
+// rendezvous ranking filtered to ready nodes, then the not-ready-but-
+// reachable ones, then the rest — a fully partitioned router still
+// attempts delivery rather than failing closed.
+func (rt *Router) candidates(key string) []*member {
+	byName := map[string]*member{}
+	for _, m := range rt.members {
+		byName[m.name] = m
+	}
+	ranked := RankNodes(rt.names, key)
+	var ready, reachable, rest []*member
+	for _, name := range ranked {
+		m := byName[name]
+		reach, rdy, _, _ := m.snapshot()
+		switch {
+		case reach && rdy:
+			ready = append(ready, m)
+		case reach:
+			reachable = append(reachable, m)
+		default:
+			rest = append(rest, m)
+		}
+	}
+	out := append(ready, reachable...)
+	return append(out, rest...)
+}
+
+// rememberJob records which node owns a routed job id so later polls
+// and event streams proxy to the right place.
+func (rt *Router) rememberJob(id string, m *member) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.jobNode[id]; !ok {
+		rt.jobIDs = append(rt.jobIDs, id)
+	}
+	rt.jobNode[id] = m
+	for len(rt.jobIDs) > maxRoutedJobs {
+		drop := rt.jobIDs[0]
+		rt.jobIDs = rt.jobIDs[1:]
+		delete(rt.jobNode, drop)
+	}
+}
+
+func (rt *Router) jobOwner(id string) *member {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.jobNode[id]
+}
+
+// Handler returns the router's HTTP API: the serve submission/poll
+// surface (forwarded to the owning shard) plus fleet-wide health and
+// the /debugz/fleet aggregation.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/repair", rt.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", rt.handleJobEvents)
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /healthz/live", rt.handleLive)
+	mux.HandleFunc("GET /healthz/ready", rt.handleHealth)
+	mux.HandleFunc("GET /metricsz", rt.handleMetrics)
+	mux.HandleFunc("GET /debugz/fleet", rt.handleFleet)
+	return mux
+}
+
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"body: " + err.Error()})
+		return
+	}
+	var req serve.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"body: " + err.Error()})
+		return
+	}
+	if status, retry, msg := rt.admit(&req); status != 0 {
+		if retry > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+		}
+		writeJSON(w, status, errorJSON{msg})
+		return
+	}
+	key := serve.ResultKey(&req)
+	rt.forward(w, r, key, body)
+}
+
+// forward tries the key's replica sequence until a node gives a
+// conclusive answer. Retriable outcomes — network failure, 429 (that
+// shard's queue is full), 5xx — advance to the next replica after a
+// backoff; this trades strict shard affinity for availability, and the
+// rendezvous ranking makes the fallback replica deterministic too.
+// 400 is conclusive (validation is deterministic across nodes).
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	type lastReply struct {
+		status int
+		header http.Header
+		body   []byte
+	}
+	var last *lastReply
+	for i, m := range rt.candidates(key) {
+		if i > 0 {
+			rt.metrics.Add("fleet.router.retries", 1)
+			select {
+			case <-time.After(rt.cfg.RetryBackoff):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		url := m.base + "/v1/repair"
+		if r.URL.RawQuery != "" {
+			url += "?" + r.URL.RawQuery
+		}
+		freq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorJSON{err.Error()})
+			return
+		}
+		freq.Header.Set("Content-Type", "application/json")
+		resp, err := rt.cfg.Client.Do(freq)
+		if err != nil {
+			rt.metrics.Add("fleet.router.forward_errors", 1)
+			continue
+		}
+		respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		if rerr != nil {
+			rt.metrics.Add("fleet.router.forward_errors", 1)
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			last = &lastReply{resp.StatusCode, resp.Header, respBody}
+			continue
+		}
+		// Conclusive: relay, and remember which node owns the job.
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+			var view serve.JobView
+			if json.Unmarshal(respBody, &view) == nil && view.ID != "" {
+				rt.rememberJob(view.ID, m)
+			}
+			rt.metrics.Add("fleet.router.forwarded", 1)
+			rt.metrics.Add("fleet.router.forwarded."+m.name, 1)
+		}
+		relay(w, resp.StatusCode, resp.Header, respBody)
+		return
+	}
+	rt.metrics.Add("fleet.router.exhausted", 1)
+	if last != nil {
+		relay(w, last.status, last.header, last.body)
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, errorJSON{"no fleet node reachable"})
+}
+
+// relay copies a node's response to the client, preserving the JSON
+// body and the headers that matter (Location for job polling,
+// Retry-After for backpressure).
+func relay(w http.ResponseWriter, status int, header http.Header, body []byte) {
+	for _, h := range []string{"Content-Type", "Location", "Retry-After"} {
+		if v := header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m := rt.jobOwner(id)
+	if m == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{"unknown job"})
+		return
+	}
+	url := m.base + "/v1/jobs/" + id
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	freq, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{err.Error()})
+		return
+	}
+	resp, err := rt.cfg.Client.Do(freq)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorJSON{"node unreachable: " + err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorJSON{"node read: " + err.Error()})
+		return
+	}
+	relay(w, resp.StatusCode, resp.Header, respBody)
+}
+
+// handleJobEvents proxies a job's SSE stream from its owning node,
+// flushing event-by-event so live heartbeats stay live through the
+// router.
+func (rt *Router) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m := rt.jobOwner(id)
+	if m == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{"unknown job"})
+		return
+	}
+	freq, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		m.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{err.Error()})
+		return
+	}
+	resp, err := rt.cfg.Client.Do(freq)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorJSON{"node unreachable: " + err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		relay(w, resp.StatusCode, resp.Header, respBody)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	ready := 0
+	for _, m := range rt.members {
+		if _, rdy, _, _ := m.snapshot(); rdy {
+			ready++
+		}
+	}
+	status := http.StatusOK
+	if ready == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":       ready > 0,
+		"nodes":       len(rt.members),
+		"nodes_ready": ready,
+	})
+}
+
+func (rt *Router) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = rt.metrics.WriteJSON(w)
+}

@@ -1,0 +1,380 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rtlrepair/internal/serve"
+)
+
+// fakeShard is a scripted node for pure routing tests: it speaks just
+// enough of the serve API (ready probe, submit, poll, debug) and
+// records what it was asked.
+type fakeShard struct {
+	name string
+
+	mu         sync.Mutex
+	submits    int
+	lastReq    serve.Request
+	failStatus int // non-zero: every submit answers this status
+	stats      serve.Stats
+}
+
+func newFakeShard(name string) *fakeShard {
+	return &fakeShard{name: name, stats: serve.Stats{Ready: true, QueueCap: 10, Slots: 1}}
+}
+
+func (f *fakeShard) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz/ready", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		st := f.stats
+		f.mu.Unlock()
+		code := http.StatusOK
+		if !st.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, st)
+	})
+	mux.HandleFunc("POST /v1/repair", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.submits++
+		id := fmt.Sprintf("%s-job-%d", f.name, f.submits)
+		json.NewDecoder(r.Body).Decode(&f.lastReq)
+		fail := f.failStatus
+		f.mu.Unlock()
+		if fail != 0 {
+			writeJSON(w, fail, errorJSON{"scripted failure"})
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+id)
+		writeJSON(w, http.StatusOK, serve.JobView{ID: id, State: serve.StateDone,
+			Result: &serve.RepairResult{Status: "repaired"}})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, serve.JobView{ID: r.PathValue("id"), State: serve.StateDone,
+			Result: &serve.RepairResult{Status: "repaired"}})
+	})
+	mux.HandleFunc("GET /debugz/node", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		st := f.stats
+		n := int64(f.submits)
+		f.mu.Unlock()
+		writeJSON(w, http.StatusOK, NodeDebug{Name: f.name, Stats: st, Completed: n})
+	})
+	return mux
+}
+
+func (f *fakeShard) submitCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.submits
+}
+
+// fakeFleet starts n scripted shards and a router over them.
+func fakeFleet(t *testing.T, n int, tune func(*RouterConfig)) ([]*fakeShard, *Router, *httptest.Server) {
+	t.Helper()
+	nodes := map[string]string{}
+	shards := make([]*fakeShard, n)
+	for i := 0; i < n; i++ {
+		shards[i] = newFakeShard(fmt.Sprintf("node-%c", 'a'+i))
+		ts := httptest.NewServer(shards[i].handler())
+		t.Cleanup(ts.Close)
+		nodes[shards[i].name] = ts.URL
+	}
+	cfg := RouterConfig{Nodes: nodes, ProbeInterval: 50 * time.Millisecond,
+		RetryBackoff: time.Millisecond}
+	if tune != nil {
+		tune(&cfg)
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return shards, rt, ts
+}
+
+func postRepair(t *testing.T, url string, req *serve.Request) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/repair", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeView(t *testing.T, resp *http.Response) serve.JobView {
+	t.Helper()
+	defer resp.Body.Close()
+	var v serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRouterShardsByResultKey(t *testing.T) {
+	shards, _, ts := fakeFleet(t, 3, nil)
+	names := []string{"node-a", "node-b", "node-c"}
+	req := testRequest(1)
+	home := RankNodes(names, serve.ResultKey(req))[0]
+	for i := 0; i < 4; i++ {
+		resp := postRepair(t, ts.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	for _, s := range shards {
+		want := 0
+		if s.name == home {
+			want = 4
+		}
+		if got := s.submitCount(); got != want {
+			t.Errorf("%s got %d submits, want %d (home %s)", s.name, got, want, home)
+		}
+	}
+	// A different request spreads: across enough distinct keys at least
+	// one other shard must own something.
+	for i := 2; i < 12; i++ {
+		resp := postRepair(t, ts.URL, testRequest(int64(i)))
+		resp.Body.Close()
+	}
+	owners := 0
+	for _, s := range shards {
+		if s.submitCount() > 0 {
+			owners++
+		}
+	}
+	if owners < 2 {
+		t.Fatalf("11 keys all landed on one shard")
+	}
+}
+
+func TestRouterFailsOverToNextReplica(t *testing.T) {
+	shards, rt, ts := fakeFleet(t, 3, nil)
+	req := testRequest(1)
+	order := RankNodes([]string{"node-a", "node-b", "node-c"}, serve.ResultKey(req))
+	byName := map[string]*fakeShard{}
+	for _, s := range shards {
+		byName[s.name] = s
+	}
+	byName[order[0]].failStatus = http.StatusInternalServerError
+
+	resp := postRepair(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 via replica", resp.StatusCode)
+	}
+	v := decodeView(t, resp)
+	if v.Result == nil || v.Result.Status != "repaired" {
+		t.Fatalf("view = %+v", v)
+	}
+	if byName[order[1]].submitCount() != 1 {
+		t.Fatalf("second replica %s got %d submits", order[1], byName[order[1]].submitCount())
+	}
+	if rt.metrics.Counter("fleet.router.retries") == 0 {
+		t.Fatal("failover not counted")
+	}
+
+	// Home recovers: traffic returns (cache affinity restored).
+	byName[order[0]].failStatus = 0
+	resp = postRepair(t, ts.URL, req)
+	resp.Body.Close()
+	if byName[order[0]].submitCount() != 2 { // 1 failed + 1 ok
+		t.Fatalf("home %s did not get traffic back", order[0])
+	}
+}
+
+func TestRouterAllNodesDownAnswers502(t *testing.T) {
+	rt, err := NewRouter(RouterConfig{
+		Nodes:        map[string]string{"x": "http://127.0.0.1:1", "y": "http://127.0.0.1:2"},
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	dead := httptest.NewServer(rt.Handler())
+	defer dead.Close()
+	resp := postRepair(t, dead.URL, testRequest(1))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestRouterTenantQuota(t *testing.T) {
+	_, _, ts := fakeFleet(t, 2, func(c *RouterConfig) { c.TenantQuota = 2 })
+	for i := 0; i < 2; i++ {
+		req := testRequest(int64(i))
+		req.Tenant = "acme"
+		resp := postRepair(t, ts.URL, req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: status = %d", i, resp.StatusCode)
+		}
+	}
+	req := testRequest(99)
+	req.Tenant = "acme"
+	resp := postRepair(t, ts.URL, req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no Retry-After on quota rejection")
+	}
+	// Other tenants are unaffected.
+	other := testRequest(100)
+	other.Tenant = "globex"
+	resp2 := postRepair(t, ts.URL, other)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant: status = %d", resp2.StatusCode)
+	}
+}
+
+func TestRouterShedsBatchUnderLoad(t *testing.T) {
+	shards, rt, ts := fakeFleet(t, 2, nil)
+	for _, s := range shards {
+		s.mu.Lock()
+		s.stats.QueueDepth = 9 // 18/20 = 90% fleet utilization
+		s.mu.Unlock()
+	}
+	rt.probeAll()
+
+	batch := testRequest(1)
+	batch.Priority = serve.PriorityBatch
+	resp := postRepair(t, ts.URL, batch)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batch status = %d, want 429", resp.StatusCode)
+	}
+	interactive := testRequest(1)
+	interactive.Priority = serve.PriorityInteractive
+	resp = postRepair(t, ts.URL, interactive)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("interactive status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestRouterProxiesJobPollsToOwner(t *testing.T) {
+	_, _, ts := fakeFleet(t, 3, nil)
+	resp := postRepair(t, ts.URL, testRequest(1))
+	v := decodeView(t, resp)
+	if v.ID == "" {
+		t.Fatal("no job id")
+	}
+	get, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := decodeView(t, get)
+	if pv.ID != v.ID || pv.Result == nil || pv.Result.Status != "repaired" {
+		t.Fatalf("proxied view = %+v", pv)
+	}
+	// Unknown ids are a router-level 404, no node round trip.
+	get404, err := http.Get(ts.URL + "/v1/jobs/doesnotexist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get404.Body.Close()
+	if get404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d", get404.StatusCode)
+	}
+}
+
+func TestRouterFleetDebugAggregates(t *testing.T) {
+	_, _, ts := fakeFleet(t, 3, nil)
+	resp := postRepair(t, ts.URL, testRequest(1))
+	resp.Body.Close()
+	dbg, err := http.Get(ts.URL + "/debugz/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Body.Close()
+	var fd FleetDebug
+	if err := json.NewDecoder(dbg.Body).Decode(&fd); err != nil {
+		t.Fatal(err)
+	}
+	if fd.Totals.Nodes != 3 || fd.Totals.NodesReady != 3 {
+		t.Fatalf("totals = %+v", fd.Totals)
+	}
+	if fd.Router.Forwarded != 1 {
+		t.Fatalf("router view = %+v", fd.Router)
+	}
+	if fd.Totals.Completed != 1 {
+		t.Fatalf("completed = %d", fd.Totals.Completed)
+	}
+}
+
+// End to end with real nodes: two Nodes sharing a CAS behind a router,
+// a real repair through the full HTTP path, shard affinity on the
+// resubmission, and the fleet debug rollup seeing it all.
+func TestFleetEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	casDir := filepath.Join(dir, "cas")
+	nodes := map[string]string{}
+	for _, name := range []string{"n1", "n2"} {
+		n := newTestNode(t, NodeConfig{
+			Name:        name,
+			WALPath:     filepath.Join(dir, name+".wal"),
+			ArtifactDir: casDir,
+		})
+		ts := httptest.NewServer(n.Handler())
+		t.Cleanup(ts.Close)
+		nodes[name] = ts.URL
+	}
+	rt, err := NewRouter(RouterConfig{Nodes: nodes, ProbeInterval: 50 * time.Millisecond,
+		RetryBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	body, _ := json.Marshal(testRequest(7))
+	resp, err := http.Post(ts.URL+"/v1/repair?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	v := decodeView(t, resp)
+	if v.State != serve.StateDone || v.Result == nil || v.Result.Status != "repaired" {
+		t.Fatalf("view = %+v", v)
+	}
+
+	// Same request again: the shard that repaired it answers from cache.
+	resp, err = http.Post(ts.URL+"/v1/repair?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = decodeView(t, resp)
+	if !v.Cached || v.Result == nil || v.Result.Status != "repaired" {
+		t.Fatalf("resubmission: cached=%t result=%+v", v.Cached, v.Result)
+	}
+
+	fd := rt.Fleet(context.Background())
+	if fd.Totals.Nodes != 2 || fd.Totals.NodesReady != 2 {
+		t.Fatalf("fleet totals = %+v", fd.Totals)
+	}
+	if fd.Totals.Completed < 1 || fd.Totals.Cached < 1 {
+		t.Fatalf("fleet totals = %+v", fd.Totals)
+	}
+}

@@ -1,0 +1,375 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"rtlrepair/internal/serve"
+)
+
+// The write-ahead job log makes a node crash-safe: every admitted job
+// is appended (and fsynced) as an "accept" record before the node
+// acknowledges it, and a "done" record is appended when the job reaches
+// a terminal state. On restart the node replays accepts that have no
+// matching done, so a kill -9 between acknowledgement and completion
+// loses no work — the job simply runs again, and because results are
+// content-addressed the verdict is identical.
+//
+// Format: append-only JSONL, one record per line:
+//
+//	{"type":"accept","key":"<result key>","req":{…full request…}}
+//	{"type":"done","key":"<result key>"}
+//
+// Durability contract: Accept is durable before it returns (group
+// commit — concurrent accepts share one fsync). Done is written but
+// not synced; losing a done to a crash only means one redundant,
+// idempotent replay. A truncated final line (crash mid-append) is
+// tolerated on open: the partial record is discarded.
+//
+// The log is compacted on every open (rewritten with only the pending
+// accepts) and live whenever it outgrows CompactBytes, so it stays
+// proportional to the in-flight job count, not the node's lifetime.
+
+type walRecord struct {
+	Type string         `json:"type"` // "accept" | "done"
+	Key  string         `json:"key"`
+	Req  *serve.Request `json:"req,omitempty"`
+}
+
+// WAL is an append-only write-ahead job log. Safe for concurrent use.
+type WAL struct {
+	path string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File
+	err     error // first unrecoverable write/sync error, sticky
+	closed  bool
+	wrote   uint64 // records appended
+	synced  uint64 // records durably synced
+	syncing bool
+
+	live  map[string]*serve.Request // accepted, not yet done
+	bytes int64                     // log size since last compaction
+
+	// CompactBytes triggers a live compaction once the log file exceeds
+	// it. Set before first use (tests shrink it); default 32 MiB.
+	CompactBytes int64
+
+	accepted, completed, syncs, compactions int64
+	recovered                               int
+	truncated                               bool
+}
+
+// OpenWAL opens (creating if needed) the log at path and returns the
+// pending jobs — accepted by a previous process but never completed —
+// in their original admission order. The caller replays them. The log
+// is compacted as part of opening: the returned WAL starts fresh with
+// exactly the pending accepts, all durable.
+func OpenWAL(path string) (*WAL, []*serve.Request, error) {
+	pending, truncated, err := readPending(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{
+		path:         path,
+		live:         map[string]*serve.Request{},
+		CompactBytes: 32 << 20,
+		recovered:    len(pending),
+		truncated:    truncated,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	for _, req := range pending {
+		w.live[serve.ResultKey(req)] = req
+	}
+	if err := w.rewriteLocked(); err != nil {
+		return nil, nil, err
+	}
+	return w, pending, nil
+}
+
+// readPending scans an existing log and returns the accepts with no
+// matching done, in admission order. A missing file is an empty log; a
+// truncated last line is discarded.
+func readPending(path string) ([]*serve.Request, bool, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("fleet: open wal: %w", err)
+	}
+	defer f.Close()
+
+	type entry struct {
+		req  *serve.Request
+		done bool
+	}
+	byKey := map[string]*entry{}
+	var order []string
+	truncated := false
+	sc := bufio.NewScanner(f)
+	// Accept records embed whole design sources; lines can be large.
+	sc.Buffer(make([]byte, 1<<20), 256<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail from a crash mid-append; everything before it
+			// already parsed, everything after it was never acknowledged.
+			truncated = true
+			break
+		}
+		switch rec.Type {
+		case "accept":
+			if rec.Req == nil {
+				continue
+			}
+			if e, ok := byKey[rec.Key]; ok {
+				e.done = false // re-accepted after completion
+				continue
+			}
+			byKey[rec.Key] = &entry{req: rec.Req}
+			order = append(order, rec.Key)
+		case "done":
+			if e, ok := byKey[rec.Key]; ok {
+				e.done = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, truncated, fmt.Errorf("fleet: scan wal: %w", err)
+	}
+	var pending []*serve.Request
+	for _, key := range order {
+		if e := byKey[key]; !e.done {
+			pending = append(pending, e.req)
+		}
+	}
+	return pending, truncated, nil
+}
+
+// Accept records an admitted job. It returns only once the record is
+// durable; concurrent accepts share one fsync (group commit).
+func (w *WAL) Accept(key string, req *serve.Request) error {
+	line, err := marshalRecord(walRecord{Type: "accept", Key: key, Req: req})
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.appendLocked(line); err != nil {
+		return err
+	}
+	w.live[key] = req
+	w.accepted++
+	return w.waitSyncedLocked(w.wrote)
+}
+
+// Done records a job's completion. Buffered, not synced: a done lost
+// to a crash costs one idempotent replay, so it is not worth an fsync
+// on the job completion path.
+func (w *WAL) Done(key string) error {
+	line, err := marshalRecord(walRecord{Type: "done", Key: key})
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.live[key]; !ok {
+		return nil // duplicate done (shared job watched twice)
+	}
+	if err := w.appendLocked(line); err != nil {
+		return err
+	}
+	delete(w.live, key)
+	w.completed++
+	if w.bytes > w.CompactBytes && !w.syncing {
+		return w.compactLocked()
+	}
+	return nil
+}
+
+func marshalRecord(rec walRecord) ([]byte, error) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: wal marshal: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+func (w *WAL) appendLocked(line []byte) error {
+	if w.closed {
+		return fmt.Errorf("fleet: wal closed")
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.f.Write(line); err != nil {
+		w.err = fmt.Errorf("fleet: wal append: %w", err)
+		w.cond.Broadcast()
+		return w.err
+	}
+	w.wrote++
+	w.bytes += int64(len(line))
+	return nil
+}
+
+// waitSyncedLocked blocks until record seq is durable. The first
+// waiter becomes the syncer and fsyncs everything written so far;
+// later waiters piggyback on that same fsync — group commit.
+func (w *WAL) waitSyncedLocked(seq uint64) error {
+	for w.synced < seq && w.err == nil && !w.closed {
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		target := w.wrote
+		f := w.f
+		w.mu.Unlock()
+		err := f.Sync()
+		w.mu.Lock()
+		w.syncing = false
+		w.syncs++
+		if err != nil && w.err == nil {
+			w.err = fmt.Errorf("fleet: wal sync: %w", err)
+		}
+		if target > w.synced {
+			w.synced = target
+		}
+		w.cond.Broadcast()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed && w.synced < seq {
+		return fmt.Errorf("fleet: wal closed")
+	}
+	return nil
+}
+
+// compactLocked rewrites the log with only the live accepts. Called
+// with the lock held and no fsync in flight; waiters are satisfied
+// because after the rename every surviving record is durable.
+func (w *WAL) compactLocked() error {
+	if err := w.rewriteLocked(); err != nil {
+		return err
+	}
+	w.compactions++
+	return nil
+}
+
+// rewriteLocked atomically replaces the log file with one containing
+// exactly the live accepts, fsynced.
+func (w *WAL) rewriteLocked() error {
+	dir := filepath.Dir(w.path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("fleet: wal: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".wal-*")
+	if err != nil {
+		return fmt.Errorf("fleet: wal compact: %w", err)
+	}
+	var bytes int64
+	werr := func() error {
+		bw := bufio.NewWriter(tmp)
+		for key, req := range w.live {
+			line, err := marshalRecord(walRecord{Type: "accept", Key: key, Req: req})
+			if err != nil {
+				return err
+			}
+			if _, err := bw.Write(line); err != nil {
+				return err
+			}
+			bytes += int64(len(line))
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return tmp.Sync()
+	}()
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), w.path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: wal compact: %w", werr)
+	}
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("fleet: wal reopen: %w", err)
+	}
+	if w.f != nil {
+		w.f.Close()
+	}
+	w.f = f
+	w.bytes = bytes
+	// Everything in the new file is durable; wake any piggybacked waiter.
+	w.synced = w.wrote
+	w.cond.Broadcast()
+	return nil
+}
+
+// Close syncs and closes the log. Pending accepts stay on disk for the
+// next open to replay.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var err error
+	if w.f != nil {
+		if serr := w.f.Sync(); serr != nil && w.err == nil {
+			err = serr
+		}
+		if cerr := w.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	w.synced = w.wrote
+	w.cond.Broadcast()
+	return err
+}
+
+// WALStats is the log's snapshot for /debugz/fleet.
+type WALStats struct {
+	Path        string `json:"path"`
+	Accepted    int64  `json:"accepted"`
+	Completed   int64  `json:"completed"`
+	Pending     int    `json:"pending"`
+	Syncs       int64  `json:"syncs"`
+	Compactions int64  `json:"compactions"`
+	Recovered   int    `json:"recovered"`
+	Truncated   bool   `json:"truncated,omitempty"`
+}
+
+// Stats snapshots the log's counters. Recovered is the number of
+// pending jobs found at open (what the node replayed); Truncated
+// reports whether the previous log ended in a torn record.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WALStats{
+		Path:        w.path,
+		Accepted:    w.accepted,
+		Completed:   w.completed,
+		Pending:     len(w.live),
+		Syncs:       w.syncs,
+		Compactions: w.compactions,
+		Recovered:   w.recovered,
+		Truncated:   w.truncated,
+	}
+}

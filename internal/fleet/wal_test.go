@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"rtlrepair/internal/serve"
+)
+
+func walReq(i int) *serve.Request {
+	return &serve.Request{Source: fmt.Sprintf("module m%d(); endmodule", i), Trace: "t"}
+}
+
+func TestWALAcceptDoneLeavesNothingPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, pending, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh log has %d pending", len(pending))
+	}
+	req := walReq(1)
+	key := serve.ResultKey(req)
+	if err := w.Accept(key, req); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Done(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, pending, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("completed job replayed: %d pending", len(pending))
+	}
+}
+
+func TestWALReplaysPendingInAdmissionOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 5; i++ {
+		req := walReq(i)
+		if err := w.Accept(serve.ResultKey(req), req); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, req.Source)
+	}
+	// Jobs 1 and 3 finished before the "crash".
+	w.Done(serve.ResultKey(walReq(1)))
+	w.Done(serve.ResultKey(walReq(3)))
+	w.Close()
+
+	_, pending, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, req := range pending {
+		got = append(got, req.Source)
+	}
+	wantPending := []string{want[0], want[2], want[4]}
+	if len(got) != 3 || got[0] != wantPending[0] || got[1] != wantPending[1] || got[2] != wantPending[2] {
+		t.Fatalf("pending = %v, want %v", got, wantPending)
+	}
+}
+
+// A crash mid-append leaves a torn final line; everything before it
+// must still replay and the torn record — never acknowledged — is
+// discarded.
+func TestWALToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := walReq(1)
+	if err := w.Accept(serve.ResultKey(req), req); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"type":"accept","key":"deadbeef","req":{"sour`)
+	f.Close()
+
+	w2, pending, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(pending) != 1 || pending[0].Source != req.Source {
+		t.Fatalf("pending = %v", pending)
+	}
+	if st := w2.Stats(); !st.Truncated || st.Recovered != 1 {
+		t.Fatalf("stats = %+v, want truncated with 1 recovered", st)
+	}
+}
+
+// Group commit must survive concurrent accepts: every record durable,
+// none lost, and the whole batch recoverable. Run with -race.
+func TestWALConcurrentAccepts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := walReq(i)
+			if err := w.Accept(serve.ResultKey(req), req); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := w.Stats()
+	if st.Accepted != n || st.Pending != n {
+		t.Fatalf("stats = %+v, want %d accepted and pending", st, n)
+	}
+	// Group commit: n accepts must not mean n fsyncs.
+	if st.Syncs > int64(n) {
+		t.Fatalf("syncs = %d > accepts = %d", st.Syncs, n)
+	}
+	w.Close()
+	_, pending, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != n {
+		t.Fatalf("recovered %d pending, want %d", len(pending), n)
+	}
+}
+
+// Once the log outgrows CompactBytes it is rewritten with only the
+// live accepts, so a long-lived node's log tracks its in-flight jobs,
+// not its job history.
+func TestWALCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.CompactBytes = 1024
+	for i := 0; i < 100; i++ {
+		req := walReq(i)
+		key := serve.ResultKey(req)
+		if err := w.Accept(key, req); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Done(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compactions after 200 records: %+v", st)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("pending = %d", st.Pending)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 1024 {
+		t.Fatalf("log is %d bytes after compaction", fi.Size())
+	}
+	w.Close()
+}
+
+func TestWALDuplicateDoneIsHarmless(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	req := walReq(1)
+	key := serve.ResultKey(req)
+	if err := w.Accept(key, req); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Done(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.Completed != 1 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

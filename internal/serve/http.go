@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // maxBodyBytes bounds a submission body (designs plus long traces).
@@ -14,7 +15,9 @@ const maxBodyBytes = 64 << 20
 //	POST /v1/repair             submit a job (``?wait=1`` blocks until done)
 //	GET  /v1/jobs/{id}          poll a job (``?wait=1`` blocks until done)
 //	GET  /v1/jobs/{id}/events   stream the job's flight-recorder events (SSE)
-//	GET  /healthz               liveness + queue stats
+//	GET  /healthz               queue stats (503 once draining)
+//	GET  /healthz/live          liveness: 200 while the process runs
+//	GET  /healthz/ready         readiness: 503 while draining or WAL-replaying
 //	GET  /metricsz              the obs metrics registry as JSON
 //	GET  /debugz/spans          live span tree (what is in flight right now)
 //	GET  /debugz/ring           flight-recorder ring dump as JSONL (?scope=)
@@ -25,6 +28,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /healthz/live", s.handleLive)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	mux.HandleFunc("GET /debugz/spans", s.handleDebugSpans)
 	mux.HandleFunc("GET /debugz/ring", s.handleDebugRing)
@@ -58,7 +63,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 		return
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Estimate how long the queue needs to drain a slot instead of
+		// telling every client "1": depth × mean job time ÷ slots.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, errorJSON{err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
@@ -105,6 +112,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	st := s.Snapshot()
 	status := http.StatusOK
 	if st.Draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, st)
+}
+
+// handleLive is the liveness probe: 200 as long as the process serves
+// HTTP at all — even while draining, so an orchestrator does not kill a
+// node that is finishing accepted jobs.
+func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
+}
+
+// handleReady is the readiness probe: 503 while draining or while a
+// fleet node is replaying its write-ahead log, so routers and external
+// load balancers stop sending new work without declaring the node dead.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	st := s.Snapshot()
+	status := http.StatusOK
+	if !st.Ready {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, st)

@@ -236,8 +236,8 @@ func TestArtifactCacheSkipsElaboration(t *testing.T) {
 	if built == 0 {
 		t.Fatalf("first artifactFor did not elaborate")
 	}
-	if art1.fe == nil || art1.fe.Reason != "" {
-		t.Fatalf("frontend failed: %+v", art1.fe)
+	if art1.FE == nil || art1.FE.Reason != "" {
+		t.Fatalf("frontend failed: %+v", art1.FE)
 	}
 
 	before = synth.Elaborations()
@@ -274,7 +274,7 @@ func TestQueueWaitDeadlineFailsStaleJobs(t *testing.T) {
 		t.Fatalf("stale job result = %+v, want queue-wait timeout", v.Result)
 	}
 	// The queue-timeout verdict must not poison the result cache.
-	if _, ok := s.results.Get(stale.Key); ok {
+	if _, ok := s.results.GetResult(stale.Key); ok {
 		t.Fatalf("queue-timeout result was cached")
 	}
 }

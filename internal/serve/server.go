@@ -11,6 +11,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtlrepair/internal/core"
@@ -66,6 +67,17 @@ type Config struct {
 	// serve.jobs.stalled watchdog gauge and /debugz/solvers stall
 	// reporting. Default 10s; < 0 disables the watchdog.
 	StallAfter time.Duration
+	// Queue replaces the accepted-job buffer (default: a bounded channel
+	// of QueueDepth). internal/fleet composes priority- or WAL-aware
+	// queues through this seam.
+	Queue JobQueue
+	// Results replaces the result tier (default: an in-memory LRU of
+	// ResultCacheSize entries). Fleet nodes install a store layered over
+	// the shared content-addressed blob store.
+	Results ResultStore
+	// Artifacts replaces the frontend-artifact tier (default: an
+	// in-memory LRU of ArtifactCacheSize entries).
+	Artifacts ArtifactStore
 	// Obs supplies the tracer/metrics registry and the flight recorder.
 	// A nil Metrics is replaced with a fresh registry so /metricsz
 	// always works; a nil Rec with the process-wide obs.Default()
@@ -110,13 +122,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// artifact is one cached frontend: the parsed design plus its
-// preprocess+elaborate result, shared read-only across jobs.
-type artifact struct {
-	parsed *parsedRequest
-	fe     *core.Frontend
-}
-
 // repairFunc is the worker's compute seam; tests substitute a fake.
 type repairFunc func(ctx context.Context, job *Job) *RepairResult
 
@@ -127,16 +132,22 @@ type Server struct {
 	metrics *obs.Registry
 	rec     *obs.Recorder
 
-	queue  chan *Job
+	queue  JobQueue
 	repair repairFunc
+
+	// notReady marks the server not-ready for traffic independently of
+	// draining (a fleet node replaying its write-ahead log flips it);
+	// /healthz/ready reports 503 while set. Jobs are still accepted —
+	// replay goes through Submit — only the readiness signal changes.
+	notReady atomic.Bool
 
 	mu       sync.Mutex
 	draining bool
 	inflight map[string]*Job // singleflight: cache key → running/queued job
 	jobs     map[string]*Job // job id → job (terminal jobs included)
 
-	results   *lruCache[*RepairResult]
-	artifacts *lruCache[*artifact]
+	results   ResultStore
+	artifacts ArtifactStore
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -147,15 +158,24 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		metrics:  cfg.Obs.Metrics,
-		rec:      cfg.Obs.Rec,
-		queue:    make(chan *Job, cfg.QueueDepth),
-		inflight: map[string]*Job{},
-		jobs:     map[string]*Job{},
+		cfg:       cfg,
+		metrics:   cfg.Obs.Metrics,
+		rec:       cfg.Obs.Rec,
+		queue:     cfg.Queue,
+		results:   cfg.Results,
+		artifacts: cfg.Artifacts,
+		inflight:  map[string]*Job{},
+		jobs:      map[string]*Job{},
 	}
-	s.results = newLRU[*RepairResult]("result", cfg.ResultCacheSize, s.metrics)
-	s.artifacts = newLRU[*artifact]("artifact", cfg.ArtifactCacheSize, s.metrics)
+	if s.queue == nil {
+		s.queue = NewChanQueue(cfg.QueueDepth)
+	}
+	if s.results == nil {
+		s.results = NewLRUResultStore(cfg.ResultCacheSize, s.metrics)
+	}
+	if s.artifacts == nil {
+		s.artifacts = NewLRUArtifactStore(cfg.ArtifactCacheSize, s.metrics)
+	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.repair = s.runRepair
 	s.metrics.SetGauge("serve.slots", float64(cfg.Slots))
@@ -188,7 +208,7 @@ func (s *Server) Submit(req *Request) (*Job, error) {
 		s.metrics.Add("serve.jobs.rejected_draining", 1)
 		return nil, ErrDraining
 	}
-	if rr, ok := s.results.Get(key); ok {
+	if rr, ok := s.results.GetResult(key); ok {
 		job := newJob(key, parsed)
 		job.finish(rr, true)
 		s.jobs[job.ID] = job
@@ -205,18 +225,16 @@ func (s *Server) Submit(req *Request) (*Job, error) {
 		return job, nil
 	}
 	job := newJob(key, parsed)
-	select {
-	case s.queue <- job:
-	default:
+	if !s.queue.Push(job) {
 		s.metrics.Add("serve.jobs.rejected_queue_full", 1)
 		return nil, ErrQueueFull
 	}
 	s.inflight[key] = job
 	s.jobs[job.ID] = job
 	s.metrics.Add("serve.jobs.accepted", 1)
-	s.metrics.SetGauge("serve.queue.depth", float64(len(s.queue)))
+	s.metrics.SetGauge("serve.queue.depth", float64(s.queue.Len()))
 	s.rec.Emit(obs.EvQueue, "job.admit", job.ID, 0,
-		obs.Str("design", parsed.top.Name), obs.Int("queue_depth", int64(len(s.queue))))
+		obs.Str("design", parsed.top.Name), obs.Int("queue_depth", int64(s.queue.Len())))
 	return job, nil
 }
 
@@ -227,9 +245,13 @@ func (s *Server) Job(id string) *Job {
 	return s.jobs[id]
 }
 
-// Stats is the health snapshot for /healthz.
+// Stats is the health snapshot for /healthz. Ready is false while the
+// server is draining or replaying its write-ahead log — routers and
+// external load balancers stop sending traffic, but already-accepted
+// jobs still run.
 type Stats struct {
 	Draining   bool `json:"draining"`
+	Ready      bool `json:"ready"`
 	QueueDepth int  `json:"queue_depth"`
 	QueueCap   int  `json:"queue_cap"`
 	Slots      int  `json:"slots"`
@@ -243,12 +265,40 @@ func (s *Server) Snapshot() Stats {
 	defer s.mu.Unlock()
 	return Stats{
 		Draining:   s.draining,
-		QueueDepth: len(s.queue),
-		QueueCap:   s.cfg.QueueDepth,
+		Ready:      !s.draining && !s.notReady.Load(),
+		QueueDepth: s.queue.Len(),
+		QueueCap:   s.queue.Cap(),
 		Slots:      s.cfg.Slots,
 		Jobs:       len(s.jobs),
 		Inflight:   len(s.inflight),
 	}
+}
+
+// SetReady flips the readiness signal (it does not gate admission;
+// fleet nodes submit replayed jobs while not ready). Draining always
+// reads as not ready regardless of this flag.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// RetryAfterSeconds estimates how long a rejected client should back
+// off before the queue has drained: current depth times the mean job
+// time, divided across the worker slots. Before any job has completed
+// (no mean yet) it falls back to 1s; the estimate is clamped to
+// [1s, 300s] so a pathological backlog cannot park clients forever.
+func (s *Server) RetryAfterSeconds() int {
+	depth := s.queue.Len() + 1 // the rejected job would queue behind these
+	completed := s.metrics.Counter("serve.jobs.completed")
+	if completed == 0 {
+		return 1
+	}
+	meanMS := float64(s.metrics.Counter("serve.job_ms_total")) / float64(completed)
+	secs := int(float64(depth) * meanMS / float64(s.cfg.Slots) / 1000)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 300 {
+		return 300
+	}
+	return secs
 }
 
 // Metrics returns the server's registry (never nil).
@@ -268,8 +318,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	// Submits enqueue while holding s.mu and check draining first, so
-	// closing the queue here cannot race a send.
-	close(s.queue)
+	// closing the queue here cannot race a push.
+	s.queue.Close()
 	s.mu.Unlock()
 
 	done := make(chan struct{})
@@ -294,7 +344,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // worker pulls jobs until the queue is closed and drained.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for job := range s.queue {
+	for job := range s.queue.Jobs() {
 		s.runJob(job)
 	}
 }
@@ -302,7 +352,7 @@ func (s *Server) worker() {
 func (s *Server) runJob(job *Job) {
 	wait := job.markRunning()
 	s.metrics.Observe("serve.queue_wait_ms", float64(wait.Milliseconds()))
-	s.metrics.SetGauge("serve.queue.depth", float64(len(s.queue)))
+	s.metrics.SetGauge("serve.queue.depth", float64(s.queue.Len()))
 	s.rec.Emit(obs.EvQueue, "job.start", job.ID, 0,
 		obs.Int("time_wait_us", wait.Microseconds()))
 
@@ -317,7 +367,7 @@ func (s *Server) runJob(job *Job) {
 		cancel()
 		// Only organic results are worth caching: a queue-timeout verdict
 		// says nothing about the design.
-		s.results.Put(job.Key, rr)
+		s.results.PutResult(job.Key, rr)
 	}
 
 	s.mu.Lock()
@@ -326,6 +376,9 @@ func (s *Server) runJob(job *Job) {
 	job.finish(rr, false)
 	s.metrics.Add("serve.jobs.completed", 1)
 	s.metrics.Add("serve.jobs.status."+rr.Status, 1)
+	// job_ms_total feeds the 429 Retry-After drain estimate (mean job
+	// time = total / completed); the histogram keeps the distribution.
+	s.metrics.Add("serve.job_ms_total", rr.DurationMS)
 	s.metrics.Observe("serve.job_ms", float64(rr.DurationMS))
 	s.rec.Emit(obs.EvQueue, "job.done", job.ID, 0,
 		obs.Str("status", rr.Status), obs.Int("time_run_us", job.runTime().Microseconds()))
@@ -347,18 +400,24 @@ func (s *Server) jobTimeout(job *Job) time.Duration {
 // building and caching it on a miss. Concurrent misses on the same key
 // may build twice; both builds produce identical artifacts and the
 // cache keeps the last, so this only costs duplicate work, never
-// correctness.
-func (s *Server) artifactFor(job *Job) *artifact {
+// correctness. When the artifact tier is layered over a shared blob
+// store, a local miss first tries the cross-process warm path.
+func (s *Server) artifactFor(job *Job) *Artifact {
 	key := job.parsed.req.artifactKey()
-	if art, ok := s.artifacts.Get(key); ok {
+	if art, ok := s.artifacts.GetArtifact(key); ok {
 		return art
 	}
 	parsed := job.parsed
-	art := &artifact{
-		parsed: parsed,
-		fe:     core.NewFrontend(parsed.top, parsed.lib, parsed.req.Options.NoPreprocess),
+	if shared, ok := s.artifacts.(*sharedArtifacts); ok {
+		if art, ok := shared.getWarm(key, parsed); ok {
+			return art
+		}
 	}
-	s.artifacts.Put(key, art)
+	art := &Artifact{
+		parsed: parsed,
+		FE:     core.NewFrontend(parsed.top, parsed.lib, parsed.req.Options.NoPreprocess),
+	}
+	s.artifacts.PutArtifact(key, art)
 	return art
 }
 
@@ -385,7 +444,7 @@ func (s *Server) runRepair(ctx context.Context, job *Job) *RepairResult {
 		Certify:      o.Certify,
 		NoAbsint:     o.NoAbsint,
 		NoPreprocess: o.NoPreprocess,
-		Frontend:     art.fe,
+		Frontend:     art.FE,
 	})
 	return toResult(res)
 }
